@@ -1,0 +1,42 @@
+GO ?= go
+
+.PHONY: all build vet test race fuzz bench examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzzing pass over every parser (text/binary datasets, OSSM maps).
+fuzz:
+	$(GO) test -run Fuzz -fuzz FuzzReadText   -fuzztime 15s ./internal/dataset
+	$(GO) test -run Fuzz -fuzz FuzzReadBinary -fuzztime 15s ./internal/dataset
+	$(GO) test -run Fuzz -fuzz FuzzReadMap    -fuzztime 15s ./internal/core
+
+# Scaled-down deterministic versions of every paper table/figure plus
+# micro-benchmarks (see EXPERIMENTS.md for recorded full runs).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/retail
+	$(GO) run ./examples/alarms
+	$(GO) run ./examples/explore
+	$(GO) run ./examples/stream
+
+# Regenerate every table and figure of the paper at the default scale.
+experiments:
+	$(GO) run ./cmd/ossm-bench all
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// tinyArgs keeps CLI experiment tests fast.
+func tinyArgs(extra ...string) []string {
+	base := []string{
+		"-tx", "1200", "-items", "100", "-pages", "40",
+		"-support", "0.02", "-bubble", "30", "-bubble-support", "0.005",
+		"-segments", "8", "-mid", "20",
+	}
+	return append(base, extra...)
+}
+
+func TestRunExperiments(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"fig4", tinyArgs("-sweep", "4,8", "fig4"), "Figure 4"},
+		{"fig5a", tinyArgs("fig5a"), "pure strategies"},
+		{"fig5b", tinyArgs("fig5b"), "hybrid strategies"},
+		{"fig6", tinyArgs("-percents", "10,30", "fig6"), "bubble list"},
+		{"sec7", tinyArgs("-buckets", "512", "sec7"), "DHP"},
+		{"skew", tinyArgs("skew"), "skewed-synthetic"},
+		{"memory", tinyArgs("-sweep", "4,8", "memory"), "footprint"},
+		{"extended", tinyArgs("extended"), "footnote 3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(c.args, &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errb.String())
+			}
+			if !strings.Contains(out.String(), c.want) {
+				t.Errorf("stdout missing %q:\n%s", c.want, out.String())
+			}
+		})
+	}
+}
+
+func TestRunUsageAndErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("no experiment: exit %d, want 2", code)
+	}
+	if code := run([]string{"banana"}, &out, &errb); code != 1 {
+		t.Errorf("unknown experiment: exit %d, want 1", code)
+	}
+	if code := run([]string{"-badflag", "fig4"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	if got := parseInts(""); got != nil {
+		t.Errorf("parseInts(\"\") = %v", got)
+	}
+	got := parseInts("1, 2,3")
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("parseInts = %v", got)
+	}
+	if got := parseInts("1,x"); got != nil {
+		t.Errorf("bad list should fall back to nil, got %v", got)
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(append(tinyArgs("-json"), "fig5a"), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	var payload struct {
+		Experiment string `json:"experiment"`
+		Result     struct {
+			Rows []struct {
+				Strategy int     `json:"Strategy"`
+				Speedup  float64 `json:"Speedup"`
+			} `json:"Rows"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &payload); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if payload.Experiment != "fig5a" || len(payload.Result.Rows) != 3 {
+		t.Errorf("payload = %+v", payload)
+	}
+	for _, r := range payload.Result.Rows {
+		if r.Speedup <= 0 {
+			t.Error("non-positive speedup in JSON payload")
+		}
+	}
+}

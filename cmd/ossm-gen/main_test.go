@@ -1,0 +1,59 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	ossm "github.com/ossm-mining/ossm"
+)
+
+func TestRunGeneratesLoadableDatasets(t *testing.T) {
+	dir := t.TempDir()
+	cases := []struct {
+		name string
+		args []string
+		tx   int
+	}{
+		{"quest-bin", []string{"-kind", "quest", "-tx", "200", "-items", "50", "-out", filepath.Join(dir, "q.bin")}, 200},
+		{"quest-drift-shuffle", []string{"-kind", "quest", "-tx", "200", "-items", "50", "-drift", "0.4", "-shuffle", "10", "-out", filepath.Join(dir, "qd.bin")}, 200},
+		{"skewed-txt", []string{"-kind", "skewed", "-tx", "150", "-items", "40", "-out", filepath.Join(dir, "s.txt")}, 150},
+		{"alarm", []string{"-kind", "alarm", "-out", filepath.Join(dir, "a.bin")}, 5000},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(c.args, &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errb.String())
+			}
+			if !strings.Contains(out.String(), "wrote") {
+				t.Errorf("stdout = %q", out.String())
+			}
+			path := c.args[len(c.args)-1]
+			d, err := ossm.LoadDataset(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d.NumTx() != c.tx {
+				t.Errorf("NumTx = %d, want %d", d.NumTx(), c.tx)
+			}
+		})
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-kind", "quest"}, &out, &errb); code != 2 {
+		t.Errorf("missing -out: exit %d, want 2", code)
+	}
+	if code := run([]string{"-kind", "banana", "-out", "/tmp/x.bin"}, &out, &errb); code != 2 {
+		t.Errorf("bad kind: exit %d, want 2", code)
+	}
+	if code := run([]string{"-tx", "0", "-out", filepath.Join(t.TempDir(), "x.bin")}, &out, &errb); code != 1 {
+		t.Errorf("bad config: exit %d, want 1", code)
+	}
+	if code := run([]string{"-badflag"}, &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

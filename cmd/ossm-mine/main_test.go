@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	ossm "github.com/ossm-mining/ossm"
+)
+
+// writeTestDataset saves a small skewed dataset and returns its path.
+func writeTestDataset(t *testing.T) string {
+	t.Helper()
+	d, err := ossm.GenerateSkewed(ossm.DefaultSkewed(800, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "d.bin")
+	if err := ossm.SaveDataset(path, d); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllMiners(t *testing.T) {
+	path := writeTestDataset(t)
+	for _, miner := range []string{"apriori", "dhp", "partition", "fpgrowth", "depthproject", "eclat"} {
+		t.Run(miner, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := run([]string{"-in", path, "-support", "0.02", "-miner", miner, "-top", "3"}, &out, &errb)
+			if code != 0 {
+				t.Fatalf("exit %d, stderr: %s", code, errb.String())
+			}
+			if !strings.Contains(out.String(), "frequent itemsets") {
+				t.Errorf("stdout = %q", out.String())
+			}
+		})
+	}
+}
+
+func TestRunWithOSSMAndRules(t *testing.T) {
+	path := writeTestDataset(t)
+	var out, errb bytes.Buffer
+	code := run([]string{
+		"-in", path, "-support", "0.02", "-miner", "apriori",
+		"-ossm", "-segments", "8", "-alg", "greedy", "-bubble", "30",
+		"-rules", "0.5", "-workers", "2", "-top", "2",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{"index:", "pruned by OSSM", "rules:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("stdout missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunMinerResultsAgree(t *testing.T) {
+	// Same dataset mined by every engine must report the same frequent
+	// itemset count in the output.
+	path := writeTestDataset(t)
+	var counts []string
+	for _, miner := range []string{"apriori", "dhp", "partition", "fpgrowth", "depthproject", "eclat"} {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-in", path, "-support", "0.03", "-miner", miner, "-top", "0"}, &out, &errb); code != 0 {
+			t.Fatalf("%s: exit %d: %s", miner, code, errb.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if strings.HasPrefix(line, "mining:") {
+				counts = append(counts, strings.Fields(line)[1])
+			}
+		}
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] != counts[0] {
+			t.Errorf("miner %d reported %s frequent itemsets, miner 0 reported %s", i, counts[i], counts[0])
+		}
+	}
+}
+
+func TestRunMineErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run(nil, &out, &errb); code != 2 {
+		t.Errorf("missing -in: exit %d, want 2", code)
+	}
+	if code := run([]string{"-in", "/nonexistent/x.bin"}, &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	path := writeTestDataset(t)
+	if code := run([]string{"-in", path, "-miner", "banana"}, &out, &errb); code != 1 {
+		t.Errorf("bad miner: exit %d, want 1", code)
+	}
+	if code := run([]string{"-in", path, "-ossm", "-alg", "banana"}, &out, &errb); code != 1 {
+		t.Errorf("bad alg: exit %d, want 1", code)
+	}
+}

@@ -1,0 +1,159 @@
+package ossm
+
+import (
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/depthproject"
+	"github.com/ossm-mining/ossm/internal/eclat"
+	"github.com/ossm-mining/ossm/internal/episodes"
+	"github.com/ossm-mining/ossm/internal/fpgrowth"
+	"github.com/ossm-mining/ossm/internal/gen"
+	"github.com/ossm-mining/ossm/internal/mining"
+	"github.com/ossm-mining/ossm/internal/partition"
+	"github.com/ossm-mining/ossm/internal/rules"
+)
+
+// Synthetic workload generators (paper Section 6.1).
+type (
+	// QuestConfig parameterizes the IBM Quest-style generator
+	// ("regular-synthetic").
+	QuestConfig = gen.QuestConfig
+	// SkewedConfig parameterizes the seasonal generator
+	// ("skewed-synthetic").
+	SkewedConfig = gen.SkewedConfig
+	// AlarmConfig parameterizes the telecom-alarm surrogate (for the
+	// proprietary Nokia data set).
+	AlarmConfig = gen.AlarmConfig
+)
+
+// DefaultQuest returns the canonical regular-synthetic configuration
+// (1000 items, T10.I4).
+func DefaultQuest(numTx int, seed int64) QuestConfig { return gen.DefaultQuest(numTx, seed) }
+
+// GenerateQuest produces a regular-synthetic dataset.
+func GenerateQuest(c QuestConfig) (*Dataset, error) { return gen.Quest(c) }
+
+// DefaultSkewed returns the canonical skewed-synthetic configuration.
+func DefaultSkewed(numTx int, seed int64) SkewedConfig { return gen.DefaultSkewed(numTx, seed) }
+
+// GenerateSkewed produces a seasonal skewed-synthetic dataset.
+func GenerateSkewed(c SkewedConfig) (*Dataset, error) { return gen.Skewed(c) }
+
+// DefaultAlarm returns the canonical alarm-surrogate configuration
+// (~5000 transactions, 200 alarm types).
+func DefaultAlarm(seed int64) AlarmConfig { return gen.DefaultAlarm(seed) }
+
+// GenerateAlarm produces a telecom-alarm surrogate dataset.
+func GenerateAlarm(c AlarmConfig) (*Dataset, error) { return gen.Alarm(c) }
+
+// Episode mining (WINEPI over sliding windows).
+type (
+	// Event is one timestamped event of a sequence.
+	Event = episodes.Event
+	// Sequence is an ordered event log.
+	Sequence = episodes.Sequence
+	// EpisodeOptions configures MineEpisodes.
+	EpisodeOptions = episodes.Options
+	// EpisodeResult carries frequent parallel episodes plus OSSM
+	// counters.
+	EpisodeResult = episodes.Result
+)
+
+// NewSequence validates and wraps an event log.
+func NewSequence(numTypes int, events []Event) (*Sequence, error) {
+	return episodes.NewSequence(numTypes, events)
+}
+
+// SequenceFromTypes builds a unit-spaced Sequence from plain event types.
+func SequenceFromTypes(numTypes int, types []Item) (*Sequence, error) {
+	return episodes.FromTypes(numTypes, types)
+}
+
+// MineEpisodes discovers frequent parallel episodes of s.
+func MineEpisodes(s *Sequence, opts EpisodeOptions) (*EpisodeResult, error) {
+	return episodes.Mine(s, opts)
+}
+
+// SegmentOptions re-exports the low-level segmentation options for
+// callers (like MineEpisodes) that want full control.
+type SegmentOptions = core.Options
+
+// Association rules.
+type Rule = rules.Rule
+
+// GenerateRules derives association rules with confidence ≥ minConf from
+// a mining result over a dataset of numTx transactions.
+func GenerateRules(res *Result, numTx int, minConf float64) ([]Rule, error) {
+	return rules.Generate(res, numTx, minConf)
+}
+
+// MineFPGrowth mines frequent itemsets with FP-growth (no candidate
+// generation — the OSSM does not apply; included as the related-work
+// baseline and cross-check oracle).
+func MineFPGrowth(d *Dataset, minSupport float64) (*Result, error) {
+	return fpgrowth.Mine(d, mining.MinCountFor(d, minSupport), fpgrowth.Options{})
+}
+
+// MinePartition mines frequent itemsets with the Partition algorithm.
+// ix may be nil; when present it prunes the global candidate set
+// (Section 7 of the paper).
+func MinePartition(d *Dataset, minSupport float64, numPartitions int, ix *Index) (*Result, error) {
+	minCount := mining.MinCountFor(d, minSupport)
+	var pruner *core.Pruner
+	if ix != nil {
+		pruner = ix.PrunerAt(minCount)
+	}
+	res, err := partition.Mine(d, minCount, partition.Options{
+		NumPartitions: numPartitions,
+		Pruner:        pruner,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.Result, nil
+}
+
+// MineDepthProject mines frequent itemsets depth-first (DepthProject
+// style). ix may be nil; when present it prunes lexicographic extensions
+// before their projections are counted (Section 7 of the paper).
+func MineDepthProject(d *Dataset, minSupport float64, ix *Index) (*Result, error) {
+	minCount := mining.MinCountFor(d, minSupport)
+	var pruner *core.Pruner
+	if ix != nil {
+		pruner = ix.PrunerAt(minCount)
+	}
+	res, err := depthproject.Mine(d, minCount, depthproject.Options{Pruner: pruner})
+	if err != nil {
+		return nil, err
+	}
+	return res.Result, nil
+}
+
+// MineEclat mines frequent itemsets with dEclat (diffset-based vertical
+// mining). ix may be nil; when present it prunes candidate extensions
+// before their diffsets are materialized.
+func MineEclat(d *Dataset, minSupport float64, ix *Index) (*Result, error) {
+	minCount := mining.MinCountFor(d, minSupport)
+	var pruner core.Filter
+	if ix != nil {
+		pruner = ix.PrunerAt(minCount)
+	}
+	res, err := eclat.Mine(d, minCount, eclat.Options{Pruner: pruner})
+	if err != nil {
+		return nil, err
+	}
+	return res.Result, nil
+}
+
+// Paginate splits d into pages of txPerPage transactions.
+func Paginate(d *Dataset, txPerPage int) []Page { return dataset.Paginate(d, txPerPage) }
+
+// PaginateN splits d into exactly m near-equal pages.
+func PaginateN(d *Dataset, m int) []Page { return dataset.PaginateN(d, m) }
+
+// MinSegments returns n_min for the given dataset paginated into m pages:
+// the number of distinct segment configurations (Theorem 1 / Corollary 1
+// of the paper).
+func MinSegments(d *Dataset, m int) int {
+	return core.MinSegments(dataset.PageCounts(d, dataset.PaginateN(d, m)))
+}

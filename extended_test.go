@@ -1,0 +1,79 @@
+package ossm
+
+import "testing"
+
+func TestExtendedIndexEndToEnd(t *testing.T) {
+	d, err := GenerateSkewed(DefaultSkewed(3000, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, BuildOptions{Pages: 60, Segments: 12, Algorithm: Greedy, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Track the 80 items nearest a 0.5% threshold.
+	plain, err := MineApriori(d, 0.01, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tracked []Item
+	for it := Item(0); int(it) < d.NumItems() && len(tracked) < 80; it += 3 {
+		tracked = append(tracked, it)
+	}
+	xi, err := ix.Extend(d, tracked)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(xi.Tracked()) != len(tracked) {
+		t.Fatalf("Tracked = %d items, want %d", len(xi.Tracked()), len(tracked))
+	}
+	ext, err := MineAprioriFiltered(d, 0.01, xi.Pruner(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Equal(ext) {
+		t.Error("extended index changed the mining result")
+	}
+	// Tracked pair supports are exact.
+	a, b := tracked[0], tracked[1]
+	sup, ok := xi.PairSupport(a, b)
+	if !ok {
+		t.Fatal("tracked pair reported untracked")
+	}
+	if sup != int64(d.Support(NewItemset(a, b))) {
+		t.Errorf("PairSupport = %d, want %d", sup, d.Support(NewItemset(a, b)))
+	}
+	// The extended bound never loosens the base bound.
+	for i := 0; i+1 < len(tracked); i += 7 {
+		x := NewItemset(tracked[i], tracked[i+1])
+		if xi.UpperBound(x) > ix.UpperBound(x) {
+			t.Errorf("extended bound looser than base for %v", x)
+		}
+	}
+	if xi.SizeBytes() <= ix.SizeBytes() {
+		t.Error("extended index claims no extra space")
+	}
+}
+
+func TestExtendErrors(t *testing.T) {
+	d, err := GenerateQuest(DefaultQuest(500, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, BuildOptions{Pages: 10, Segments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := GenerateQuest(DefaultQuest(400, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ix.Extend(other, []Item{1, 2}); err == nil {
+		t.Error("mismatched dataset accepted")
+	}
+	// A loaded index cannot be extended.
+	loaded := &Index{m: ix.Map(), numTx: ix.numTx}
+	if _, err := loaded.Extend(d, []Item{1, 2}); err == nil {
+		t.Error("assignment-less index accepted")
+	}
+}

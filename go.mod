@@ -1,0 +1,3 @@
+module github.com/ossm-mining/ossm
+
+go 1.22

@@ -1,0 +1,259 @@
+package apriori
+
+import (
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// CountMethod selects how candidate 2-itemsets are counted.
+type CountMethod int
+
+const (
+	// CountHashTree counts every pass with the hash tree. Counting work
+	// scales with the number of surviving candidates, which is what makes
+	// OSSM pruning pay off — the setting of the paper's experiments.
+	CountHashTree CountMethod = iota
+	// CountTriangular counts the second pass with a dense triangular
+	// array over frequent items (an ablation: per-transaction cost is
+	// then insensitive to the candidate count).
+	CountTriangular
+)
+
+// Options configures Mine.
+type Options struct {
+	// Pruner applies an OSSM bound (or any core.Filter, e.g. the
+	// generalized ExtendedPruner) to candidates before counting; nil runs
+	// plain Apriori.
+	Pruner core.Filter
+	// MaxLen stops after frequent itemsets of this size (0 = unlimited).
+	MaxLen int
+	// C2Method selects the pass-2 counting structure.
+	C2Method CountMethod
+	// Workers shards hash-tree counting over a goroutine pool (0 or 1 =
+	// serial; capped at NumCPU). Results are identical to the serial run.
+	Workers int
+}
+
+// Mine runs Apriori over d at the absolute support threshold minCount.
+func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, error) {
+	if err := mining.ValidateMinCount(minCount); err != nil {
+		return nil, err
+	}
+	res := &mining.Result{MinCount: minCount}
+
+	// Pass 1: singleton supports in one scan.
+	counts := d.ItemCounts(0, d.NumTx())
+	var f1 []mining.Counted
+	for it, c := range counts {
+		if int64(c) >= minCount {
+			f1 = append(f1, mining.Counted{Items: dataset.NewItemset(dataset.Item(it)), Count: int64(c)})
+		}
+	}
+	res.Levels = append(res.Levels, mining.LevelResult{
+		K:        1,
+		Frequent: f1,
+		Stats:    mining.PassStats{K: 1, Generated: d.NumItems(), Counted: d.NumItems(), Frequent: len(f1)},
+	})
+	if len(f1) == 0 || opts.MaxLen == 1 {
+		return res, nil
+	}
+
+	// Project transactions onto the frequent items once; every later pass
+	// counts against the projection (a standard optimization that applies
+	// identically with and without the OSSM).
+	frequentItem := make([]bool, d.NumItems())
+	for _, c := range f1 {
+		frequentItem[c.Items[0]] = true
+	}
+	txs := make([]dataset.Itemset, 0, d.NumTx())
+	for i := 0; i < d.NumTx(); i++ {
+		tx := d.Tx(i)
+		var kept dataset.Itemset
+		for _, it := range tx {
+			if frequentItem[it] {
+				kept = append(kept, it)
+			}
+		}
+		if len(kept) >= 2 {
+			txs = append(txs, kept)
+		}
+	}
+
+	// Pass 2.
+	var l2 mining.LevelResult
+	if opts.C2Method == CountTriangular {
+		l2 = passTwoTriangular(txs, f1, minCount, opts.Pruner)
+	} else {
+		l2 = passTwoHashTree(txs, f1, minCount, opts.Pruner, opts.Workers)
+	}
+	res.Levels = append(res.Levels, l2)
+
+	// Passes k ≥ 3.
+	prev := l2.Frequent
+	for k := 3; len(prev) >= 2 && (opts.MaxLen == 0 || k <= opts.MaxLen); k++ {
+		gen := aprioriGen(prev)
+		stats := mining.PassStats{K: k, Generated: len(gen)}
+		var cands []*mining.Candidate
+		for _, items := range gen {
+			if core.Admit(opts.Pruner, items) {
+				cands = append(cands, &mining.Candidate{Items: items})
+			} else {
+				stats.Pruned++
+			}
+		}
+		stats.Counted = len(cands)
+		if len(cands) == 0 {
+			break
+		}
+		countCandidates(txs, cands, k, opts.Workers)
+		var freq []mining.Counted
+		for _, c := range cands {
+			if c.Count >= minCount {
+				freq = append(freq, mining.Counted{Items: c.Items, Count: c.Count})
+			}
+		}
+		mining.SortCounted(freq)
+		stats.Frequent = len(freq)
+		res.Levels = append(res.Levels, mining.LevelResult{K: k, Frequent: freq, Stats: stats})
+		prev = freq
+		if len(freq) == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// passTwoHashTree generates all pairs of frequent items, filters them
+// through the OSSM, and counts the survivors with a hash tree.
+func passTwoHashTree(txs []dataset.Itemset, f1 []mining.Counted, minCount int64, pruner core.Filter, workers int) mining.LevelResult {
+	stats := mining.PassStats{K: 2, Generated: len(f1) * (len(f1) - 1) / 2}
+	var cands []*mining.Candidate
+	for i := 0; i < len(f1); i++ {
+		for j := i + 1; j < len(f1); j++ {
+			a, b := f1[i].Items[0], f1[j].Items[0]
+			if core.AdmitPair(pruner, a, b) {
+				cands = append(cands, &mining.Candidate{Items: dataset.Itemset{a, b}})
+			} else {
+				stats.Pruned++
+			}
+		}
+	}
+	stats.Counted = len(cands)
+	if len(cands) == 0 {
+		return mining.LevelResult{K: 2, Stats: stats}
+	}
+	countCandidates(txs, cands, 2, workers)
+	var freq []mining.Counted
+	for _, c := range cands {
+		if c.Count >= minCount {
+			freq = append(freq, mining.Counted{Items: c.Items, Count: c.Count})
+		}
+	}
+	mining.SortCounted(freq)
+	stats.Frequent = len(freq)
+	return mining.LevelResult{K: 2, Frequent: freq, Stats: stats}
+}
+
+// passTwoTriangular counts surviving pairs in a dense triangular array
+// indexed by frequent-item rank.
+func passTwoTriangular(txs []dataset.Itemset, f1 []mining.Counted, minCount int64, pruner core.Filter) mining.LevelResult {
+	stats := mining.PassStats{K: 2, Generated: len(f1) * (len(f1) - 1) / 2}
+	n := len(f1)
+	rank := make(map[dataset.Item]int, n)
+	for i, c := range f1 {
+		rank[c.Items[0]] = i
+	}
+	// allowed[i*n+j] (i<j) marks pairs that survived the OSSM.
+	allowed := make([]bool, n*n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if core.AdmitPair(pruner, f1[i].Items[0], f1[j].Items[0]) {
+				allowed[i*n+j] = true
+			} else {
+				stats.Pruned++
+			}
+		}
+	}
+	stats.Counted = stats.Generated - stats.Pruned
+	counts := make([]int64, n*n)
+	for _, tx := range txs {
+		for a := 0; a < len(tx); a++ {
+			ra := rank[tx[a]]
+			for b := a + 1; b < len(tx); b++ {
+				rb := rank[tx[b]]
+				i, j := ra, rb
+				if i > j {
+					i, j = j, i
+				}
+				if allowed[i*n+j] {
+					counts[i*n+j]++
+				}
+			}
+		}
+	}
+	var freq []mining.Counted
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if allowed[i*n+j] && counts[i*n+j] >= minCount {
+				freq = append(freq, mining.Counted{
+					Items: dataset.NewItemset(f1[i].Items[0], f1[j].Items[0]),
+					Count: counts[i*n+j],
+				})
+			}
+		}
+	}
+	mining.SortCounted(freq)
+	stats.Frequent = len(freq)
+	return mining.LevelResult{K: 2, Frequent: freq, Stats: stats}
+}
+
+// aprioriGen implements candidate generation: join F_{k-1} with itself on
+// the first k-2 items, then prune candidates with an infrequent
+// (k-1)-subset.
+func aprioriGen(prev []mining.Counted) []dataset.Itemset {
+	known := make(map[string]bool, len(prev))
+	for _, c := range prev {
+		known[c.Items.Key()] = true
+	}
+	var out []dataset.Itemset
+	for i := 0; i < len(prev); i++ {
+		a := prev[i].Items
+		for j := i + 1; j < len(prev); j++ {
+			b := prev[j].Items
+			if !samePrefix(a, b) {
+				// prev is sorted lexicographically, so no later b shares
+				// the prefix either.
+				break
+			}
+			var cand dataset.Itemset
+			if a[len(a)-1] < b[len(b)-1] {
+				cand = append(append(dataset.Itemset{}, a...), b[len(b)-1])
+			} else {
+				cand = append(append(dataset.Itemset{}, b...), a[len(a)-1])
+			}
+			if hasAllSubsets(cand, known) {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}
+
+func samePrefix(a, b dataset.Itemset) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasAllSubsets(cand dataset.Itemset, known map[string]bool) bool {
+	for i := range cand {
+		if !known[cand.Without(i).Key()] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// TestClosedMaximalAgainstBruteForce validates the condensed
+// representations on full mining results over random datasets.
+func TestClosedMaximalAgainstBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		res, err := Mine(d, minCount, Options{})
+		if err != nil {
+			return false
+		}
+
+		// Brute-force closed: no frequent proper superset of equal count.
+		wantClosed := map[string]bool{}
+		wantMaximal := map[string]bool{}
+		for _, c := range res.All() {
+			closed, maximal := true, true
+			for _, s := range res.All() {
+				if len(s.Items) <= len(c.Items) || !c.Items.SubsetOf(s.Items) {
+					continue
+				}
+				maximal = false
+				if s.Count == c.Count {
+					closed = false
+				}
+			}
+			if closed {
+				wantClosed[c.Items.Key()] = true
+			}
+			if maximal {
+				wantMaximal[c.Items.Key()] = true
+			}
+		}
+		gotClosed := mining.Closed(res)
+		if len(gotClosed) != len(wantClosed) {
+			return false
+		}
+		for _, c := range gotClosed {
+			if !wantClosed[c.Items.Key()] {
+				return false
+			}
+		}
+		gotMaximal := mining.Maximal(res)
+		if len(gotMaximal) != len(wantMaximal) {
+			return false
+		}
+		for _, m := range gotMaximal {
+			if !wantMaximal[m.Items.Key()] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestClosedRecoversAllSupports: the closed representation determines
+// the support of every frequent itemset (as the max count over closed
+// supersets) — the property that makes it a lossless condensation.
+func TestClosedRecoversAllSupports(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		res, err := Mine(d, minCount, Options{})
+		if err != nil {
+			return false
+		}
+		closed := mining.Closed(res)
+		for _, c := range res.All() {
+			best := int64(-1)
+			for _, cl := range closed {
+				if c.Items.SubsetOf(cl.Items) && cl.Count > best {
+					best = cl.Count
+				}
+			}
+			if best != c.Count {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

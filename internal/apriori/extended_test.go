@@ -1,0 +1,146 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// buildExtendedOSSM builds an ExtendedMap over a random contiguous
+// segmentation, tracking a random subset of items.
+func buildExtendedOSSM(r *rand.Rand, d *dataset.Dataset) *core.ExtendedMap {
+	mPages := 1 + r.Intn(d.NumTx())
+	pages := dataset.PaginateN(d, mPages)
+	rows := dataset.PageCounts(d, pages)
+	res, err := core.Segment(rows, core.Options{
+		Algorithm:      core.AlgGreedy,
+		TargetSegments: 1 + r.Intn(mPages),
+		Seed:           r.Int63(),
+	})
+	if err != nil {
+		panic(err)
+	}
+	// Reconstruct the page assignment for BuildExtended.
+	var tracked []dataset.Item
+	for it := 0; it < d.NumItems(); it++ {
+		if r.Intn(2) == 0 {
+			tracked = append(tracked, dataset.Item(it))
+		}
+	}
+	e, err := core.BuildExtended(d, pages, res.Assignment, tracked)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+// TestExtendedPruningIsLossless: mining through the generalized
+// (footnote 3) map returns exactly the baseline result.
+func TestExtendedPruningIsLossless(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		plain, err := Mine(d, minCount, Options{})
+		if err != nil {
+			return false
+		}
+		e := buildExtendedOSSM(r, d)
+		pruned, err := Mine(d, minCount, Options{Pruner: e.Pruner(minCount)})
+		if err != nil {
+			return false
+		}
+		return mapsEqual(plain.AsMap(), pruned.AsMap())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtendedPrunesAtLeastAsMuch: with the same segmentation, the
+// extended bound never admits a candidate the base bound rejects.
+func TestExtendedPrunesAtLeastAsMuch(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+
+		mPages := 1 + r.Intn(d.NumTx())
+		pages := dataset.PaginateN(d, mPages)
+		rows := dataset.PageCounts(d, pages)
+		seg, err := core.Segment(rows, core.Options{
+			Algorithm: core.AlgRandom, TargetSegments: 1 + r.Intn(mPages), Seed: seed,
+		})
+		if err != nil {
+			return false
+		}
+		e, err := core.BuildExtended(d, pages, seg.Assignment, core.AllItems(d.NumItems()))
+		if err != nil {
+			return false
+		}
+		base := &core.Pruner{Map: seg.Map, MinCount: minCount}
+		ext := e.Pruner(minCount)
+		resBase, err := Mine(d, minCount, Options{Pruner: base})
+		if err != nil {
+			return false
+		}
+		resExt, err := Mine(d, minCount, Options{Pruner: ext})
+		if err != nil {
+			return false
+		}
+		if !mapsEqual(resBase.AsMap(), resExt.AsMap()) {
+			return false
+		}
+		// Per-level: extended pruning count ≥ base pruning count.
+		for _, lb := range resBase.Levels {
+			le := resExt.Level(lb.K)
+			if le == nil {
+				continue
+			}
+			if le.Stats.Pruned < lb.Stats.Pruned {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExtendedAllTrackedNeedsNoPairCounting: when every item is tracked,
+// every pass-2 candidate is answered exactly, so the frequent pairs
+// reported equal those counted from the exact map alone.
+func TestExtendedAllTrackedNeedsNoPairCounting(t *testing.T) {
+	r := rand.New(rand.NewSource(77))
+	d := randomDataset(r)
+	minCount := int64(2)
+	pages := dataset.PaginateN(d, d.NumTx())
+	assign := make([][]int, len(pages))
+	for i := range assign {
+		assign[i] = []int{i}
+	}
+	e, err := core.BuildExtended(d, pages, assign, core.AllItems(d.NumItems()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Pruner(minCount)
+	res, err := Mine(d, minCount, Options{Pruner: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2 := res.Level(2)
+	if l2 == nil {
+		return
+	}
+	if p.Exact != int64(l2.Stats.Generated) {
+		t.Errorf("Exact = %d, want every generated pair (%d)", p.Exact, l2.Stats.Generated)
+	}
+	// Exactness: the pruner admitted exactly the frequent pairs.
+	if l2.Stats.Counted != l2.Stats.Frequent {
+		t.Errorf("counted %d ≠ frequent %d despite exact pair supports", l2.Stats.Counted, l2.Stats.Frequent)
+	}
+}

@@ -1,0 +1,53 @@
+package apriori
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// countCandidates counts the candidates of one pass against the
+// transactions, optionally sharded over a worker pool. One shared,
+// read-only hash tree serves every worker; each accumulates into private
+// CountState, merged afterwards. The result is identical to the serial
+// count.
+func countCandidates(txs []dataset.Itemset, cands []*mining.Candidate, size, workers int) {
+	if workers > runtime.NumCPU() {
+		workers = runtime.NumCPU()
+	}
+	tree := mining.NewHashTree(cands, size)
+	if workers <= 1 || len(txs) < 4*workers {
+		for tid, tx := range txs {
+			tree.CountTransaction(tx, tid, nil)
+		}
+		return
+	}
+	states := make([]*mining.CountState, 0, workers)
+	var wg sync.WaitGroup
+	chunk := (len(txs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(txs) {
+			hi = len(txs)
+		}
+		if lo >= hi {
+			break
+		}
+		st := tree.NewState()
+		states = append(states, st)
+		wg.Add(1)
+		go func(st *mining.CountState, txs []dataset.Itemset) {
+			defer wg.Done()
+			for tid, tx := range txs {
+				tree.CountTransactionInto(st, tx, tid)
+			}
+		}(st, txs[lo:hi])
+	}
+	wg.Wait()
+	for _, st := range states {
+		tree.Merge(cands, st)
+	}
+}

@@ -1,0 +1,99 @@
+package apriori
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// TestParallelCountingMatchesSerial: sharded counting returns exactly
+// the serial result at every worker count.
+func TestParallelCountingMatchesSerial(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		serial, err := Mine(d, minCount, Options{})
+		if err != nil {
+			return false
+		}
+		for _, workers := range []int{2, 3, 8} {
+			par, err := Mine(d, minCount, Options{Workers: workers})
+			if err != nil {
+				return false
+			}
+			if !mapsEqual(serial.AsMap(), par.AsMap()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestParallelWithPrunerMatchesSerial combines sharded counting with
+// OSSM pruning.
+func TestParallelWithPrunerMatchesSerial(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		m := buildOSSM(r, d)
+		serial, err := Mine(d, minCount, Options{})
+		if err != nil {
+			return false
+		}
+		par, err := Mine(d, minCount, Options{
+			Workers: 4,
+			Pruner:  &core.Pruner{Map: m, MinCount: minCount},
+		})
+		if err != nil {
+			return false
+		}
+		return mapsEqual(serial.AsMap(), par.AsMap())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCountCandidatesLargeInput exercises the parallel path directly
+// (enough transactions to pass the sharding threshold at any CPU count).
+func TestCountCandidatesLargeInput(t *testing.T) {
+	r := rand.New(rand.NewSource(55))
+	var txs []dataset.Itemset
+	for i := 0; i < 4000; i++ {
+		var tx []dataset.Item
+		for j := 0; j < 6; j++ {
+			tx = append(tx, dataset.Item(r.Intn(30)))
+		}
+		txs = append(txs, dataset.NewItemset(tx...))
+	}
+	mkCands := func() []*mining.Candidate {
+		var cs []*mining.Candidate
+		for a := 0; a < 30; a++ {
+			for b := a + 1; b < 30; b++ {
+				cs = append(cs, &mining.Candidate{Items: dataset.NewItemset(dataset.Item(a), dataset.Item(b))})
+			}
+		}
+		return cs
+	}
+	serial := mkCands()
+	countCandidates(txs, serial, 2, 1)
+	for _, workers := range []int{2, 4, 16} {
+		par := mkCands()
+		countCandidates(txs, par, 2, workers)
+		for i := range serial {
+			if serial[i].Count != par[i].Count {
+				t.Fatalf("workers=%d: candidate %v count %d ≠ serial %d",
+					workers, par[i].Items, par[i].Count, serial[i].Count)
+			}
+		}
+	}
+}

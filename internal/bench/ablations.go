@@ -1,0 +1,433 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/ossm-mining/ossm/internal/apriori"
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/depthproject"
+	"github.com/ossm-mining/ossm/internal/eclat"
+	"github.com/ossm-mining/ossm/internal/episodes"
+	"github.com/ossm-mining/ossm/internal/mining"
+	"github.com/ossm-mining/ossm/internal/partition"
+)
+
+// SkewRow compares the OSSM's effect on one dataset (ablation A1).
+type SkewRow struct {
+	Dataset    string
+	Support    float64
+	Speedup    float64
+	C2Fraction float64
+}
+
+// SkewResult is ablation A1: "the more skewed the data, the more
+// effective the OSSM" (paper Sections 3 and 8).
+type SkewResult struct {
+	Segments int
+	Rows     []SkewRow
+}
+
+// RunSkew measures identical OSSM configurations on the regular, skewed
+// and alarm datasets.
+func RunSkew(cfg Config, nUser int) (*SkewResult, error) {
+	out := &SkewResult{Segments: nUser}
+	sets := []struct {
+		name    string
+		mk      func() (*dataset.Dataset, error)
+		support float64
+	}{
+		{"regular-synthetic", cfg.Regular, cfg.Support},
+		{"skewed-synthetic", cfg.Skewed, cfg.Support},
+		// The dense alarm log is mined at twice the synthetic threshold
+		// (the paper likewise picks per-dataset thresholds).
+		{"alarm (Nokia surrogate)", cfg.Alarm, 2 * cfg.Support},
+	}
+	for _, s := range sets {
+		d, err := s.mk()
+		if err != nil {
+			return nil, err
+		}
+		_, rows := cfg.pageRows(d)
+		minCount := mining.MinCountFor(d, s.support)
+		bubble := cfg.bubble(d, rows)
+		if d.NumItems() <= 400 {
+			bubble = nil // small domains afford the full sumdiff
+		}
+		seg, err := core.Segment(rows, core.Options{
+			Algorithm:      core.AlgRandomGreedy,
+			TargetSegments: nUser,
+			MidSegments:    min(200, len(rows)),
+			Bubble:         bubble,
+			Seed:           cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		plain, err := cfg.runApriori(d, minCount, nil)
+		if err != nil {
+			return nil, err
+		}
+		pruned, err := cfg.runApriori(d, minCount, seg.Map)
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyEqual(plain.res, pruned.res, "skew "+s.name); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, SkewRow{
+			Dataset:    s.name,
+			Support:    s.support,
+			Speedup:    float64(plain.elapsed) / float64(pruned.elapsed),
+			C2Fraction: c2Fraction(pruned.res),
+		})
+	}
+	return out, nil
+}
+
+// Print renders the table.
+func (r *SkewResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation A1 — effect of skew (Random-Greedy, %d segments)\n", r.Segments)
+	fmt.Fprintf(w, "%-26s %-9s %-10s %-10s\n", "dataset", "support", "speedup", "C2 frac")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-26s %-9.3g %-10.2f %-10.3f\n", row.Dataset, row.Support, row.Speedup, row.C2Fraction)
+	}
+}
+
+// HostRow is one line of the host-algorithm ablations (A2, A3): an
+// algorithm run with and without the OSSM.
+type HostRow struct {
+	Host       string
+	TimePlain  time.Duration
+	TimeOSSM   time.Duration
+	WorkPlain  int // algorithm-specific work counter without the OSSM
+	WorkOSSM   int // the same counter with it
+	WorkMetric string
+}
+
+// HostsResult aggregates ablations A2 and A3 (and Apriori for
+// reference).
+type HostsResult struct {
+	Segments int
+	Rows     []HostRow
+}
+
+// RunHosts measures the OSSM's benefit inside Apriori, Partition and
+// DepthProject under one shared segmentation (Section 7's discussion,
+// quantified).
+func RunHosts(cfg Config, nUser int) (*HostsResult, error) {
+	d, err := cfg.Regular()
+	if err != nil {
+		return nil, err
+	}
+	_, rows := cfg.pageRows(d)
+	minCount := mining.MinCountFor(d, cfg.Support)
+	seg, err := core.Segment(rows, core.Options{
+		Algorithm:      core.AlgRandomGreedy,
+		TargetSegments: nUser,
+		MidSegments:    min(200, len(rows)),
+		Bubble:         cfg.bubble(d, rows),
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &HostsResult{Segments: nUser}
+
+	// Apriori.
+	plainA, err := cfg.runApriori(d, minCount, nil)
+	if err != nil {
+		return nil, err
+	}
+	ossmA, err := cfg.runApriori(d, minCount, seg.Map)
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyEqual(plainA.res, ossmA.res, "hosts apriori"); err != nil {
+		return nil, err
+	}
+	c2 := func(r *mining.Result) int {
+		if l2 := r.Level(2); l2 != nil {
+			return l2.Stats.Counted
+		}
+		return 0
+	}
+	out.Rows = append(out.Rows, HostRow{
+		Host: "Apriori", TimePlain: plainA.elapsed, TimeOSSM: ossmA.elapsed,
+		WorkPlain: c2(plainA.res), WorkOSSM: c2(ossmA.res), WorkMetric: "C2 counted",
+	})
+
+	// Partition (global candidates pruned).
+	np := min(9, d.NumTx())
+	start := time.Now()
+	plainP, err := partition.Mine(d, minCount, partition.Options{NumPartitions: np})
+	if err != nil {
+		return nil, err
+	}
+	tPlainP := time.Since(start)
+	start = time.Now()
+	ossmP, err := partition.Mine(d, minCount, partition.Options{
+		NumPartitions: np,
+		Pruner:        &core.Pruner{Map: seg.Map, MinCount: minCount},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tOSSMP := time.Since(start)
+	if err := verifyEqual(plainP.Result, ossmP.Result, "hosts partition"); err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, HostRow{
+		Host: "Partition", TimePlain: tPlainP, TimeOSSM: tOSSMP,
+		WorkPlain:  plainP.Partition.GlobalCandidates,
+		WorkOSSM:   plainP.Partition.GlobalCandidates - ossmP.Partition.GlobalPruned,
+		WorkMetric: "phase-2 candidates",
+	})
+
+	// DepthProject (extensions pruned before projection).
+	start = time.Now()
+	plainD, err := depthproject.Mine(d, minCount, depthproject.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tPlainD := time.Since(start)
+	start = time.Now()
+	ossmD, err := depthproject.Mine(d, minCount, depthproject.Options{
+		Pruner: &core.Pruner{Map: seg.Map, MinCount: minCount},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tOSSMD := time.Since(start)
+	if err := verifyEqual(plainD.Result, ossmD.Result, "hosts depthproject"); err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, HostRow{
+		Host: "DepthProject", TimePlain: tPlainD, TimeOSSM: tOSSMD,
+		WorkPlain: plainD.Depth.Projections, WorkOSSM: ossmD.Depth.Projections,
+		WorkMetric: "projections",
+	})
+
+	// dEclat (diffsets skipped).
+	start = time.Now()
+	plainE, err := eclat.Mine(d, minCount, eclat.Options{})
+	if err != nil {
+		return nil, err
+	}
+	tPlainE := time.Since(start)
+	start = time.Now()
+	ossmE, err := eclat.Mine(d, minCount, eclat.Options{
+		Pruner: &core.Pruner{Map: seg.Map, MinCount: minCount},
+	})
+	if err != nil {
+		return nil, err
+	}
+	tOSSME := time.Since(start)
+	if err := verifyEqual(plainE.Result, ossmE.Result, "hosts eclat"); err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, HostRow{
+		Host: "dEclat", TimePlain: tPlainE, TimeOSSM: tOSSME,
+		WorkPlain: plainE.Eclat.Diffsets, WorkOSSM: ossmE.Eclat.Diffsets,
+		WorkMetric: "diffsets",
+	})
+	return out, nil
+}
+
+// Print renders the table.
+func (r *HostsResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablations A2/A3 — OSSM inside host algorithms (Random-Greedy, %d segments)\n", r.Segments)
+	fmt.Fprintf(w, "%-14s %-12s %-12s %-10s %-22s\n", "host", "plain", "with OSSM", "speedup", "work (plain → OSSM)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-14s %-12v %-12v %-10.2f %d → %d %s\n",
+			row.Host, row.TimePlain.Round(time.Millisecond), row.TimeOSSM.Round(time.Millisecond),
+			float64(row.TimePlain)/float64(row.TimeOSSM), row.WorkPlain, row.WorkOSSM, row.WorkMetric)
+	}
+}
+
+// EpisodeResult is ablation A4: OSSM pruning during episode discovery.
+type EpisodeResult struct {
+	Windows  int
+	Episodes int
+	Checked  int64
+	Pruned   int64
+}
+
+// RunEpisodes mines parallel episodes over an alarm event stream with an
+// OSSM over the window dataset.
+func RunEpisodes(cfg Config, width int, minFreq float64) (*EpisodeResult, error) {
+	d, err := cfg.Alarm()
+	if err != nil {
+		return nil, err
+	}
+	var stream []dataset.Item
+	for i := 0; i < d.NumTx(); i++ {
+		stream = append(stream, d.Tx(i)...)
+	}
+	seq, err := episodes.FromTypes(d.NumItems(), stream)
+	if err != nil {
+		return nil, err
+	}
+	plain, err := episodes.Mine(seq, episodes.Options{Width: width, MinFrequency: minFreq})
+	if err != nil {
+		return nil, err
+	}
+	res, err := episodes.Mine(seq, episodes.Options{
+		Width:        width,
+		MinFrequency: minFreq,
+		Segmentation: &core.Options{
+			Algorithm:      core.AlgRandomGreedy,
+			TargetSegments: 32,
+			MidSegments:    128,
+			Seed:           cfg.Seed,
+		},
+		Pages: 256,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := verifyEqual(plain.Result, res.Result, "episodes"); err != nil {
+		return nil, err
+	}
+	return &EpisodeResult{
+		Windows:  res.Windows,
+		Episodes: res.NumFrequent(),
+		Checked:  res.Checked,
+		Pruned:   res.Pruned,
+	}, nil
+}
+
+// Print renders the summary.
+func (r *EpisodeResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation A4 — episode discovery over the alarm stream\n")
+	fmt.Fprintf(w, "windows=%d frequent episodes=%d candidates checked=%d pruned by OSSM=%d (%.1f%%)\n",
+		r.Windows, r.Episodes, r.Checked, r.Pruned,
+		100*float64(r.Pruned)/float64(maxI64(r.Checked, 1)))
+}
+
+// MemoryRow is one line of ablation A5.
+type MemoryRow struct {
+	Segments  int
+	SizeBytes int
+}
+
+// MemoryResult is ablation A5: OSSM footprint versus segment budget
+// (the paper's "0.2–0.3 MB" claims).
+type MemoryResult struct {
+	NumItems int
+	Rows     []MemoryRow
+}
+
+// RunMemory tabulates the index footprint for each segment budget.
+func RunMemory(cfg Config, segments []int) (*MemoryResult, error) {
+	if len(segments) == 0 {
+		segments = DefaultFig4Segments
+	}
+	d, err := cfg.Regular()
+	if err != nil {
+		return nil, err
+	}
+	_, rows := cfg.pageRows(d)
+	out := &MemoryResult{NumItems: cfg.NumItems}
+	for _, n := range segments {
+		seg, err := core.Segment(rows, core.Options{
+			Algorithm:      core.AlgRandom,
+			TargetSegments: n,
+			Seed:           cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, MemoryRow{Segments: seg.Map.NumSegments(), SizeBytes: seg.Map.SizeBytes()})
+	}
+	return out, nil
+}
+
+// Print renders the table.
+func (r *MemoryResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Ablation A5 — OSSM footprint (%d items)\n", r.NumItems)
+	fmt.Fprintf(w, "%-10s %-12s\n", "segments", "size")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10d %.2f MB\n", row.Segments, float64(row.SizeBytes)/1e6)
+	}
+}
+
+// C2MethodResult is the counting-structure ablation from DESIGN.md §7:
+// hash-tree counting (candidate-bound) versus the dense triangular array
+// (candidate-insensitive) at pass 2, with and without the OSSM.
+type C2MethodResult struct {
+	HashPlain time.Duration
+	HashOSSM  time.Duration
+	TriPlain  time.Duration
+	TriOSSM   time.Duration
+}
+
+// RunC2Method measures how the pass-2 counting structure interacts with
+// OSSM pruning.
+func RunC2Method(cfg Config, nUser int) (*C2MethodResult, error) {
+	d, err := cfg.Regular()
+	if err != nil {
+		return nil, err
+	}
+	_, rows := cfg.pageRows(d)
+	minCount := mining.MinCountFor(d, cfg.Support)
+	seg, err := core.Segment(rows, core.Options{
+		Algorithm:      core.AlgRandomGreedy,
+		TargetSegments: nUser,
+		MidSegments:    min(200, len(rows)),
+		Bubble:         cfg.bubble(d, rows),
+		Seed:           cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out C2MethodResult
+	var ref *mining.Result
+	for _, method := range []apriori.CountMethod{apriori.CountHashTree, apriori.CountTriangular} {
+		for _, withOSSM := range []bool{false, true} {
+			var pruner *core.Pruner
+			if withOSSM {
+				pruner = &core.Pruner{Map: seg.Map, MinCount: minCount}
+			}
+			start := time.Now()
+			res, err := apriori.Mine(d, minCount, apriori.Options{Pruner: pruner, C2Method: method})
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			if ref == nil {
+				ref = res
+			} else if err := verifyEqual(ref, res, "c2method"); err != nil {
+				return nil, err
+			}
+			switch {
+			case method == apriori.CountHashTree && !withOSSM:
+				out.HashPlain = elapsed
+			case method == apriori.CountHashTree && withOSSM:
+				out.HashOSSM = elapsed
+			case method == apriori.CountTriangular && !withOSSM:
+				out.TriPlain = elapsed
+			default:
+				out.TriOSSM = elapsed
+			}
+		}
+	}
+	return &out, nil
+}
+
+// Print renders the table.
+func (r *C2MethodResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Ablation — pass-2 counting structure vs. OSSM pruning")
+	fmt.Fprintf(w, "%-22s %-12s %-12s %-8s\n", "method", "plain", "with OSSM", "speedup")
+	fmt.Fprintf(w, "%-22s %-12v %-12v %-8.2f\n", "hash tree", r.HashPlain.Round(time.Millisecond), r.HashOSSM.Round(time.Millisecond), float64(r.HashPlain)/float64(r.HashOSSM))
+	fmt.Fprintf(w, "%-22s %-12v %-12v %-8.2f\n", "triangular array", r.TriPlain.Round(time.Millisecond), r.TriOSSM.Round(time.Millisecond), float64(r.TriPlain)/float64(r.TriOSSM))
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// Fig4Point is one (algorithm, segment count) grid point of Figure 4.
+type Fig4Point struct {
+	Algorithm core.Algorithm
+	Segments  int
+	// Speedup is t(Apriori without OSSM) / t(Apriori with this OSSM) —
+	// the y-axis of Figure 4(a).
+	Speedup float64
+	// C2Fraction is the fraction of candidate 2-itemsets not pruned —
+	// the y-axis of Figure 4(b).
+	C2Fraction float64
+	// SegTime is the cumulative segmentation time to reach this point.
+	SegTime time.Duration
+}
+
+// Fig4Result reproduces Figure 4 (both panels).
+type Fig4Result struct {
+	PlainTime time.Duration
+	PlainC2   int
+	Frequent  int
+	Points    []Fig4Point
+}
+
+// Fig4Algorithms are the three curves of Figure 4.
+var Fig4Algorithms = []core.Algorithm{core.AlgRandom, core.AlgRC, core.AlgGreedy}
+
+// DefaultFig4Segments is the x-axis of Figure 4 (20–160 segments).
+var DefaultFig4Segments = []int{20, 40, 60, 80, 100, 120, 140, 160}
+
+// RunFig4 reproduces Figure 4: speedup and surviving-candidate fraction
+// versus the number of segments, for the Random, RC and Greedy
+// algorithms on the regular-synthetic data at the configured support
+// threshold.
+func RunFig4(cfg Config, segments []int) (*Fig4Result, error) {
+	if len(segments) == 0 {
+		segments = DefaultFig4Segments
+	}
+	d, err := cfg.Regular()
+	if err != nil {
+		return nil, err
+	}
+	_, rows := cfg.pageRows(d)
+	bubble := cfg.bubble(d, rows)
+	minCount := mining.MinCountFor(d, cfg.Support)
+
+	plain, err := cfg.runApriori(d, minCount, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig4Result{
+		PlainTime: plain.elapsed,
+		Frequent:  plain.res.NumFrequent(),
+	}
+	if l2 := plain.res.Level(2); l2 != nil {
+		out.PlainC2 = l2.Stats.Counted
+	}
+
+	for _, alg := range Fig4Algorithms {
+		points, err := core.SegmentSweep(rows, core.Options{
+			Algorithm: alg,
+			Bubble:    bubble,
+			Seed:      cfg.Seed,
+		}, segments)
+		if err != nil {
+			return nil, err
+		}
+		for _, pt := range points {
+			run, err := cfg.runApriori(d, minCount, pt.Map)
+			if err != nil {
+				return nil, err
+			}
+			if err := verifyEqual(plain.res, run.res, fmt.Sprintf("fig4 %v n=%d", alg, pt.Segments)); err != nil {
+				return nil, err
+			}
+			out.Points = append(out.Points, Fig4Point{
+				Algorithm:  alg,
+				Segments:   pt.Segments,
+				Speedup:    float64(plain.elapsed) / float64(run.elapsed),
+				C2Fraction: c2Fraction(run.res),
+				SegTime:    pt.Elapsed,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Print renders the two panels as text tables.
+func (r *Fig4Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 4 — regular-synthetic data (baseline Apriori: %v, %d candidate pairs, %d frequent itemsets)\n",
+		r.PlainTime.Round(time.Millisecond), r.PlainC2, r.Frequent)
+	fmt.Fprintln(w, "\n(a) Speedup relative to Apriori without the OSSM")
+	r.panel(w, func(p Fig4Point) string { return fmt.Sprintf("%.2f", p.Speedup) })
+	fmt.Fprintln(w, "\n(b) Fraction of candidate 2-itemsets not pruned")
+	r.panel(w, func(p Fig4Point) string { return fmt.Sprintf("%.3f", p.C2Fraction) })
+}
+
+func (r *Fig4Result) panel(w io.Writer, cell func(Fig4Point) string) {
+	var segs []int
+	seen := map[int]bool{}
+	for _, p := range r.Points {
+		if !seen[p.Segments] {
+			seen[p.Segments] = true
+			segs = append(segs, p.Segments)
+		}
+	}
+	for i := 0; i < len(segs); i++ { // points arrive descending; print ascending
+		for j := i + 1; j < len(segs); j++ {
+			if segs[j] < segs[i] {
+				segs[i], segs[j] = segs[j], segs[i]
+			}
+		}
+	}
+	fmt.Fprintf(w, "%-10s", "segments")
+	for _, n := range segs {
+		fmt.Fprintf(w, "%10d", n)
+	}
+	fmt.Fprintln(w)
+	for _, alg := range Fig4Algorithms {
+		fmt.Fprintf(w, "%-10s", alg)
+		for _, n := range segs {
+			printed := false
+			for _, p := range r.Points {
+				if p.Algorithm == alg && p.Segments == n {
+					fmt.Fprintf(w, "%10s", cell(p))
+					printed = true
+					break
+				}
+			}
+			if !printed {
+				fmt.Fprintf(w, "%10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

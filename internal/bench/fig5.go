@@ -1,0 +1,107 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// StrategyRow is one line of the Figure 5 tables: a segmentation
+// strategy with its compile-time cost and the query-time speedup its
+// OSSM delivers.
+type StrategyRow struct {
+	Strategy   core.Algorithm
+	SegTime    time.Duration
+	Speedup    float64
+	C2Fraction float64
+}
+
+// Fig5Result reproduces one panel of Figure 5.
+type Fig5Result struct {
+	Title     string
+	Pages     int
+	Segments  int
+	Mid       int // hybrid n_mid (0 for the pure panel)
+	PlainTime time.Duration
+	Rows      []StrategyRow
+}
+
+// RunFig5a reproduces Figure 5(a): the pure strategies (Random, RC,
+// Greedy) at m pages and n_user segments — segmentation cost versus the
+// speedup purchased.
+func RunFig5a(cfg Config, nUser int) (*Fig5Result, error) {
+	return runFig5(cfg, nUser, 0, []core.Algorithm{core.AlgRandom, core.AlgRC, core.AlgGreedy},
+		"Figure 5(a) — pure strategies")
+}
+
+// RunFig5b reproduces Figure 5(b): the hybrid strategies (Random-RC,
+// Random-Greedy) with the Random phase stopping at nMid segments.
+func RunFig5b(cfg Config, nUser, nMid int) (*Fig5Result, error) {
+	return runFig5(cfg, nUser, nMid, []core.Algorithm{core.AlgRandomRC, core.AlgRandomGreedy},
+		"Figure 5(b) — hybrid strategies")
+}
+
+func runFig5(cfg Config, nUser, nMid int, algs []core.Algorithm, title string) (*Fig5Result, error) {
+	d, err := cfg.Regular()
+	if err != nil {
+		return nil, err
+	}
+	pages, rows := cfg.pageRows(d)
+	bubble := cfg.bubble(d, rows)
+	minCount := mining.MinCountFor(d, cfg.Support)
+
+	plain, err := cfg.runApriori(d, minCount, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{
+		Title:     title,
+		Pages:     len(pages),
+		Segments:  nUser,
+		Mid:       nMid,
+		PlainTime: plain.elapsed,
+	}
+	for _, alg := range algs {
+		seg, err := core.Segment(rows, core.Options{
+			Algorithm:      alg,
+			TargetSegments: nUser,
+			MidSegments:    nMid,
+			Bubble:         bubble,
+			Seed:           cfg.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		run, err := cfg.runApriori(d, minCount, seg.Map)
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyEqual(plain.res, run.res, fmt.Sprintf("fig5 %v", alg)); err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, StrategyRow{
+			Strategy:   alg,
+			SegTime:    seg.Elapsed,
+			Speedup:    float64(plain.elapsed) / float64(run.elapsed),
+			C2Fraction: c2Fraction(run.res),
+		})
+	}
+	return out, nil
+}
+
+// Print renders the panel as a text table.
+func (r *Fig5Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "%s — m=%d pages, n_user=%d", r.Title, r.Pages, r.Segments)
+	if r.Mid > 0 {
+		fmt.Fprintf(w, ", n_mid=%d", r.Mid)
+	}
+	fmt.Fprintf(w, " (baseline Apriori: %v)\n", r.PlainTime.Round(time.Millisecond))
+	fmt.Fprintf(w, "%-16s %-18s %-10s %-10s\n", "strategy", "segmentation time", "speedup", "C2 frac")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-16s %-18v %-10.2f %-10.3f\n",
+			row.Strategy, row.SegTime.Round(time.Microsecond), row.Speedup, row.C2Fraction)
+	}
+}

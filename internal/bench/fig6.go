@@ -1,0 +1,144 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// Fig6Point is one (strategy, bubble size) grid point of Figure 6.
+type Fig6Point struct {
+	Strategy    core.Algorithm
+	BubblePct   int // bubble size as a percentage of the domain
+	BubbleItems int
+	SegTime     time.Duration
+	Speedup     float64
+	C2Fraction  float64
+}
+
+// Fig6Result reproduces Figure 6: the bubble list was formed at
+// BubbleSupport (0.25% in the paper), while queries run at Support (1%)
+// — demonstrating that a bubble-built OSSM still serves any threshold.
+type Fig6Result struct {
+	Pages     int
+	Segments  int
+	Mid       int
+	PlainTime time.Duration
+	Points    []Fig6Point
+}
+
+// DefaultFig6Percents is the x-axis of Figure 6 (bubble size as a
+// percentage of the number of domain items).
+var DefaultFig6Percents = []int{5, 10, 20, 40, 60}
+
+// Fig6Strategies are the two curves of Figure 6.
+var Fig6Strategies = []core.Algorithm{core.AlgRandomGreedy, core.AlgRandomRC}
+
+// RunFig6 reproduces both panels of Figure 6: segmentation cost (a) and
+// speedup (b) as a function of the bubble-list size.
+func RunFig6(cfg Config, nUser, nMid int, percents []int) (*Fig6Result, error) {
+	if len(percents) == 0 {
+		percents = DefaultFig6Percents
+	}
+	d, err := cfg.Regular()
+	if err != nil {
+		return nil, err
+	}
+	pages, rows := cfg.pageRows(d)
+	minCount := mining.MinCountFor(d, cfg.Support)
+	bubbleMin := mining.MinCountFor(d, cfg.BubbleSupport)
+
+	plain, err := cfg.runApriori(d, minCount, nil)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig6Result{
+		Pages:     len(pages),
+		Segments:  nUser,
+		Mid:       nMid,
+		PlainTime: plain.elapsed,
+	}
+	for _, alg := range Fig6Strategies {
+		for _, pct := range percents {
+			size := cfg.NumItems * pct / 100
+			if size < 2 {
+				size = 2
+			}
+			bubble := core.BubbleListFromCounts(rows, bubbleMin, size)
+			seg, err := core.Segment(rows, core.Options{
+				Algorithm:      alg,
+				TargetSegments: nUser,
+				MidSegments:    nMid,
+				Bubble:         bubble,
+				Seed:           cfg.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			run, err := cfg.runApriori(d, minCount, seg.Map)
+			if err != nil {
+				return nil, err
+			}
+			if err := verifyEqual(plain.res, run.res, fmt.Sprintf("fig6 %v %d%%", alg, pct)); err != nil {
+				return nil, err
+			}
+			out.Points = append(out.Points, Fig6Point{
+				Strategy:    alg,
+				BubblePct:   pct,
+				BubbleItems: len(bubble),
+				SegTime:     seg.Elapsed,
+				Speedup:     float64(plain.elapsed) / float64(run.elapsed),
+				C2Fraction:  c2Fraction(run.res),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Print renders both panels as text tables.
+func (r *Fig6Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "Figure 6 — bubble list (built at segmentation threshold, queried at a different one); m=%d, n_mid=%d, n_user=%d (baseline Apriori: %v)\n",
+		r.Pages, r.Mid, r.Segments, r.PlainTime.Round(time.Millisecond))
+	fmt.Fprintln(w, "\n(a) Segmentation cost")
+	r.panel(w, func(p Fig6Point) string { return p.SegTime.Round(time.Microsecond).String() })
+	fmt.Fprintln(w, "\n(b) Speedup")
+	r.panel(w, func(p Fig6Point) string { return fmt.Sprintf("%.2f", p.Speedup) })
+	fmt.Fprintln(w, "\n(c) Fraction of candidate 2-itemsets not pruned (deterministic quality signal)")
+	r.panel(w, func(p Fig6Point) string { return fmt.Sprintf("%.3f", p.C2Fraction) })
+}
+
+func (r *Fig6Result) panel(w io.Writer, cell func(Fig6Point) string) {
+	var pcts []int
+	seen := map[int]bool{}
+	for _, p := range r.Points {
+		if !seen[p.BubblePct] {
+			seen[p.BubblePct] = true
+			pcts = append(pcts, p.BubblePct)
+		}
+	}
+	fmt.Fprintf(w, "%-16s", "bubble size")
+	for _, pct := range pcts {
+		fmt.Fprintf(w, "%12s", fmt.Sprintf("%d%%", pct))
+	}
+	fmt.Fprintln(w)
+	for _, alg := range Fig6Strategies {
+		fmt.Fprintf(w, "%-16s", alg)
+		for _, pct := range pcts {
+			printed := false
+			for _, p := range r.Points {
+				if p.Strategy == alg && p.BubblePct == pct {
+					fmt.Fprintf(w, "%12s", cell(p))
+					printed = true
+					break
+				}
+			}
+			if !printed {
+				fmt.Fprintf(w, "%12s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}

@@ -1,0 +1,61 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// MinSegRow records the segment-minimization outcome for one page count.
+type MinSegRow struct {
+	Pages       int
+	MinSegments int // distinct configurations (lossless merge limit)
+	Theoretical int // the paper's min(m, 2^k − k)
+}
+
+// MinSegResult demonstrates the negative result of Theorem 1 /
+// Corollary 1 (Section 4.3): on realistic data, pages essentially never
+// share a configuration, so the lossless OSSM needs (almost) one segment
+// per page — which is why the constrained segmentation problem exists.
+type MinSegResult struct {
+	NumItems int
+	Rows     []MinSegRow
+}
+
+// RunMinSeg measures n_min for growing page counts on the
+// regular-synthetic data.
+func RunMinSeg(cfg Config, pageCounts []int) (*MinSegResult, error) {
+	if len(pageCounts) == 0 {
+		pageCounts = []int{8, 16, 32, 64, 128, 256}
+	}
+	d, err := cfg.Regular()
+	if err != nil {
+		return nil, err
+	}
+	out := &MinSegResult{NumItems: cfg.NumItems}
+	for _, m := range pageCounts {
+		if m > d.NumTx() {
+			m = d.NumTx()
+		}
+		rows := dataset.PageCounts(d, dataset.PaginateN(d, m))
+		out.Rows = append(out.Rows, MinSegRow{
+			Pages:       m,
+			MinSegments: core.MinSegments(rows),
+			Theoretical: core.TheoreticalMinSegments(cfg.NumItems, m),
+		})
+	}
+	return out, nil
+}
+
+// Print renders the table.
+func (r *MinSegResult) Print(w io.Writer) {
+	fmt.Fprintf(w, "Segment minimization (Theorem 1 / Corollary 1) — regular-synthetic, %d items\n", r.NumItems)
+	fmt.Fprintf(w, "%-10s %-22s %-22s\n", "pages m", "n_min (distinct cfgs)", "paper min(m, 2^k−k)")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10d %-22d %-22d\n", row.Pages, row.MinSegments, row.Theoretical)
+	}
+	fmt.Fprintln(w, "(n_min ≈ m: lossless merging is essentially impossible on real pages —")
+	fmt.Fprintln(w, " the hardness result that motivates the constrained segmentation problem)")
+}

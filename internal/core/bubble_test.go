@@ -1,0 +1,91 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func TestBubbleListSelection(t *testing.T) {
+	// supports: item0=10, item1=100, item2=51, item3=49, item4=55
+	totals := []int64{10, 100, 51, 49, 55}
+	// threshold 50: items ≥ 50 are {1:100, 2:51, 4:55}; "barely
+	// satisfying first" order: 2 (51), 4 (55), 1 (100). Then below:
+	// 3 (49), 0 (10).
+	got := BubbleList(totals, 50, 2)
+	want := []dataset.Item{2, 4}
+	assertItems(t, got, want)
+
+	got = BubbleList(totals, 50, 4)
+	want = []dataset.Item{1, 2, 3, 4} // three above + closest below (3), sorted by id
+	assertItems(t, got, want)
+
+	got = BubbleList(totals, 50, 10) // clamped to domain
+	want = []dataset.Item{0, 1, 2, 3, 4}
+	assertItems(t, got, want)
+}
+
+func TestBubbleListEdgeCases(t *testing.T) {
+	if BubbleList([]int64{1, 2}, 1, 0) != nil {
+		t.Error("size 0 should yield nil")
+	}
+	if BubbleList([]int64{1, 2}, 1, -3) != nil {
+		t.Error("negative size should yield nil")
+	}
+	// All below threshold: padded purely from below, closest first.
+	got := BubbleList([]int64{5, 9, 1}, 100, 2)
+	assertItems(t, got, []dataset.Item{0, 1}) // 9 then 5, sorted by id
+	// Ties broken by item id.
+	got = BubbleList([]int64{7, 7, 7}, 5, 2)
+	assertItems(t, got, []dataset.Item{0, 1})
+}
+
+func TestBubbleListFromCounts(t *testing.T) {
+	rows := [][]uint32{
+		{3, 10, 1},
+		{4, 20, 2},
+	}
+	// totals: 7, 30, 3; threshold 5 → above = {0:7, 1:30}; barely first → 0 then 1.
+	got := BubbleListFromCounts(rows, 5, 1)
+	assertItems(t, got, []dataset.Item{0})
+	if BubbleListFromCounts(nil, 5, 3) != nil {
+		t.Error("empty rows should yield nil")
+	}
+}
+
+func assertItems(t *testing.T, got, want []dataset.Item) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestRecommendRecipe(t *testing.T) {
+	cases := []struct {
+		s    Scenario
+		want Recommendation
+	}{
+		{Scenario{LargeSegmentBudget: true, SkewedData: true},
+			Recommendation{Algorithm: AlgRandom}},
+		{Scenario{LargeSegmentBudget: true, SkewedData: true, SegmentationCostCritical: true, VeryManyPages: true},
+			Recommendation{Algorithm: AlgRandom}},
+		{Scenario{},
+			Recommendation{Algorithm: AlgGreedy, UseBubble: true}},
+		{Scenario{LargeSegmentBudget: true}, // not skewed → down the tree
+			Recommendation{Algorithm: AlgGreedy, UseBubble: true}},
+		{Scenario{SegmentationCostCritical: true, VeryManyPages: true},
+			Recommendation{Algorithm: AlgRandomRC, UseBubble: true}},
+		{Scenario{SegmentationCostCritical: true},
+			Recommendation{Algorithm: AlgRandomGreedy, UseBubble: true}},
+	}
+	for _, c := range cases {
+		if got := Recommend(c.s); got != c.want {
+			t.Errorf("Recommend(%+v) = %+v, want %+v", c.s, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package core
+
+import "github.com/ossm-mining/ossm/internal/dataset"
+
+// Constraint composition. The paper's introduction lists constrained
+// frequent sets among the pattern classes the OSSM accelerates; any
+// anti-monotone constraint (one that, once violated, stays violated for
+// every superset) can be pushed into candidate generation exactly like
+// the OSSM bound — as a Filter. And combines several such filters with
+// the OSSM pruner into one.
+
+// FilterFunc adapts an anti-monotone predicate over itemsets to the
+// Filter interface.
+type FilterFunc func(x dataset.Itemset) bool
+
+// Allow applies the predicate.
+func (f FilterFunc) Allow(x dataset.Itemset) bool { return f(x) }
+
+// AllowPair applies the predicate to the 2-itemset {a, b}.
+func (f FilterFunc) AllowPair(a, b dataset.Item) bool {
+	if a > b {
+		a, b = b, a
+	}
+	return f(dataset.Itemset{a, b})
+}
+
+// andFilter admits a candidate only if every member filter does.
+type andFilter []Filter
+
+func (fs andFilter) Allow(x dataset.Itemset) bool {
+	for _, f := range fs {
+		if !f.Allow(x) {
+			return false
+		}
+	}
+	return true
+}
+
+func (fs andFilter) AllowPair(a, b dataset.Item) bool {
+	for _, f := range fs {
+		if !f.AllowPair(a, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// And combines filters conjunctively; nil members are dropped. And()
+// and And(nil, nil) return nil (admit everything).
+func And(fs ...Filter) Filter {
+	var kept andFilter
+	for _, f := range fs {
+		if f != nil {
+			kept = append(kept, f)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	}
+	return kept
+}
+
+// ExcludeItems builds the anti-monotone item constraint "contains none
+// of the banned items".
+func ExcludeItems(banned ...dataset.Item) Filter {
+	set := make(map[dataset.Item]bool, len(banned))
+	for _, it := range banned {
+		set[it] = true
+	}
+	return FilterFunc(func(x dataset.Itemset) bool {
+		for _, it := range x {
+			if set[it] {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// MaxItems builds the anti-monotone length constraint |X| ≤ n.
+func MaxItems(n int) Filter {
+	return FilterFunc(func(x dataset.Itemset) bool { return len(x) <= n })
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func TestFilterFunc(t *testing.T) {
+	even := FilterFunc(func(x dataset.Itemset) bool { return len(x)%2 == 0 })
+	if even.Allow(dataset.NewItemset(1)) {
+		t.Error("odd-length itemset admitted")
+	}
+	if !even.AllowPair(2, 1) {
+		t.Error("pair rejected")
+	}
+}
+
+func TestAndComposition(t *testing.T) {
+	if And() != nil {
+		t.Error("And() should be nil")
+	}
+	if And(nil, nil) != nil {
+		t.Error("And(nil, nil) should be nil")
+	}
+	f := ExcludeItems(3)
+	if got := And(nil, f, nil); got == nil {
+		t.Fatal("single surviving filter dropped")
+	} else if !got.Allow(dataset.NewItemset(1, 2)) || got.Allow(dataset.NewItemset(1, 3)) {
+		t.Error("And(single) does not behave like the filter")
+	}
+	both := And(ExcludeItems(3), MaxItems(2))
+	cases := []struct {
+		x    dataset.Itemset
+		want bool
+	}{
+		{dataset.NewItemset(1, 2), true},
+		{dataset.NewItemset(1, 3), false},    // banned item
+		{dataset.NewItemset(1, 2, 4), false}, // too long
+		{dataset.NewItemset(3), false},       // banned
+		{dataset.NewItemset(0), true},
+	}
+	for _, c := range cases {
+		if got := both.Allow(c.x); got != c.want {
+			t.Errorf("Allow(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if both.AllowPair(1, 3) {
+		t.Error("AllowPair admits banned item")
+	}
+	if !both.AllowPair(1, 2) {
+		t.Error("AllowPair rejects clean pair")
+	}
+}
+
+func TestAndWithPruner(t *testing.T) {
+	m, err := NewMap([][]uint32{{20, 40, 40}, {10, 40, 20}, {40, 40, 20}, {40, 10, 20}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ubsup({0,1}) = 80; thresholds straddling it.
+	combo := And(&Pruner{Map: m, MinCount: 100}, ExcludeItems(2))
+	if combo.Allow(dataset.NewItemset(0, 1)) {
+		t.Error("pair above bound admitted") // bound 80 < 100
+	}
+	combo2 := And(&Pruner{Map: m, MinCount: 50}, ExcludeItems(2))
+	if !combo2.Allow(dataset.NewItemset(0, 1)) {
+		t.Error("pair below bound rejected")
+	}
+	if combo2.Allow(dataset.NewItemset(0, 2)) {
+		t.Error("banned item admitted")
+	}
+}
+
+func TestMaxItems(t *testing.T) {
+	f := MaxItems(1)
+	if !f.Allow(dataset.NewItemset(5)) || f.Allow(dataset.NewItemset(1, 2)) {
+		t.Error("MaxItems(1) misbehaves")
+	}
+	if f.AllowPair(1, 2) {
+		t.Error("MaxItems(1) admits pairs")
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import "github.com/ossm-mining/ossm/internal/dataset"
+
+// Filter is the candidate-filtering contract miners accept: given a
+// candidate itemset, may it still be frequent? Both *Pruner (the plain
+// OSSM bound) and *ExtendedPruner (footnote 3's generalized map)
+// implement it. A nil Filter admits everything; miners should go through
+// Admit/AdmitPair rather than calling methods on a possibly-nil
+// interface.
+type Filter interface {
+	Allow(x dataset.Itemset) bool
+	AllowPair(a, b dataset.Item) bool
+}
+
+// Admit applies f to x, treating a nil filter as "allow".
+func Admit(f Filter, x dataset.Itemset) bool {
+	if f == nil {
+		return true
+	}
+	return f.Allow(x)
+}
+
+// AdmitPair applies f to the pair {a, b}, treating a nil filter as
+// "allow".
+func AdmitPair(f Filter, a, b dataset.Item) bool {
+	if f == nil {
+		return true
+	}
+	return f.AllowPair(a, b)
+}
+
+// AllowPair is the 2-itemset fast path of the extended pruner: tracked
+// pairs are answered exactly, others fall back to the extended bound.
+func (p *ExtendedPruner) AllowPair(a, b dataset.Item) bool {
+	if p == nil || p.Ext == nil {
+		return true
+	}
+	p.Checked++
+	if sup, ok := p.Ext.PairSupport(a, b); ok {
+		p.Exact++
+		if sup < p.MinCount {
+			p.Pruned++
+			return false
+		}
+		return true
+	}
+	if p.Ext.UpperBoundPair(a, b) < p.MinCount {
+		p.Pruned++
+		return false
+	}
+	return true
+}

@@ -1,0 +1,39 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMap: arbitrary bytes must never panic or demand absurd
+// allocations; valid parses round-trip.
+func FuzzReadMap(f *testing.F) {
+	var seed bytes.Buffer
+	m, err := NewMap([][]uint32{{1, 2, 3}, {4, 5, 6}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := WriteMap(&seed, m); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte("OSSMMAP1"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, in []byte) {
+		got, err := ReadMap(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteMap(&buf, got); err != nil {
+			t.Fatalf("WriteMap of parsed map failed: %v", err)
+		}
+		re, err := ReadMap(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if re.NumItems() != got.NumItems() || re.NumSegments() != got.NumSegments() {
+			t.Fatal("round trip changed shape")
+		}
+	})
+}

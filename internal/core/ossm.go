@@ -1,0 +1,219 @@
+// Package core implements the paper's primary contribution: the Optimized
+// Segment Support Map (OSSM), the segment minimization analysis
+// (Section 4), and the constrained segmentation heuristics (Section 5) —
+// Greedy, RC, Random, the Random-RC / Random-Greedy hybrids, the bubble
+// list optimization, and the recommended recipe (Figure 7).
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// ErrNoSegments is returned when constructing a Map from zero segments.
+var ErrNoSegments = errors.New("core: OSSM needs at least one segment")
+
+// ErrRaggedSegments is returned when segment support rows disagree on the
+// item-domain size.
+var ErrRaggedSegments = errors.New("core: segment support rows have differing lengths")
+
+// Map is the optimized segment support map M_n: for each of n segments it
+// stores the support of every singleton item within that segment
+// (Section 3). The structure is query-independent — it is built once at
+// "compile time" and serves any support threshold afterwards.
+type Map struct {
+	numItems  int
+	segCounts [][]uint32 // [segment][item] singleton support
+	totals    []int64    // per-item global support (sum over segments)
+}
+
+// NewMap builds a Map from per-segment singleton supports. The rows are
+// retained (not copied); callers must not mutate them afterwards.
+func NewMap(segCounts [][]uint32) (*Map, error) {
+	if len(segCounts) == 0 {
+		return nil, ErrNoSegments
+	}
+	k := len(segCounts[0])
+	totals := make([]int64, k)
+	for i, row := range segCounts {
+		if len(row) != k {
+			return nil, fmt.Errorf("%w: row 0 has %d items, row %d has %d", ErrRaggedSegments, k, i, len(row))
+		}
+		for it, c := range row {
+			totals[it] += int64(c)
+		}
+	}
+	return &Map{numItems: k, segCounts: segCounts, totals: totals}, nil
+}
+
+// BuildFromPages constructs a Map directly from a dataset and a page
+// assignment: assign[s] lists the pages composing segment s. It is the
+// bridge between a segmentation result and a queryable OSSM.
+func BuildFromPages(d *dataset.Dataset, pages []dataset.Page, assign [][]int) (*Map, error) {
+	if len(assign) == 0 {
+		return nil, ErrNoSegments
+	}
+	segCounts := make([][]uint32, len(assign))
+	for s, pageIdxs := range assign {
+		row := make([]uint32, d.NumItems())
+		for _, pi := range pageIdxs {
+			if pi < 0 || pi >= len(pages) {
+				return nil, fmt.Errorf("core: segment %d references page %d of %d", s, pi, len(pages))
+			}
+			p := pages[pi]
+			for it, c := range d.ItemCounts(p.Lo, p.Hi) {
+				row[it] += c
+			}
+		}
+		segCounts[s] = row
+	}
+	return NewMap(segCounts)
+}
+
+// NumSegments returns n, the number of segments.
+func (m *Map) NumSegments() int { return len(m.segCounts) }
+
+// NumItems returns k, the size of the item domain.
+func (m *Map) NumItems() int { return m.numItems }
+
+// SegmentSupport returns sup_i({x}), the support of item x within
+// segment i.
+func (m *Map) SegmentSupport(i int, x dataset.Item) uint32 {
+	return m.segCounts[i][x]
+}
+
+// ItemSupport returns the exact global support of the singleton {x}.
+// For singletons the OSSM is lossless by construction.
+func (m *Map) ItemSupport(x dataset.Item) int64 { return m.totals[x] }
+
+// Totals returns the per-item global supports. The returned slice is
+// shared; callers must not mutate it.
+func (m *Map) Totals() []int64 { return m.totals }
+
+// UpperBound returns ubsup(X, M_n), equation (1):
+//
+//	Σ_{i=1..n} min_{x ∈ X} sup_i({x})
+//
+// The empty itemset is supported by every transaction, a count the Map
+// does not record, so UpperBound panics on an empty itemset.
+func (m *Map) UpperBound(x dataset.Itemset) int64 {
+	if len(x) == 0 {
+		panic("core: UpperBound of the empty itemset is not defined by the OSSM")
+	}
+	if len(x) == 1 {
+		return m.totals[x[0]]
+	}
+	var total int64
+	for _, row := range m.segCounts {
+		minC := row[x[0]]
+		for _, it := range x[1:] {
+			if c := row[it]; c < minC {
+				minC = c
+			}
+		}
+		total += int64(minC)
+	}
+	return total
+}
+
+// UpperBoundPair is UpperBound for a 2-itemset {a, b}, the hot path of
+// candidate-2 pruning.
+func (m *Map) UpperBoundPair(a, b dataset.Item) int64 {
+	var total int64
+	for _, row := range m.segCounts {
+		ca, cb := row[a], row[b]
+		if cb < ca {
+			ca = cb
+		}
+		total += int64(ca)
+	}
+	return total
+}
+
+// NaiveUpperBound is the bound available *without* an OSSM: the minimum of
+// the items' global supports (the "last column" bound of Example 1). It
+// equals UpperBound on a single-segment map and is never tighter than a
+// multi-segment bound.
+func (m *Map) NaiveUpperBound(x dataset.Itemset) int64 {
+	if len(x) == 0 {
+		panic("core: NaiveUpperBound of the empty itemset is not defined")
+	}
+	minC := m.totals[x[0]]
+	for _, it := range x[1:] {
+		if c := m.totals[it]; c < minC {
+			minC = c
+		}
+	}
+	return minC
+}
+
+// SizeBytes reports the memory footprint of the segment support matrix
+// (4 bytes per cell), the quantity behind the paper's "0.2–0.3 megabyte"
+// claims.
+func (m *Map) SizeBytes() int { return 4 * m.numItems * m.NumSegments() }
+
+// SegmentRow returns segment i's support row. The returned slice is
+// shared; callers must not mutate it.
+func (m *Map) SegmentRow(i int) []uint32 { return m.segCounts[i] }
+
+// Merged returns a single-segment Map carrying the same global supports —
+// the degenerate M_1 whose bound is the naive bound.
+func (m *Map) Merged() *Map {
+	row := make([]uint32, m.numItems)
+	for it, t := range m.totals {
+		row[it] = uint32(t)
+	}
+	mm, err := NewMap([][]uint32{row})
+	if err != nil {
+		panic(err) // cannot happen: one well-formed row
+	}
+	return mm
+}
+
+// Pruner applies an OSSM to candidate filtering and keeps the counters
+// every experiment in the paper reports. A nil Pruner or a Pruner with a
+// nil Map admits everything (the "without OSSM" baseline).
+type Pruner struct {
+	Map      *Map
+	MinCount int64 // absolute support threshold (count, not fraction)
+
+	Checked int64 // candidates tested
+	Pruned  int64 // candidates rejected by the bound
+}
+
+// Allow reports whether candidate x survives the OSSM bound, i.e. whether
+// ubsup(x) ≥ MinCount. Candidates that fail can be discarded without
+// counting; soundness follows from ubsup ≥ sup.
+func (p *Pruner) Allow(x dataset.Itemset) bool {
+	if p == nil || p.Map == nil {
+		return true
+	}
+	p.Checked++
+	if p.Map.UpperBound(x) < p.MinCount {
+		p.Pruned++
+		return false
+	}
+	return true
+}
+
+// AllowPair is Allow for 2-itemsets.
+func (p *Pruner) AllowPair(a, b dataset.Item) bool {
+	if p == nil || p.Map == nil {
+		return true
+	}
+	p.Checked++
+	if p.Map.UpperBoundPair(a, b) < p.MinCount {
+		p.Pruned++
+		return false
+	}
+	return true
+}
+
+// Reset zeroes the counters.
+func (p *Pruner) Reset() {
+	if p != nil {
+		p.Checked, p.Pruned = 0, 0
+	}
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// Parallel sumdiff evaluation. Segmentation quality is a pure function
+// of the inputs, so fanning the O(m²·k²) cost over workers changes
+// nothing but wall-clock time: Greedy's initial pair table is computed
+// in parallel and heapified once; RC's closest-segment scans reduce
+// per-worker minima with a deterministic (cost, index) tie-break.
+
+// resolveWorkers maps the Options.Workers knob to a concrete pool size.
+func resolveWorkers(w int) int {
+	switch {
+	case w < 0:
+		return 1
+	case w == 0:
+		return 1 // serial by default; parallelism is opt-in
+	case w == 1:
+		return 1
+	}
+	if n := runtime.NumCPU(); w > n {
+		return n
+	}
+	return w
+}
+
+// parallelFor runs f(i) for i in [0, n) across workers goroutines.
+func parallelFor(workers, n int, f func(i int)) {
+	if workers <= 1 || n < 2*workers {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				f(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// closestSegment finds, among live (excluding index skip), the segment
+// with minimum sumdiff against counts, breaking ties toward the lowest
+// index — the same answer a serial left-to-right scan gives.
+func closestSegment(counts []uint32, live []*segment, skip int, items []dataset.Item, workers int) (bestJ int, bestCost int64) {
+	type result struct {
+		j    int
+		cost int64
+	}
+	if workers <= 1 || len(live) < 2*workers {
+		bestJ = -1
+		for j, s := range live {
+			if j == skip {
+				continue
+			}
+			cost := SumDiffPair(counts, s.counts, items)
+			if bestJ < 0 || cost < bestCost {
+				bestJ, bestCost = j, cost
+			}
+		}
+		return bestJ, bestCost
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	chunk := (len(live) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > len(live) {
+			hi = len(live)
+		}
+		results[w] = result{j: -1}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := result{j: -1}
+			for j := lo; j < hi; j++ {
+				if j == skip {
+					continue
+				}
+				cost := SumDiffPair(counts, live[j].counts, items)
+				if local.j < 0 || cost < local.cost {
+					local = result{j: j, cost: cost}
+				}
+			}
+			results[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	bestJ = -1
+	for _, res := range results {
+		if res.j < 0 {
+			continue
+		}
+		if bestJ < 0 || res.cost < bestCost || (res.cost == bestCost && res.j < bestJ) {
+			bestJ, bestCost = res.j, res.cost
+		}
+	}
+	return bestJ, bestCost
+}

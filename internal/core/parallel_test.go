@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+	"testing/quick"
+)
+
+func TestResolveWorkers(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-5, 1}, {0, 1}, {1, 1}, {2, minI(2, runtime.NumCPU())},
+		{1 << 20, runtime.NumCPU()},
+	}
+	for _, c := range cases {
+		if got := resolveWorkers(c.in); got != c.want {
+			t.Errorf("resolveWorkers(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestParallelForCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, n := range []int{0, 1, 7, 100} {
+			hits := make([]int32, n)
+			parallelFor(workers, n, func(i int) { hits[i]++ })
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelSegmentationDeterministic: every algorithm produces the
+// same segmentation regardless of the worker count.
+func TestParallelSegmentationDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := 6 + r.Intn(20)
+		k := 3 + r.Intn(6)
+		rows := make([][]uint32, m)
+		for i := range rows {
+			rows[i] = randomRow(r, k, 40)
+		}
+		target := 1 + r.Intn(m)
+		for _, alg := range []Algorithm{AlgRC, AlgGreedy, AlgRandomRC, AlgRandomGreedy} {
+			serial, err := Segment(rows, Options{
+				Algorithm: alg, TargetSegments: target, MidSegments: m, Seed: seed,
+			})
+			if err != nil {
+				return false
+			}
+			par, err := Segment(rows, Options{
+				Algorithm: alg, TargetSegments: target, MidSegments: m, Seed: seed, Workers: 4,
+			})
+			if err != nil {
+				return false
+			}
+			if len(serial.Assignment) != len(par.Assignment) {
+				return false
+			}
+			for s := range serial.Assignment {
+				if len(serial.Assignment[s]) != len(par.Assignment[s]) {
+					return false
+				}
+				for i := range serial.Assignment[s] {
+					if serial.Assignment[s][i] != par.Assignment[s][i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClosestSegmentMatchesSerialScan(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(5)
+		n := 2 + r.Intn(30)
+		live := make([]*segment, n)
+		for i := range live {
+			live[i] = &segment{counts: randomRow(r, k, 20)}
+		}
+		items := AllItems(k)
+		skip := r.Intn(n)
+		probe := randomRow(r, k, 20)
+		wantJ, wantCost := closestSegment(probe, live, skip, items, 1)
+		for _, workers := range []int{2, 3, 7} {
+			gotJ, gotCost := closestSegment(probe, live, skip, items, workers)
+			if gotJ != wantJ || gotCost != wantCost {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

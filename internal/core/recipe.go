@@ -1,0 +1,43 @@
+package core
+
+// Scenario describes an application for the recommended recipe of
+// Figure 7. Each field corresponds to a branch of the decision tree.
+type Scenario struct {
+	// LargeSegmentBudget: the application can afford a lot of space for
+	// the OSSM, i.e. n_user is large.
+	LargeSegmentBudget bool
+	// SkewedData: the data departs strongly from a uniform distribution.
+	SkewedData bool
+	// SegmentationCostCritical: the one-time "compile-time" segmentation
+	// cost matters for this application.
+	SegmentationCostCritical bool
+	// VeryManyPages: the initial page count m is very large (the paper's
+	// running example: 50 000 pages ≈ 5 million transactions).
+	VeryManyPages bool
+}
+
+// Recommendation is the recipe's output: which algorithm to run and
+// whether to restrict sumdiff to a bubble list.
+type Recommendation struct {
+	Algorithm Algorithm
+	UseBubble bool
+}
+
+// Recommend implements the recipe of Figure 7 and Section 6.4:
+//
+//   - large n_user and skewed data        → Random (bubble irrelevant);
+//   - otherwise, cost not an issue        → Greedy with the bubble list;
+//   - otherwise, very large m             → Random-RC with the bubble list;
+//   - otherwise                           → Random-Greedy with the bubble list.
+func Recommend(s Scenario) Recommendation {
+	if s.LargeSegmentBudget && s.SkewedData {
+		return Recommendation{Algorithm: AlgRandom}
+	}
+	if !s.SegmentationCostCritical {
+		return Recommendation{Algorithm: AlgGreedy, UseBubble: true}
+	}
+	if s.VeryManyPages {
+		return Recommendation{Algorithm: AlgRandomRC, UseBubble: true}
+	}
+	return Recommendation{Algorithm: AlgRandomGreedy, UseBubble: true}
+}

@@ -1,0 +1,333 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// Algorithm selects a constrained-segmentation heuristic (Section 5.2,
+// 5.4).
+type Algorithm int
+
+const (
+	// AlgRandom arbitrarily partitions pages into segments in O(m) — the
+	// construction of the precursor SSM structure: near-equal contiguous
+	// runs in file order, no optimization.
+	AlgRandom Algorithm = iota
+	// AlgRC (Random-Closest) repeatedly picks a random segment and merges
+	// it with the segment of minimum sumdiff. O(m²·k²).
+	AlgRC
+	// AlgGreedy repeatedly merges the globally cheapest pair of segments,
+	// maintained in a priority queue. O(m²·k² + m²·log m).
+	AlgGreedy
+	// AlgRandomRC runs Random down to MidSegments, then RC to the target.
+	AlgRandomRC
+	// AlgRandomGreedy runs Random down to MidSegments, then Greedy.
+	AlgRandomGreedy
+)
+
+// String names the algorithm as the paper does.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgRandom:
+		return "Random"
+	case AlgRC:
+		return "RC"
+	case AlgGreedy:
+		return "Greedy"
+	case AlgRandomRC:
+		return "Random-RC"
+	case AlgRandomGreedy:
+		return "Random-Greedy"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Options configures Segment.
+type Options struct {
+	Algorithm      Algorithm
+	TargetSegments int // n_user: the number of segments to produce
+	// MidSegments is n_mid for the hybrid strategies: the Random phase
+	// first reduces the pages to MidSegments segments (must satisfy
+	// TargetSegments ≤ MidSegments). Ignored by the pure strategies.
+	MidSegments int
+	// Bubble restricts the sumdiff summation to these items
+	// (Section 5.3). nil means all items.
+	Bubble []dataset.Item
+	// Seed drives the randomized algorithms; a fixed seed reproduces the
+	// segmentation exactly.
+	Seed int64
+	// Workers fans the sumdiff evaluations of RC and Greedy over a
+	// goroutine pool (0 or 1 = serial; capped at NumCPU). Results are
+	// identical to the serial run.
+	Workers int
+}
+
+// Result is the outcome of a segmentation run.
+type Result struct {
+	Map        *Map
+	Assignment [][]int       // Assignment[s] lists the input pages composing segment s
+	Elapsed    time.Duration // wall-clock segmentation time ("compile-time" cost)
+}
+
+// segment is the working state of one segment during merging.
+type segment struct {
+	counts []uint32
+	pages  []int
+	alive  bool
+	ver    int // bumped on every merge; stale heap entries detect this
+}
+
+// Segment runs the configured heuristic over the initial per-page support
+// rows and returns the resulting OSSM. rows[i] is the singleton support
+// row of page i (see dataset.PageCounts). Rows are not mutated.
+func Segment(rows [][]uint32, opts Options) (*Result, error) {
+	if len(rows) == 0 {
+		return nil, ErrNoSegments
+	}
+	k := len(rows[0])
+	for i, row := range rows {
+		if len(row) != k {
+			return nil, fmt.Errorf("%w: row 0 has %d items, row %d has %d", ErrRaggedSegments, k, i, len(row))
+		}
+	}
+	if opts.TargetSegments < 1 {
+		return nil, fmt.Errorf("core: TargetSegments must be ≥ 1, got %d", opts.TargetSegments)
+	}
+	target := opts.TargetSegments
+	if target > len(rows) {
+		target = len(rows)
+	}
+	items := opts.Bubble
+	if items == nil {
+		items = AllItems(k)
+	}
+	r := rand.New(rand.NewSource(opts.Seed))
+
+	start := time.Now()
+	segs := makeSegments(rows)
+	switch opts.Algorithm {
+	case AlgRandom:
+		randomMerge(r, segs, target)
+	case AlgRC:
+		rcMerge(r, segs, target, items, opts.Workers)
+	case AlgGreedy:
+		greedyMerge(segs, target, items, opts.Workers)
+	case AlgRandomRC, AlgRandomGreedy:
+		mid := opts.MidSegments
+		if mid < target {
+			return nil, fmt.Errorf("core: MidSegments (%d) must be ≥ TargetSegments (%d) for %s", mid, target, opts.Algorithm)
+		}
+		randomMerge(r, segs, mid)
+		if opts.Algorithm == AlgRandomRC {
+			rcMerge(r, segs, target, items, opts.Workers)
+		} else {
+			greedyMerge(segs, target, items, opts.Workers)
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", opts.Algorithm)
+	}
+	elapsed := time.Since(start)
+
+	var segCounts [][]uint32
+	var assign [][]int
+	for _, s := range segs {
+		if s.alive {
+			segCounts = append(segCounts, s.counts)
+			assign = append(assign, s.pages)
+		}
+	}
+	m, err := NewMap(segCounts)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Map: m, Assignment: assign, Elapsed: elapsed}, nil
+}
+
+func makeSegments(rows [][]uint32) []*segment {
+	segs := make([]*segment, len(rows))
+	for i, row := range rows {
+		cp := make([]uint32, len(row))
+		copy(cp, row)
+		segs[i] = &segment{counts: cp, pages: []int{i}, alive: true}
+	}
+	return segs
+}
+
+func countAlive(segs []*segment) int {
+	n := 0
+	for _, s := range segs {
+		if s.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// mergeInto folds segment b into segment a; b dies.
+func mergeInto(a, b *segment) {
+	for i, c := range b.counts {
+		a.counts[i] += c
+	}
+	a.pages = append(a.pages, b.pages...)
+	a.ver++
+	b.alive = false
+	b.ver++
+}
+
+// randomMerge reduces the live segments to target by "arbitrary"
+// grouping, as the paper's Random algorithm (and the precursor SSM
+// construction) does: pages are folded into near-equal contiguous runs in
+// file order, the partition a single sequential scan produces with no
+// optimization effort. Contiguity is what lets Random suffice on skewed
+// ("seasonal") data — the recipe of Figure 7 depends on it: temporal
+// drift maps to distinct segments by construction. O(m).
+func randomMerge(r *rand.Rand, segs []*segment, target int) {
+	_ = r // the arbitrary partition is deterministic; seed kept for API symmetry
+	live := make([]*segment, 0, len(segs))
+	for _, s := range segs {
+		if s.alive {
+			live = append(live, s)
+		}
+	}
+	if len(live) <= target {
+		return
+	}
+	base, rem := len(live)/target, len(live)%target
+	idx := 0
+	for g := 0; g < target; g++ {
+		size := base
+		if g < rem {
+			size++
+		}
+		head := live[idx]
+		for i := 1; i < size; i++ {
+			mergeInto(head, live[idx+i])
+		}
+		idx += size
+	}
+}
+
+// rcMerge is the RC algorithm (Figure 3): until target segments remain,
+// pick a random live segment and merge it with the live segment of
+// minimum sumdiff.
+func rcMerge(r *rand.Rand, segs []*segment, target int, items []dataset.Item, workers int) {
+	rcMergeHook(r, segs, target, items, workers, nil)
+}
+
+// rcMergeHook is rcMerge with an after-merge callback (used by
+// SegmentSweep to snapshot intermediate segment counts).
+func rcMergeHook(r *rand.Rand, segs []*segment, target int, items []dataset.Item, workers int, after func(live int)) {
+	live := make([]*segment, 0, len(segs))
+	for _, s := range segs {
+		if s.alive {
+			live = append(live, s)
+		}
+	}
+	pool := resolveWorkers(workers)
+	for len(live) > target {
+		i := r.Intn(len(live))
+		s1 := live[i]
+		bestJ, _ := closestSegment(s1.counts, live, i, items, pool)
+		mergeInto(s1, live[bestJ])
+		live[bestJ] = live[len(live)-1]
+		live = live[:len(live)-1]
+		if after != nil {
+			after(len(live))
+		}
+	}
+}
+
+// pairEntry is a candidate merge in Greedy's priority queue. verA/verB
+// pin the segment versions the cost was computed against; a mismatch at
+// pop time marks the entry stale (lazy deletion).
+type pairEntry struct {
+	cost       int64
+	a, b       int // indices into segs
+	verA, verB int
+}
+
+type pairHeap []pairEntry
+
+func (h pairHeap) Len() int            { return len(h) }
+func (h pairHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h pairHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *pairHeap) Push(x interface{}) { *h = append(*h, x.(pairEntry)) }
+func (h *pairHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// greedyMerge is the Greedy algorithm (Figure 2): a priority queue holds
+// the sumdiff of every pair of live segments; the cheapest valid pair is
+// merged, its stale entries lazily discarded, and the merged segment's
+// pairs with all remaining segments are inserted.
+func greedyMerge(segs []*segment, target int, items []dataset.Item, workers int) {
+	greedyMergeHook(segs, target, items, workers, nil)
+}
+
+// greedyMergeHook is greedyMerge with an after-merge callback (used by
+// SegmentSweep to snapshot intermediate segment counts).
+func greedyMergeHook(segs []*segment, target int, items []dataset.Item, workers int, after func(live int)) {
+	liveIdx := make([]int, 0, len(segs))
+	for i, s := range segs {
+		if s.alive {
+			liveIdx = append(liveIdx, i)
+		}
+	}
+	n := len(liveIdx)
+	if n <= target {
+		return
+	}
+	pool := resolveWorkers(workers)
+	h := make(pairHeap, 0, n*(n-1)/2)
+	for x := 0; x < n; x++ {
+		for y := x + 1; y < n; y++ {
+			i, j := liveIdx[x], liveIdx[y]
+			h = append(h, pairEntry{a: i, b: j, verA: segs[i].ver, verB: segs[j].ver})
+		}
+	}
+	parallelFor(pool, len(h), func(e int) {
+		h[e].cost = SumDiffPair(segs[h[e].a].counts, segs[h[e].b].counts, items)
+	})
+	heap.Init(&h)
+	remaining := n
+	for remaining > target {
+		var e pairEntry
+		for {
+			e = heap.Pop(&h).(pairEntry)
+			if segs[e.a].alive && segs[e.b].alive &&
+				segs[e.a].ver == e.verA && segs[e.b].ver == e.verB {
+				break
+			}
+		}
+		mergeInto(segs[e.a], segs[e.b])
+		remaining--
+		if after != nil {
+			after(remaining)
+		}
+		if remaining <= target {
+			break
+		}
+		fresh := make([]pairEntry, 0, remaining)
+		for _, i := range liveIdx {
+			if i == e.a || !segs[i].alive {
+				continue
+			}
+			fresh = append(fresh, pairEntry{a: e.a, b: i, verA: segs[e.a].ver, verB: segs[i].ver})
+		}
+		parallelFor(pool, len(fresh), func(f int) {
+			fresh[f].cost = SumDiffPair(segs[e.a].counts, segs[fresh[f].b].counts, items)
+		})
+		for _, fe := range fresh {
+			heap.Push(&h, fe)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// The OSSM is a compile-time structure meant to outlive the session that
+// built it (Section 3: "computed once at compile-time … used regardless
+// of how the support threshold is changed"). The binary format is
+// little-endian: magic "OSSMMAP1", uint32 numItems, uint32 numSegments,
+// then the segment rows as uint32 cells.
+
+var mapMagic = [8]byte{'O', 'S', 'S', 'M', 'M', 'A', 'P', '1'}
+
+// ErrBadMapFormat is returned when parsing a serialized Map fails.
+var ErrBadMapFormat = errors.New("core: bad OSSM map format")
+
+// WriteMap serializes m.
+func WriteMap(w io.Writer, m *Map) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(mapMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(m.numItems))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(m.NumSegments()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var cell [4]byte
+	for _, row := range m.segCounts {
+		for _, c := range row {
+			binary.LittleEndian.PutUint32(cell[:], c)
+			if _, err := bw.Write(cell[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadMap parses a serialized Map.
+func ReadMap(r io.Reader) (*Map, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadMapFormat, err)
+	}
+	if magic != mapMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadMapFormat, magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadMapFormat, err)
+	}
+	numItems := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	numSegs := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	if numSegs < 1 {
+		return nil, fmt.Errorf("%w: %d segments", ErrBadMapFormat, numSegs)
+	}
+	// Guard against hostile headers demanding absurd allocations (a 2³²
+	// cell matrix) before any payload byte has been validated.
+	const maxCells = 1 << 28 // 1 GiB of uint32 cells
+	if numItems > maxCells || numSegs > maxCells || int64(numItems)*int64(numSegs) > maxCells {
+		return nil, fmt.Errorf("%w: header claims %d×%d cells", ErrBadMapFormat, numSegs, numItems)
+	}
+	rows := make([][]uint32, numSegs)
+	buf := make([]byte, 4*numItems)
+	for s := range rows {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("%w: segment %d: %v", ErrBadMapFormat, s, err)
+		}
+		row := make([]uint32, numItems)
+		for i := range row {
+			row[i] = binary.LittleEndian.Uint32(buf[4*i:])
+		}
+		rows[s] = row
+	}
+	return NewMap(rows)
+}

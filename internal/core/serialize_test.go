@@ -1,0 +1,103 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func TestMapRoundTrip(t *testing.T) {
+	m := example1Map(t)
+	var buf bytes.Buffer
+	if err := WriteMap(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMap(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumItems() != m.NumItems() || got.NumSegments() != m.NumSegments() {
+		t.Fatalf("shape changed: %dx%d vs %dx%d",
+			got.NumSegments(), got.NumItems(), m.NumSegments(), m.NumItems())
+	}
+	for s := 0; s < m.NumSegments(); s++ {
+		for it := 0; it < m.NumItems(); it++ {
+			if got.SegmentSupport(s, dataset.Item(it)) != m.SegmentSupport(s, dataset.Item(it)) {
+				t.Fatalf("cell (%d,%d) changed", s, it)
+			}
+		}
+	}
+}
+
+func TestMapRoundTripProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		k := 1 + r.Intn(8)
+		rows := make([][]uint32, n)
+		for i := range rows {
+			rows[i] = randomRow(r, k, 1000)
+		}
+		m, err := NewMap(rows)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := WriteMap(&buf, m); err != nil {
+			return false
+		}
+		got, err := ReadMap(&buf)
+		if err != nil {
+			return false
+		}
+		// Same bounds for a few random itemsets ⇒ same map behaviorally.
+		for trial := 0; trial < 10; trial++ {
+			x := randomNonEmptyItemset(r, k)
+			if got.UpperBound(x) != m.UpperBound(x) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadMapErrors(t *testing.T) {
+	if _, err := ReadMap(bytes.NewReader([]byte("short"))); !errors.Is(err, ErrBadMapFormat) {
+		t.Errorf("short: err = %v, want ErrBadMapFormat", err)
+	}
+	if _, err := ReadMap(bytes.NewReader([]byte("WRONGMAGICxxxxxx"))); !errors.Is(err, ErrBadMapFormat) {
+		t.Errorf("magic: err = %v, want ErrBadMapFormat", err)
+	}
+	// Truncated payload.
+	m := mustMap(t, [][]uint32{{1, 2, 3}, {4, 5, 6}})
+	var buf bytes.Buffer
+	if err := WriteMap(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-2]
+	if _, err := ReadMap(bytes.NewReader(trunc)); !errors.Is(err, ErrBadMapFormat) {
+		t.Errorf("truncated: err = %v, want ErrBadMapFormat", err)
+	}
+	// Zero segments in the header.
+	bad := append([]byte{}, mapMagic[:]...)
+	bad = append(bad, 3, 0, 0, 0, 0, 0, 0, 0)
+	if _, err := ReadMap(bytes.NewReader(bad)); !errors.Is(err, ErrBadMapFormat) {
+		t.Errorf("zero segments: err = %v, want ErrBadMapFormat", err)
+	}
+}
+
+func mustMap(t *testing.T, rows [][]uint32) *Map {
+	t.Helper()
+	m, err := NewMap(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

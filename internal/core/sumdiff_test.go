@@ -1,0 +1,180 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func randomRow(r *rand.Rand, k, maxVal int) []uint32 {
+	row := make([]uint32, k)
+	for i := range row {
+		row[i] = uint32(r.Intn(maxVal))
+	}
+	return row
+}
+
+func TestSumDiffPairMatchesSet(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(6)
+		a, b := randomRow(r, k, 40), randomRow(r, k, 40)
+		items := AllItems(k)
+		return SumDiffPair(a, b, items) == SumDiffSet([][]uint32{a, b}, items)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumDiffNonNegativeAndSymmetric(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(6)
+		a, b := randomRow(r, k, 40), randomRow(r, k, 40)
+		items := AllItems(k)
+		d := SumDiffPair(a, b, items)
+		return d >= 0 && d == SumDiffPair(b, a, items)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma2a: segments of the same configuration have sumdiff 0.
+func TestLemma2a(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(5)
+		cfg := ConfigurationOf(randomRow(r, k, 100))
+		mk := func() []uint32 {
+			row := make([]uint32, k)
+			v := uint32(1000)
+			for _, it := range cfg {
+				row[it] = v
+				v -= uint32(1 + r.Intn(9))
+			}
+			return row
+		}
+		rows := [][]uint32{mk(), mk(), mk()}
+		return SumDiffSet(rows, AllItems(k)) == 0
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLemma2b: segments whose configurations differ by a *strict*
+// support inversion have positive sumdiff. (With ties, two rows can have
+// formally different configurations yet identical bounds — e.g. rows
+// [1,3] and [2,2] — so the strictness hypothesis matters.)
+func TestLemma2b(t *testing.T) {
+	a := []uint32{5, 1} // a ≥ b strictly
+	b := []uint32{1, 5} // b ≥ a strictly
+	if got := SumDiffPair(a, b, AllItems(2)); got <= 0 {
+		t.Errorf("sumdiff of strictly inverted rows = %d, want > 0", got)
+	}
+	// The worked numbers: merged row [6,6] → pair bound 6; separate
+	// bounds 1 + 1 = 2; sumdiff = 4.
+	if got := SumDiffPair(a, b, AllItems(2)); got != 4 {
+		t.Errorf("sumdiff = %d, want 4", got)
+	}
+}
+
+func TestSumDiffTieCaveat(t *testing.T) {
+	// Documents the boundary case: configurations differ (only via the
+	// canonical tie-break), yet no bound is lost and sumdiff is 0.
+	a := []uint32{1, 3}
+	b := []uint32{2, 2}
+	if SameConfiguration(a, b) {
+		t.Fatal("test premise broken: configurations should differ")
+	}
+	if got := SumDiffPair(a, b, AllItems(2)); got != 0 {
+		t.Errorf("sumdiff = %d, want 0 for tie-only configuration difference", got)
+	}
+}
+
+// TestLemma2c: sumdiff is monotone under adding segments to the set.
+func TestLemma2c(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(5)
+		n := 2 + r.Intn(4)
+		rows := make([][]uint32, n+1)
+		for i := range rows {
+			rows[i] = randomRow(r, k, 30)
+		}
+		items := AllItems(k)
+		return SumDiffSet(rows[:n], items) <= SumDiffSet(rows, items)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSumDiffIsBoundLoss ties equation (2) to its meaning: the sumdiff of
+// two rows equals the total loosening of pairwise upper bounds caused by
+// the merge.
+func TestSumDiffIsBoundLoss(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 2 + r.Intn(5)
+		a, b := randomRow(r, k, 40), randomRow(r, k, 40)
+		sep, err := NewMap([][]uint32{a, b})
+		if err != nil {
+			return false
+		}
+		mer, err := NewMap([][]uint32{MergeRows(a, b)})
+		if err != nil {
+			return false
+		}
+		var loss int64
+		for x := 0; x < k; x++ {
+			for y := x + 1; y < k; y++ {
+				loss += mer.UpperBoundPair(dataset.Item(x), dataset.Item(y)) -
+					sep.UpperBoundPair(dataset.Item(x), dataset.Item(y))
+			}
+		}
+		return loss == SumDiffPair(a, b, AllItems(k))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumDiffBubbleRestriction(t *testing.T) {
+	// Restricting the summation to a subset of items can only reduce the
+	// measured value (every pair contributes ≥ 0).
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 3 + r.Intn(5)
+		a, b := randomRow(r, k, 40), randomRow(r, k, 40)
+		all := AllItems(k)
+		sub := all[:1+r.Intn(k-1)]
+		return SumDiffPair(a, b, sub) <= SumDiffPair(a, b, all)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSumDiffSetEmpty(t *testing.T) {
+	if got := SumDiffSet(nil, nil); got != 0 {
+		t.Errorf("SumDiffSet(nil) = %d, want 0", got)
+	}
+}
+
+func TestAllItems(t *testing.T) {
+	items := AllItems(4)
+	want := []dataset.Item{0, 1, 2, 3}
+	if len(items) != len(want) {
+		t.Fatalf("len = %d, want %d", len(items), len(want))
+	}
+	for i := range want {
+		if items[i] != want[i] {
+			t.Errorf("AllItems[%d] = %d, want %d", i, items[i], want[i])
+		}
+	}
+}

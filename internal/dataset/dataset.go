@@ -1,0 +1,194 @@
+package dataset
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrItemOutOfRange is returned when a transaction references an item at or
+// beyond the dataset's declared domain size.
+var ErrItemOutOfRange = errors.New("dataset: item out of range")
+
+// Dataset is a compact, immutable-after-build collection of transactions.
+// Transactions are stored column-flattened (one items slice plus an offsets
+// slice) so that multi-million-transaction collections — the paper goes to
+// 5 million — stay cache- and GC-friendly.
+//
+// Every transaction is a valid Itemset (strictly ascending items).
+type Dataset struct {
+	numItems int
+	offsets  []uint32 // len = NumTx()+1; tx i spans items[offsets[i]:offsets[i+1]]
+	items    []Item
+}
+
+// NumItems returns k, the size of the item domain. Items are 0 … k-1.
+func (d *Dataset) NumItems() int { return d.numItems }
+
+// NumTx returns the number of transactions.
+func (d *Dataset) NumTx() int { return len(d.offsets) - 1 }
+
+// Tx returns transaction i as a read-only slice. The caller must not
+// modify it.
+func (d *Dataset) Tx(i int) Itemset {
+	return Itemset(d.items[d.offsets[i]:d.offsets[i+1]])
+}
+
+// TotalItems returns the total number of item occurrences across all
+// transactions (the sum of transaction lengths).
+func (d *Dataset) TotalItems() int { return len(d.items) }
+
+// AvgTxLen returns the average transaction length.
+func (d *Dataset) AvgTxLen() float64 {
+	if d.NumTx() == 0 {
+		return 0
+	}
+	return float64(len(d.items)) / float64(d.NumTx())
+}
+
+// ItemCounts returns, for each item, its support within the half-open
+// transaction range [lo, hi). This is the primitive from which both the
+// initial per-page supports (Corollary 1's "page version") and full-dataset
+// singleton supports are derived.
+func (d *Dataset) ItemCounts(lo, hi int) []uint32 {
+	counts := make([]uint32, d.numItems)
+	for _, it := range d.items[d.offsets[lo]:d.offsets[hi]] {
+		counts[it]++
+	}
+	return counts
+}
+
+// Support counts the transactions in d that contain every item of x.
+// It is the exact (linear-scan) reference used by tests and by miners'
+// final counting passes.
+func (d *Dataset) Support(x Itemset) int {
+	n := 0
+	for i := 0; i < d.NumTx(); i++ {
+		if x.SubsetOf(d.Tx(i)) {
+			n++
+		}
+	}
+	return n
+}
+
+// SupportIn counts the transactions within [lo, hi) that contain x.
+func (d *Dataset) SupportIn(x Itemset, lo, hi int) int {
+	n := 0
+	for i := lo; i < hi; i++ {
+		if x.SubsetOf(d.Tx(i)) {
+			n++
+		}
+	}
+	return n
+}
+
+// Slice returns a new Dataset containing the transactions [lo, hi) of d.
+// The returned dataset shares no mutable state with d.
+func (d *Dataset) Slice(lo, hi int) *Dataset {
+	b := NewBuilder(d.numItems)
+	for i := lo; i < hi; i++ {
+		b.mustAppendSorted(d.Tx(i))
+	}
+	return b.Build()
+}
+
+// Reorder returns a new Dataset whose transaction i is d.Tx(perm[i]).
+// perm must be a permutation of 0…NumTx()-1; Reorder panics otherwise.
+// The paper's Theorem 1 "allows T to be rearranged" — this is that
+// rearrangement.
+func (d *Dataset) Reorder(perm []int) *Dataset {
+	if len(perm) != d.NumTx() {
+		panic(fmt.Sprintf("dataset: Reorder permutation has length %d, want %d", len(perm), d.NumTx()))
+	}
+	seen := make([]bool, len(perm))
+	b := NewBuilder(d.numItems)
+	for _, p := range perm {
+		if p < 0 || p >= len(perm) || seen[p] {
+			panic("dataset: Reorder argument is not a permutation")
+		}
+		seen[p] = true
+		b.mustAppendSorted(d.Tx(p))
+	}
+	return b.Build()
+}
+
+// Builder accumulates transactions and produces an immutable Dataset.
+type Builder struct {
+	numItems int
+	offsets  []uint32
+	items    []Item
+	scratch  []Item
+}
+
+// NewBuilder returns a Builder for a domain of numItems items.
+func NewBuilder(numItems int) *Builder {
+	return &Builder{
+		numItems: numItems,
+		offsets:  []uint32{0},
+	}
+}
+
+// Append adds one transaction. The input may be unsorted and may contain
+// duplicates; it is normalized. Items at or beyond the domain size are
+// rejected with ErrItemOutOfRange. Empty transactions are legal (they
+// support nothing but still count toward NumTx).
+func (b *Builder) Append(tx []Item) error {
+	for _, it := range tx {
+		if int(it) >= b.numItems {
+			return fmt.Errorf("%w: item %d with domain size %d", ErrItemOutOfRange, it, b.numItems)
+		}
+	}
+	b.scratch = append(b.scratch[:0], tx...)
+	sort.Slice(b.scratch, func(i, j int) bool { return b.scratch[i] < b.scratch[j] })
+	prev := Item(0)
+	first := true
+	for _, it := range b.scratch {
+		if !first && it == prev {
+			continue
+		}
+		b.items = append(b.items, it)
+		prev = it
+		first = false
+	}
+	b.offsets = append(b.offsets, uint32(len(b.items)))
+	return nil
+}
+
+// mustAppendSorted appends a transaction that is already a valid Itemset
+// from the same domain; used internally where the invariant is known.
+func (b *Builder) mustAppendSorted(tx Itemset) {
+	b.items = append(b.items, tx...)
+	b.offsets = append(b.offsets, uint32(len(b.items)))
+}
+
+// Len returns the number of transactions appended so far.
+func (b *Builder) Len() int { return len(b.offsets) - 1 }
+
+// Build finalizes the dataset. The Builder must not be used afterwards.
+func (b *Builder) Build() *Dataset {
+	d := &Dataset{numItems: b.numItems, offsets: b.offsets, items: b.items}
+	b.offsets = nil
+	b.items = nil
+	return d
+}
+
+// FromTransactions is a convenience constructor for tests and examples.
+func FromTransactions(numItems int, txs [][]Item) (*Dataset, error) {
+	b := NewBuilder(numItems)
+	for i, tx := range txs {
+		if err := b.Append(tx); err != nil {
+			return nil, fmt.Errorf("transaction %d: %w", i, err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// MustFromTransactions is FromTransactions that panics on error; for use
+// with literal data in tests and examples.
+func MustFromTransactions(numItems int, txs [][]Item) *Dataset {
+	d, err := FromTransactions(numItems, txs)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}

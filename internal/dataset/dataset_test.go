@@ -1,0 +1,237 @@
+package dataset
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// paperExample2 is the six-transaction collection over items {a=0, b=1}
+// from Example 2 of the paper.
+func paperExample2() *Dataset {
+	return MustFromTransactions(2, [][]Item{
+		{0},    // t1 {a}
+		{0, 1}, // t2 {a,b}
+		{0},    // t3 {a}
+		{0},    // t4 {a}
+		{1},    // t5 {b}
+		{1},    // t6 {b}
+	})
+}
+
+func TestBuilderNormalizes(t *testing.T) {
+	b := NewBuilder(10)
+	if err := b.Append([]Item{5, 1, 5, 3, 1}); err != nil {
+		t.Fatal(err)
+	}
+	d := b.Build()
+	if got, want := d.Tx(0), NewItemset(1, 3, 5); !got.Equal(want) {
+		t.Errorf("Tx(0) = %v, want %v", got, want)
+	}
+}
+
+func TestBuilderRejectsOutOfRange(t *testing.T) {
+	b := NewBuilder(3)
+	err := b.Append([]Item{0, 3})
+	if !errors.Is(err, ErrItemOutOfRange) {
+		t.Errorf("err = %v, want ErrItemOutOfRange", err)
+	}
+}
+
+func TestDatasetAccessors(t *testing.T) {
+	d := paperExample2()
+	if d.NumItems() != 2 {
+		t.Errorf("NumItems = %d, want 2", d.NumItems())
+	}
+	if d.NumTx() != 6 {
+		t.Errorf("NumTx = %d, want 6", d.NumTx())
+	}
+	if d.TotalItems() != 7 {
+		t.Errorf("TotalItems = %d, want 7", d.TotalItems())
+	}
+	if got := d.AvgTxLen(); got < 1.16 || got > 1.17 {
+		t.Errorf("AvgTxLen = %f, want 7/6", got)
+	}
+}
+
+func TestSupportMatchesPaperExample2(t *testing.T) {
+	d := paperExample2()
+	if got := d.Support(NewItemset(0)); got != 4 {
+		t.Errorf("sup({a}) = %d, want 4", got)
+	}
+	if got := d.Support(NewItemset(1)); got != 3 {
+		t.Errorf("sup({b}) = %d, want 3", got)
+	}
+	if got := d.Support(NewItemset(0, 1)); got != 1 {
+		t.Errorf("sup({a,b}) = %d, want 1", got)
+	}
+	if got := d.Support(nil); got != 6 {
+		t.Errorf("sup({}) = %d, want 6 (every transaction)", got)
+	}
+}
+
+func TestItemCounts(t *testing.T) {
+	d := paperExample2()
+	all := d.ItemCounts(0, d.NumTx())
+	if all[0] != 4 || all[1] != 3 {
+		t.Errorf("ItemCounts full = %v, want [4 3]", all)
+	}
+	firstFour := d.ItemCounts(0, 4)
+	if firstFour[0] != 4 || firstFour[1] != 1 {
+		t.Errorf("ItemCounts[0,4) = %v, want [4 1]", firstFour)
+	}
+	lastTwo := d.ItemCounts(4, 6)
+	if lastTwo[0] != 0 || lastTwo[1] != 2 {
+		t.Errorf("ItemCounts[4,6) = %v, want [0 2]", lastTwo)
+	}
+}
+
+func TestSupportIn(t *testing.T) {
+	d := paperExample2()
+	if got := d.SupportIn(NewItemset(0), 0, 4); got != 4 {
+		t.Errorf("SupportIn a [0,4) = %d, want 4", got)
+	}
+	if got := d.SupportIn(NewItemset(1), 4, 6); got != 2 {
+		t.Errorf("SupportIn b [4,6) = %d, want 2", got)
+	}
+}
+
+func TestSliceAndReorder(t *testing.T) {
+	d := paperExample2()
+	s := d.Slice(1, 3)
+	if s.NumTx() != 2 {
+		t.Fatalf("Slice NumTx = %d, want 2", s.NumTx())
+	}
+	if !s.Tx(0).Equal(NewItemset(0, 1)) || !s.Tx(1).Equal(NewItemset(0)) {
+		t.Errorf("Slice contents wrong: %v %v", s.Tx(0), s.Tx(1))
+	}
+
+	perm := []int{5, 4, 3, 2, 1, 0}
+	r := d.Reorder(perm)
+	for i := range perm {
+		if !r.Tx(i).Equal(d.Tx(perm[i])) {
+			t.Errorf("Reorder tx %d = %v, want %v", i, r.Tx(i), d.Tx(perm[i]))
+		}
+	}
+	// Reordering never changes any support.
+	for _, x := range []Itemset{NewItemset(0), NewItemset(1), NewItemset(0, 1)} {
+		if d.Support(x) != r.Support(x) {
+			t.Errorf("support of %v changed under reorder", x)
+		}
+	}
+}
+
+func TestReorderRejectsNonPermutation(t *testing.T) {
+	d := paperExample2()
+	for _, perm := range [][]int{
+		{0, 1, 2},          // wrong length
+		{0, 0, 1, 2, 3, 4}, // duplicate
+		{0, 1, 2, 3, 4, 9}, // out of range
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Reorder(%v) did not panic", perm)
+				}
+			}()
+			d.Reorder(perm)
+		}()
+	}
+}
+
+func TestEmptyTransactionsAllowed(t *testing.T) {
+	d := MustFromTransactions(3, [][]Item{{}, {1}, {}})
+	if d.NumTx() != 3 {
+		t.Fatalf("NumTx = %d, want 3", d.NumTx())
+	}
+	if len(d.Tx(0)) != 0 || len(d.Tx(2)) != 0 {
+		t.Error("empty transactions not preserved")
+	}
+	if got := d.Support(NewItemset(1)); got != 1 {
+		t.Errorf("Support = %d, want 1", got)
+	}
+}
+
+// randomDataset builds a dataset with NumTx in [1,40] over a domain of up
+// to 8 items, for property tests.
+func randomDataset(r *rand.Rand) *Dataset {
+	k := 1 + r.Intn(8)
+	n := 1 + r.Intn(40)
+	b := NewBuilder(k)
+	for i := 0; i < n; i++ {
+		m := r.Intn(k + 1)
+		tx := make([]Item, m)
+		for j := range tx {
+			tx[j] = Item(r.Intn(k))
+		}
+		if err := b.Append(tx); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestSupportMonotonicityProperty(t *testing.T) {
+	// The monotonicity condition the whole paper rests on:
+	// X ⊆ Y ⇒ sup(X) ≥ sup(Y).
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		y := randomItemsetOver(r, d.NumItems())
+		// Random subset of y.
+		var x Itemset
+		for _, it := range y {
+			if r.Intn(2) == 0 {
+				x = append(x, it)
+			}
+		}
+		return d.Support(x) >= d.Support(y)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSupportDecomposesOverRanges(t *testing.T) {
+	// sup(X) over [0,n) equals the sum over any partition into ranges —
+	// the identity that makes segment support maps possible at all.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		x := randomItemsetOver(r, d.NumItems())
+		cut := r.Intn(d.NumTx() + 1)
+		return d.Support(x) == d.SupportIn(x, 0, cut)+d.SupportIn(x, cut, d.NumTx())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randomItemsetOver(r *rand.Rand, k int) Itemset {
+	if k == 0 {
+		return nil
+	}
+	n := 1 + r.Intn(3)
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item(r.Intn(k))
+	}
+	return NewItemset(items...)
+}
+
+func TestBuilderLen(t *testing.T) {
+	b := NewBuilder(3)
+	if b.Len() != 0 {
+		t.Errorf("fresh builder Len = %d", b.Len())
+	}
+	if err := b.Append([]Item{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Append(nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 2 {
+		t.Errorf("Len = %d, want 2", b.Len())
+	}
+}

@@ -1,0 +1,70 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadText: arbitrary input must never panic, and anything that
+// parses must round-trip through WriteText.
+func FuzzReadText(f *testing.F) {
+	f.Add("# items=3\n0 1\n2\n")
+	f.Add("")
+	f.Add("\n\n\n")
+	f.Add("1 1 1\n")
+	f.Add("# items=0\n")
+	f.Add("4294967295\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		d, err := ReadText(bytes.NewReader([]byte(in)))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteText(&buf, d); err != nil {
+			t.Fatalf("WriteText of parsed dataset failed: %v", err)
+		}
+		d2, err := ReadText(&buf)
+		if err != nil {
+			t.Fatalf("re-parse of written dataset failed: %v", err)
+		}
+		if d.NumTx() != d2.NumTx() || d.NumItems() != d2.NumItems() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				d.NumTx(), d.NumItems(), d2.NumTx(), d2.NumItems())
+		}
+		for i := 0; i < d.NumTx(); i++ {
+			if !d.Tx(i).Equal(d2.Tx(i)) {
+				t.Fatalf("round trip changed transaction %d", i)
+			}
+		}
+	})
+}
+
+// FuzzReadBinary: arbitrary bytes must never panic; valid parses
+// round-trip.
+func FuzzReadBinary(f *testing.F) {
+	var seed bytes.Buffer
+	d := MustFromTransactions(3, [][]Item{{0, 1}, {2}})
+	if err := WriteBinary(&seed, d); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte("OSSMDS1\n"))
+	f.Fuzz(func(t *testing.T, in []byte) {
+		got, err := ReadBinary(bytes.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, got); err != nil {
+			t.Fatalf("WriteBinary of parsed dataset failed: %v", err)
+		}
+		re, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatalf("re-parse failed: %v", err)
+		}
+		if got.NumTx() != re.NumTx() {
+			t.Fatal("round trip changed transaction count")
+		}
+	})
+}

@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Serialization formats.
+//
+// Text: one transaction per line, items as base-10 integers separated by
+// spaces; lines starting with '#' are comments; an optional header line
+// "# items=<k>" pins the domain size (otherwise it is max item + 1).
+// Blank lines are empty transactions. This is the interchange format of
+// most public frequent-itemset datasets.
+//
+// Binary: little-endian; magic "OSSMDS1\n", then uint32 numItems, uint32
+// numTx, then for each transaction uint32 length followed by uint32 item
+// ids. Dense, mmap-friendly, and byte-for-byte deterministic.
+
+var binaryMagic = [8]byte{'O', 'S', 'S', 'M', 'D', 'S', '1', '\n'}
+
+// ErrBadFormat is returned when parsing fails structurally.
+var ErrBadFormat = errors.New("dataset: bad format")
+
+// WriteText writes d in the text interchange format.
+func WriteText(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "# items=%d\n", d.NumItems()); err != nil {
+		return err
+	}
+	for i := 0; i < d.NumTx(); i++ {
+		tx := d.Tx(i)
+		for j, it := range tx {
+			if j > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return err
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatUint(uint64(it), 10)); err != nil {
+				return err
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses the text interchange format. If the stream carries no
+// "# items=" header, the domain size is inferred as max item + 1.
+func ReadText(r io.Reader) (*Dataset, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	numItems := -1
+	var txs [][]Item
+	maxItem := Item(0)
+	seenItem := false
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if strings.HasPrefix(line, "#") {
+			if v, ok := strings.CutPrefix(line, "# items="); ok {
+				n, err := strconv.Atoi(strings.TrimSpace(v))
+				if err != nil || n < 0 {
+					return nil, fmt.Errorf("%w: line %d: bad items header %q", ErrBadFormat, lineNo, line)
+				}
+				numItems = n
+			}
+			continue
+		}
+		var tx []Item
+		if line != "" {
+			fields := strings.Fields(line)
+			tx = make([]Item, 0, len(fields))
+			for _, f := range fields {
+				v, err := strconv.ParseUint(f, 10, 32)
+				if err != nil {
+					return nil, fmt.Errorf("%w: line %d: bad item %q", ErrBadFormat, lineNo, f)
+				}
+				it := Item(v)
+				if it > maxItem {
+					maxItem = it
+				}
+				seenItem = true
+				tx = append(tx, it)
+			}
+		}
+		txs = append(txs, tx)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if numItems < 0 {
+		if seenItem {
+			numItems = int(maxItem) + 1
+		} else {
+			numItems = 0
+		}
+	}
+	b := NewBuilder(numItems)
+	for i, tx := range txs {
+		if err := b.Append(tx); err != nil {
+			return nil, fmt.Errorf("transaction %d: %w", i, err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// WriteBinary writes d in the binary format.
+func WriteBinary(w io.Writer, d *Dataset) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(d.NumItems()))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(d.NumTx()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var buf [4]byte
+	for i := 0; i < d.NumTx(); i++ {
+		tx := d.Tx(i)
+		binary.LittleEndian.PutUint32(buf[:], uint32(len(tx)))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+		for _, it := range tx {
+			binary.LittleEndian.PutUint32(buf[:], uint32(it))
+			if _, err := bw.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("%w: bad magic %q", ErrBadFormat, magic[:])
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	numItems := int(binary.LittleEndian.Uint32(hdr[0:4]))
+	numTx := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	b := NewBuilder(numItems)
+	var buf [4]byte
+	tx := make([]Item, 0, 64)
+	for i := 0; i < numTx; i++ {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("%w: transaction %d length: %v", ErrBadFormat, i, err)
+		}
+		n := int(binary.LittleEndian.Uint32(buf[:]))
+		tx = tx[:0]
+		for j := 0; j < n; j++ {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return nil, fmt.Errorf("%w: transaction %d item %d: %v", ErrBadFormat, i, j, err)
+			}
+			tx = append(tx, Item(binary.LittleEndian.Uint32(buf[:])))
+		}
+		if err := b.Append(tx); err != nil {
+			return nil, fmt.Errorf("transaction %d: %w", i, err)
+		}
+	}
+	return b.Build(), nil
+}
+
+// SaveFile writes d to path, choosing the format by extension: ".txt" or
+// ".dat" → text, anything else → binary.
+func SaveFile(path string, d *Dataset) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	if strings.HasSuffix(path, ".txt") || strings.HasSuffix(path, ".dat") {
+		return WriteText(f, d)
+	}
+	return WriteBinary(f, d)
+}
+
+// LoadFile reads a dataset from path, choosing the format by extension as
+// in SaveFile.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if strings.HasSuffix(path, ".txt") || strings.HasSuffix(path, ".dat") {
+		return ReadText(f)
+	}
+	return ReadBinary(f)
+}

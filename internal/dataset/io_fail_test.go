@@ -1,0 +1,58 @@
+package dataset
+
+import (
+	"errors"
+	"testing"
+)
+
+// failingWriter errors after n bytes — injecting failures into every
+// write path.
+type failingWriter struct {
+	n       int
+	written int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	if w.written+len(p) > w.n {
+		can := w.n - w.written
+		if can < 0 {
+			can = 0
+		}
+		w.written += can
+		return can, errDiskFull
+	}
+	w.written += len(p)
+	return len(p), nil
+}
+
+func TestWriteTextPropagatesErrors(t *testing.T) {
+	d := paperExample2()
+	// Fail at a spread of offsets to hit the header, item, separator and
+	// newline write paths.
+	for _, n := range []int{0, 3, 12, 14, 16} {
+		if err := WriteText(&failingWriter{n: n}, d); err == nil {
+			t.Errorf("WriteText with %d-byte budget succeeded", n)
+		}
+	}
+}
+
+func TestWriteBinaryPropagatesErrors(t *testing.T) {
+	d := paperExample2()
+	for _, n := range []int{0, 4, 8, 16, 20, 24} {
+		if err := WriteBinary(&failingWriter{n: n}, d); err == nil {
+			t.Errorf("WriteBinary with %d-byte budget succeeded", n)
+		}
+	}
+}
+
+func TestSaveFileErrorOnBadPath(t *testing.T) {
+	d := paperExample2()
+	if err := SaveFile("/nonexistent-dir-xyz/d.bin", d); err == nil {
+		t.Error("SaveFile into a missing directory succeeded")
+	}
+	if _, err := LoadFile("/nonexistent-dir-xyz/d.bin"); err == nil {
+		t.Error("LoadFile of a missing file succeeded")
+	}
+}

@@ -1,0 +1,68 @@
+package dataset
+
+import "fmt"
+
+// Page identifies a contiguous run of transactions, mirroring the paper's
+// physical organization of T into m pages P_1 … P_m. With a 4 KB page and
+// ~40-byte transactions the paper assumes roughly 100 transactions per
+// page; the exact capacity is a parameter here.
+type Page struct {
+	Lo, Hi int // transactions [Lo, Hi)
+}
+
+// Len returns the number of transactions on the page.
+func (p Page) Len() int { return p.Hi - p.Lo }
+
+// Paginate splits the dataset's transactions into pages of txPerPage
+// transactions each (the final page may be short). txPerPage must be
+// positive.
+func Paginate(d *Dataset, txPerPage int) []Page {
+	if txPerPage <= 0 {
+		panic(fmt.Sprintf("dataset: txPerPage must be positive, got %d", txPerPage))
+	}
+	n := d.NumTx()
+	pages := make([]Page, 0, (n+txPerPage-1)/txPerPage)
+	for lo := 0; lo < n; lo += txPerPage {
+		hi := lo + txPerPage
+		if hi > n {
+			hi = n
+		}
+		pages = append(pages, Page{Lo: lo, Hi: hi})
+	}
+	return pages
+}
+
+// PaginateN splits the dataset into exactly m pages of near-equal size
+// (sizes differ by at most one transaction). It is the inverse
+// parameterization of Paginate: the paper's experiments are stated in
+// terms of the page count m. m must satisfy 1 ≤ m ≤ NumTx(); PaginateN
+// panics otherwise (a page must hold at least one transaction).
+func PaginateN(d *Dataset, m int) []Page {
+	n := d.NumTx()
+	if m <= 0 || m > n {
+		panic(fmt.Sprintf("dataset: cannot split %d transactions into %d pages", n, m))
+	}
+	pages := make([]Page, 0, m)
+	base, rem := n/m, n%m
+	lo := 0
+	for i := 0; i < m; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		pages = append(pages, Page{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return pages
+}
+
+// PageCounts returns the per-page aggregate item supports — the starting
+// information of the "page version" of segment minimization
+// (Definition 2). Row i holds the support of every item within page i.
+func PageCounts(d *Dataset, pages []Page) [][]uint32 {
+	counts := make([][]uint32, len(pages))
+	for i, p := range pages {
+		counts[i] = d.ItemCounts(p.Lo, p.Hi)
+	}
+	return counts
+}

@@ -1,0 +1,115 @@
+package dataset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaginate(t *testing.T) {
+	d := paperExample2() // 6 transactions
+	pages := Paginate(d, 4)
+	if len(pages) != 2 {
+		t.Fatalf("len(pages) = %d, want 2", len(pages))
+	}
+	if pages[0] != (Page{0, 4}) || pages[1] != (Page{4, 6}) {
+		t.Errorf("pages = %v", pages)
+	}
+	if pages[0].Len() != 4 || pages[1].Len() != 2 {
+		t.Errorf("page lengths wrong: %d %d", pages[0].Len(), pages[1].Len())
+	}
+
+	one := Paginate(d, 100)
+	if len(one) != 1 || one[0] != (Page{0, 6}) {
+		t.Errorf("oversized page split wrong: %v", one)
+	}
+}
+
+func TestPaginateN(t *testing.T) {
+	d := paperExample2()
+	pages := PaginateN(d, 4) // 6 tx into 4 pages: sizes 2,2,1,1
+	if len(pages) != 4 {
+		t.Fatalf("len(pages) = %d, want 4", len(pages))
+	}
+	sizes := []int{pages[0].Len(), pages[1].Len(), pages[2].Len(), pages[3].Len()}
+	want := []int{2, 2, 1, 1}
+	for i := range sizes {
+		if sizes[i] != want[i] {
+			t.Errorf("page %d size = %d, want %d", i, sizes[i], want[i])
+		}
+	}
+}
+
+func TestPaginatePanics(t *testing.T) {
+	d := paperExample2()
+	for _, f := range []func(){
+		func() { Paginate(d, 0) },
+		func() { PaginateN(d, 0) },
+		func() { PaginateN(d, 7) }, // more pages than transactions
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestPageCountsMatchExample2(t *testing.T) {
+	d := paperExample2()
+	// Two pages of 3 transactions: {t1,t2,t3} and {t4,t5,t6}.
+	pages := Paginate(d, 3)
+	counts := PageCounts(d, pages)
+	if counts[0][0] != 3 || counts[0][1] != 1 {
+		t.Errorf("page 0 counts = %v, want [3 1]", counts[0])
+	}
+	if counts[1][0] != 1 || counts[1][1] != 2 {
+		t.Errorf("page 1 counts = %v, want [1 2]", counts[1])
+	}
+}
+
+func TestPaginationProperties(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 200}
+
+	// Pages tile [0, NumTx) exactly, and per-page counts sum to the
+	// global counts — the foundation of every OSSM bound.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		m := 1 + r.Intn(d.NumTx())
+		pages := PaginateN(d, m)
+		if len(pages) != m || pages[0].Lo != 0 || pages[len(pages)-1].Hi != d.NumTx() {
+			return false
+		}
+		for i := 1; i < len(pages); i++ {
+			if pages[i].Lo != pages[i-1].Hi {
+				return false
+			}
+			if pages[i].Len() <= 0 {
+				return false
+			}
+			// Near-equal sizes: differ by at most 1.
+			if diff := pages[i-1].Len() - pages[i].Len(); diff < 0 || diff > 1 {
+				return false
+			}
+		}
+		counts := PageCounts(d, pages)
+		total := d.ItemCounts(0, d.NumTx())
+		for it := 0; it < d.NumItems(); it++ {
+			var sum uint32
+			for _, row := range counts {
+				sum += row[it]
+			}
+			if sum != total[it] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,106 @@
+package dataset
+
+import "fmt"
+
+// Stats summarizes a dataset's shape — the numbers a practitioner checks
+// before choosing mining parameters (and the numbers our EXPERIMENTS.md
+// records per workload).
+type Stats struct {
+	NumTx         int
+	NumItems      int
+	TotalItems    int     // item occurrences across all transactions
+	DistinctItems int     // items occurring at least once
+	AvgTxLen      float64 // mean transaction length
+	MaxTxLen      int
+	MinTxLen      int
+	// Density is the fill ratio of the transaction-item matrix,
+	// TotalItems / (NumTx · NumItems).
+	Density float64
+	// MaxItemSupport and MedianItemSupport describe the item-frequency
+	// head and middle (over occurring items).
+	MaxItemSupport    int
+	MedianItemSupport int
+}
+
+// Stats computes the summary in one scan.
+func (d *Dataset) Stats() Stats {
+	s := Stats{
+		NumTx:      d.NumTx(),
+		NumItems:   d.NumItems(),
+		TotalItems: d.TotalItems(),
+		AvgTxLen:   d.AvgTxLen(),
+	}
+	if s.NumTx > 0 {
+		s.MinTxLen = len(d.Tx(0))
+	}
+	for i := 0; i < d.NumTx(); i++ {
+		l := len(d.Tx(i))
+		if l > s.MaxTxLen {
+			s.MaxTxLen = l
+		}
+		if l < s.MinTxLen {
+			s.MinTxLen = l
+		}
+	}
+	counts := d.ItemCounts(0, d.NumTx())
+	var occurring []int
+	for _, c := range counts {
+		if c > 0 {
+			occurring = append(occurring, int(c))
+			if int(c) > s.MaxItemSupport {
+				s.MaxItemSupport = int(c)
+			}
+		}
+	}
+	s.DistinctItems = len(occurring)
+	if len(occurring) > 0 {
+		// Median via partial selection (counts are small slices; a sort
+		// would be fine too, but this keeps the scan O(k) on average).
+		s.MedianItemSupport = quickSelect(occurring, len(occurring)/2)
+	}
+	if s.NumTx > 0 && s.NumItems > 0 {
+		s.Density = float64(s.TotalItems) / (float64(s.NumTx) * float64(s.NumItems))
+	}
+	return s
+}
+
+// String renders the summary in one line per fact.
+func (s Stats) String() string {
+	return fmt.Sprintf(
+		"transactions=%d items=%d (distinct %d) occurrences=%d avg|t|=%.2f min|t|=%d max|t|=%d density=%.4f maxSup=%d medSup=%d",
+		s.NumTx, s.NumItems, s.DistinctItems, s.TotalItems,
+		s.AvgTxLen, s.MinTxLen, s.MaxTxLen, s.Density,
+		s.MaxItemSupport, s.MedianItemSupport)
+}
+
+// quickSelect returns the k-th smallest element (0-based) of xs,
+// reordering xs in the process.
+func quickSelect(xs []int, k int) int {
+	lo, hi := 0, len(xs)-1
+	for lo < hi {
+		pivot := xs[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for xs[i] < pivot {
+				i++
+			}
+			for xs[j] > pivot {
+				j--
+			}
+			if i <= j {
+				xs[i], xs[j] = xs[j], xs[i]
+				i++
+				j--
+			}
+		}
+		switch {
+		case k <= j:
+			hi = j
+		case k >= i:
+			lo = i
+		default:
+			return xs[k]
+		}
+	}
+	return xs[k]
+}

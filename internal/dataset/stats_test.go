@@ -1,0 +1,94 @@
+package dataset
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStatsTiny(t *testing.T) {
+	d := MustFromTransactions(4, [][]Item{
+		{0, 1, 2},
+		{0},
+		{},
+		{1, 2},
+	})
+	s := d.Stats()
+	if s.NumTx != 4 || s.NumItems != 4 {
+		t.Errorf("shape = %d/%d", s.NumTx, s.NumItems)
+	}
+	if s.TotalItems != 6 {
+		t.Errorf("TotalItems = %d, want 6", s.TotalItems)
+	}
+	if s.DistinctItems != 3 { // item 3 never occurs
+		t.Errorf("DistinctItems = %d, want 3", s.DistinctItems)
+	}
+	if s.MaxTxLen != 3 || s.MinTxLen != 0 {
+		t.Errorf("tx lengths = [%d, %d], want [0, 3]", s.MinTxLen, s.MaxTxLen)
+	}
+	if s.MaxItemSupport != 2 {
+		t.Errorf("MaxItemSupport = %d, want 2", s.MaxItemSupport)
+	}
+	// supports of occurring items: 0:2 1:2 2:2 → median 2.
+	if s.MedianItemSupport != 2 {
+		t.Errorf("MedianItemSupport = %d, want 2", s.MedianItemSupport)
+	}
+	if s.Density != 6.0/16.0 {
+		t.Errorf("Density = %f, want 0.375", s.Density)
+	}
+	if !strings.Contains(s.String(), "transactions=4") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	d := MustFromTransactions(3, nil)
+	s := d.Stats()
+	if s.NumTx != 0 || s.TotalItems != 0 || s.DistinctItems != 0 || s.Density != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+}
+
+func TestQuickSelectMatchesSort(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(40)
+		xs := make([]int, n)
+		for i := range xs {
+			xs[i] = r.Intn(20)
+		}
+		k := r.Intn(n)
+		cp := append([]int(nil), xs...)
+		sort.Ints(cp)
+		return quickSelect(xs, k) == cp[k]
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsConsistencyProperty(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		s := d.Stats()
+		if s.MinTxLen > s.MaxTxLen {
+			return false
+		}
+		if s.DistinctItems > s.NumItems {
+			return false
+		}
+		if s.MaxItemSupport > s.NumTx {
+			return false
+		}
+		if s.Density < 0 || s.Density > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+// Package depthproject implements a DepthProject-style miner (Agarwal,
+// Aggarwal & Prasad, KDD 2000): depth-first search over the
+// lexicographic tree of itemsets, counting candidate extensions against
+// projected transaction sets. Section 7 of the OSSM paper observes that
+// the OSSM can prune known-infrequent lexicographic extensions before
+// their frequency is counted; this implementation exposes exactly that
+// hook and the counters to measure it.
+package depthproject
+
+import (
+	"sort"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// Options configures Mine.
+type Options struct {
+	// Pruner applies an OSSM bound (any core.Filter) to each candidate
+	// extension before its projection is counted; nil disables pruning.
+	Pruner core.Filter
+	// MaxLen stops at itemsets of this size (0 = unlimited).
+	MaxLen int
+}
+
+// Stats counts the depth-first search work.
+type Stats struct {
+	NodesExplored int // lexicographic tree nodes expanded
+	Extensions    int // candidate extensions considered
+	PrunedByOSSM  int // extensions discarded by the OSSM bound
+	Projections   int // extensions whose projection was actually counted
+}
+
+// Result couples the common mining result with search statistics.
+type Result struct {
+	*mining.Result
+	Depth Stats
+}
+
+// tidlist is a sorted list of transaction indices.
+type tidlist []int32
+
+// Mine runs the depth-first miner over d at the absolute support
+// threshold minCount.
+func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
+	if err := mining.ValidateMinCount(minCount); err != nil {
+		return nil, err
+	}
+	res := &Result{Result: &mining.Result{MinCount: minCount}}
+
+	// Root level: frequent items with their tidlists (the root's
+	// "projected database" is the full dataset in vertical layout).
+	lists := make(map[dataset.Item]tidlist)
+	for i := 0; i < d.NumTx(); i++ {
+		for _, it := range d.Tx(i) {
+			lists[it] = append(lists[it], int32(i))
+		}
+	}
+	items := make([]dataset.Item, 0, len(lists))
+	for it, tl := range lists {
+		if int64(len(tl)) >= minCount {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	var found []mining.Counted
+	for idx, it := range items {
+		res.Depth.NodesExplored++
+		tl := lists[it]
+		found = append(found, mining.Counted{Items: dataset.Itemset{it}, Count: int64(len(tl))})
+		if opts.MaxLen == 1 {
+			continue
+		}
+		expand(dataset.Itemset{it}, tl, items[idx+1:], lists, minCount, opts, &res.Depth, &found)
+	}
+	res.Result = mining.FromMap(minCount, found)
+	return res, nil
+}
+
+// expand grows prefix (supported by tids) with each lexicographic
+// extension, depth first.
+func expand(prefix dataset.Itemset, tids tidlist, exts []dataset.Item,
+	lists map[dataset.Item]tidlist, minCount int64, opts Options, st *Stats, out *[]mining.Counted) {
+
+	type child struct {
+		item dataset.Item
+		tids tidlist
+	}
+	var children []child
+	for _, x := range exts {
+		st.Extensions++
+		cand := append(append(dataset.Itemset{}, prefix...), x)
+		if !core.Admit(opts.Pruner, cand) {
+			st.PrunedByOSSM++
+			continue
+		}
+		st.Projections++
+		tl := intersect(tids, lists[x])
+		if int64(len(tl)) >= minCount {
+			children = append(children, child{item: x, tids: tl})
+			*out = append(*out, mining.Counted{Items: cand, Count: int64(len(tl))})
+		}
+	}
+	if opts.MaxLen != 0 && len(prefix)+1 >= opts.MaxLen {
+		return
+	}
+	for i, c := range children {
+		st.NodesExplored++
+		rest := make([]dataset.Item, 0, len(children)-i-1)
+		for _, cc := range children[i+1:] {
+			rest = append(rest, cc.item)
+		}
+		if len(rest) == 0 {
+			continue
+		}
+		expand(append(append(dataset.Itemset{}, prefix...), c.item), c.tids, rest, lists, minCount, opts, st, out)
+	}
+}
+
+func intersect(a, b tidlist) tidlist {
+	var out tidlist
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+package depthproject
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/apriori"
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func randomDataset(r *rand.Rand) *dataset.Dataset {
+	k := 2 + r.Intn(6)
+	n := 2 + r.Intn(40)
+	b := dataset.NewBuilder(k)
+	for i := 0; i < n; i++ {
+		sz := r.Intn(k + 1)
+		tx := make([]dataset.Item, sz)
+		for j := range tx {
+			tx[j] = dataset.Item(r.Intn(k))
+		}
+		if err := b.Append(tx); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestDepthProjectMatchesApriori(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		ap, err := apriori.Mine(d, minCount, apriori.Options{})
+		if err != nil {
+			return false
+		}
+		dp, err := Mine(d, minCount, Options{})
+		if err != nil {
+			return false
+		}
+		return ap.Equal(dp.Result)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDepthProjectWithOSSMIsLossless(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		plain, err := Mine(d, minCount, Options{})
+		if err != nil {
+			return false
+		}
+		mPages := 1 + r.Intn(d.NumTx())
+		pages := dataset.PaginateN(d, mPages)
+		seg, err := core.Segment(dataset.PageCounts(d, pages), core.Options{
+			Algorithm:      core.AlgRC,
+			TargetSegments: 1 + r.Intn(mPages),
+			Seed:           seed,
+		})
+		if err != nil {
+			return false
+		}
+		pruner := &core.Pruner{Map: seg.Map, MinCount: minCount}
+		withOSSM, err := Mine(d, minCount, Options{Pruner: pruner})
+		if err != nil {
+			return false
+		}
+		return plain.Result.Equal(withOSSM.Result)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOSSMSkipsProjections(t *testing.T) {
+	// On half-split data the OSSM must remove candidate extensions before
+	// their projections are counted.
+	b := dataset.NewBuilder(10)
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 400; i++ {
+		var tx []dataset.Item
+		lo, hi := 0, 5
+		if i >= 200 {
+			lo, hi = 5, 10
+		}
+		for j := lo; j < hi; j++ {
+			if r.Float64() < 0.8 {
+				tx = append(tx, dataset.Item(j))
+			}
+		}
+		if err := b.Append(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := b.Build()
+	minCount := int64(50)
+	plain, err := Mine(d, minCount, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := dataset.PaginateN(d, 8)
+	seg, err := core.Segment(dataset.PageCounts(d, pages), core.Options{
+		Algorithm: core.AlgGreedy, TargetSegments: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruner := &core.Pruner{Map: seg.Map, MinCount: minCount}
+	withOSSM, err := Mine(d, minCount, Options{Pruner: pruner})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Result.Equal(withOSSM.Result) {
+		t.Fatal("OSSM changed DepthProject's output")
+	}
+	if withOSSM.Depth.PrunedByOSSM == 0 {
+		t.Error("OSSM pruned no extensions on half-split data")
+	}
+	if withOSSM.Depth.Projections >= plain.Depth.Projections {
+		t.Errorf("projections with OSSM (%d) not below without (%d)",
+			withOSSM.Depth.Projections, plain.Depth.Projections)
+	}
+}
+
+func TestStatsConsistency(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	d := randomDataset(r)
+	res, err := Mine(d, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Depth.Extensions != res.Depth.PrunedByOSSM+res.Depth.Projections {
+		t.Errorf("extensions %d ≠ pruned %d + projections %d",
+			res.Depth.Extensions, res.Depth.PrunedByOSSM, res.Depth.Projections)
+	}
+}
+
+func TestMaxLen(t *testing.T) {
+	d := dataset.MustFromTransactions(4, [][]dataset.Item{
+		{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3},
+	})
+	for maxLen := 1; maxLen <= 4; maxLen++ {
+		res, err := Mine(d, 2, Options{MaxLen: maxLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range res.Levels {
+			if l.K > maxLen {
+				t.Errorf("MaxLen %d: produced level %d", maxLen, l.K)
+			}
+		}
+		want := 0
+		choose := [5][5]int{}
+		for n := 0; n <= 4; n++ {
+			choose[n][0] = 1
+			for k := 1; k <= n; k++ {
+				if k == n {
+					choose[n][k] = 1
+				} else {
+					choose[n][k] = choose[n-1][k-1] + choose[n-1][k]
+				}
+			}
+		}
+		for k := 1; k <= maxLen; k++ {
+			want += choose[4][k]
+		}
+		if got := res.NumFrequent(); got != want {
+			t.Errorf("MaxLen %d: NumFrequent = %d, want %d", maxLen, got, want)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	d := dataset.MustFromTransactions(2, [][]dataset.Item{{0}, {1}})
+	if _, err := Mine(d, 0, Options{}); err == nil {
+		t.Error("minCount 0 accepted")
+	}
+}

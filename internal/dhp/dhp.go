@@ -1,0 +1,274 @@
+// Package dhp implements the DHP algorithm of Park, Chen and Yu (IEEE
+// TKDE 1997): hash-based filtering of candidate 2-itemsets plus
+// transaction trimming. It is the comparator of the paper's Section 7,
+// which shows the additional benefit an OSSM brings to DHP — known
+// infrequent pairs are never generated at all, and survivors can still be
+// rejected by their hash bucket.
+package dhp
+
+import (
+	"fmt"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// DefaultNumBuckets matches the Section 7 experiment (32 768 buckets).
+const DefaultNumBuckets = 32768
+
+// Options configures Mine.
+type Options struct {
+	// NumBuckets sizes the pass-1 hash table H2. Defaults to
+	// DefaultNumBuckets when zero.
+	NumBuckets int
+	// Pruner applies an OSSM bound (any core.Filter) to candidates before
+	// the bucket test (the Section 7 combination); nil runs plain DHP.
+	Pruner core.Filter
+	// MaxLen stops after frequent itemsets of this size (0 = unlimited).
+	MaxLen int
+}
+
+// Stats extends the per-level accounting with DHP-specific counters.
+type Stats struct {
+	// BucketPruned counts candidate pairs rejected by the hash table
+	// (after surviving the OSSM, if one is configured).
+	BucketPruned int
+	// TrimmedItems counts item occurrences removed by transaction
+	// trimming after pass 2.
+	TrimmedItems int
+	// DroppedTx counts transactions dropped entirely by trimming.
+	DroppedTx int
+}
+
+// Result couples the common mining result with DHP's extra statistics.
+type Result struct {
+	*mining.Result
+	DHP Stats
+}
+
+// pairHash maps an item pair to a bucket, mirroring the order-insensitive
+// polynomial hash of the original paper.
+func pairHash(a, b dataset.Item, buckets int) int {
+	return int((uint64(a)*2654435761 + uint64(b)) % uint64(buckets))
+}
+
+// tripleHash maps an item triple to a bucket of H3.
+func tripleHash(a, b, c dataset.Item, buckets int) int {
+	return int(((uint64(a)*2654435761+uint64(b))*40503 + uint64(c)) % uint64(buckets))
+}
+
+// Mine runs DHP over d at the absolute support threshold minCount.
+func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
+	if err := mining.ValidateMinCount(minCount); err != nil {
+		return nil, err
+	}
+	buckets := opts.NumBuckets
+	if buckets == 0 {
+		buckets = DefaultNumBuckets
+	}
+	if buckets < 1 {
+		return nil, fmt.Errorf("dhp: NumBuckets must be positive, got %d", buckets)
+	}
+	res := &Result{Result: &mining.Result{MinCount: minCount}}
+
+	// Pass 1: count singletons and hash every 2-itemset of every
+	// transaction into H2.
+	counts := d.ItemCounts(0, d.NumTx())
+	h2 := make([]int64, buckets)
+	for i := 0; i < d.NumTx(); i++ {
+		tx := d.Tx(i)
+		for a := 0; a < len(tx); a++ {
+			for b := a + 1; b < len(tx); b++ {
+				h2[pairHash(tx[a], tx[b], buckets)]++
+			}
+		}
+	}
+	var f1 []mining.Counted
+	for it, c := range counts {
+		if int64(c) >= minCount {
+			f1 = append(f1, mining.Counted{Items: dataset.NewItemset(dataset.Item(it)), Count: int64(c)})
+		}
+	}
+	res.Levels = append(res.Levels, mining.LevelResult{
+		K:        1,
+		Frequent: f1,
+		Stats:    mining.PassStats{K: 1, Generated: d.NumItems(), Counted: d.NumItems(), Frequent: len(f1)},
+	})
+	if len(f1) < 2 || opts.MaxLen == 1 {
+		return res, nil
+	}
+
+	// Pass 2 candidate generation: a pair of frequent items becomes a
+	// candidate only if (a) the OSSM bound admits it and (b) its hash
+	// bucket could be frequent.
+	stats2 := mining.PassStats{K: 2, Generated: len(f1) * (len(f1) - 1) / 2}
+	var cands []*mining.Candidate
+	for i := 0; i < len(f1); i++ {
+		for j := i + 1; j < len(f1); j++ {
+			a, b := f1[i].Items[0], f1[j].Items[0]
+			if !core.AdmitPair(opts.Pruner, a, b) {
+				stats2.Pruned++
+				continue
+			}
+			if h2[pairHash(a, b, buckets)] < minCount {
+				res.DHP.BucketPruned++
+				continue
+			}
+			cands = append(cands, &mining.Candidate{Items: dataset.Itemset{a, b}})
+		}
+	}
+	stats2.Counted = len(cands)
+
+	// Pass 2 counting with transaction trimming: candidate pairs are
+	// counted with a hash tree (candidate-bound work, so OSSM pruning
+	// pays at runtime); the per-match callback tracks how many counted
+	// candidates each item participates in. An item survives into pass 3
+	// only if it occurs in at least 2 counted candidate pairs of the
+	// transaction, and a transaction only if it keeps at least 3 items
+	// (it could otherwise never support a 3-itemset). Following the
+	// original algorithm, the pass also builds H3: every 3-subset of the
+	// trimmed transaction hashes into a bucket that later filters C3.
+	tree := mining.NewHashTree(cands, 2)
+	h3 := make([]int64, buckets)
+	frequentItem := make([]bool, d.NumItems())
+	for _, c := range f1 {
+		frequentItem[c.Items[0]] = true
+	}
+	var trimmed []dataset.Itemset
+	participation := make(map[dataset.Item]int)
+	for i := 0; i < d.NumTx(); i++ {
+		tx := d.Tx(i)
+		var kept dataset.Itemset
+		for _, it := range tx {
+			if frequentItem[it] {
+				kept = append(kept, it)
+			}
+		}
+		if len(kept) < 2 {
+			if len(tx) > 0 {
+				res.DHP.DroppedTx++
+			}
+			continue
+		}
+		for k := range participation {
+			delete(participation, k)
+		}
+		tree.CountTransaction(kept, i, func(c *mining.Candidate) {
+			participation[c.Items[0]]++
+			participation[c.Items[1]]++
+		})
+		var next dataset.Itemset
+		for _, it := range kept {
+			if participation[it] >= 2 {
+				next = append(next, it)
+			} else {
+				res.DHP.TrimmedItems++
+			}
+		}
+		if len(next) >= 3 {
+			trimmed = append(trimmed, next)
+			for a := 0; a < len(next); a++ {
+				for b := a + 1; b < len(next); b++ {
+					for c := b + 1; c < len(next); c++ {
+						h3[tripleHash(next[a], next[b], next[c], buckets)]++
+					}
+				}
+			}
+		} else {
+			res.DHP.DroppedTx++
+		}
+	}
+	var f2 []mining.Counted
+	for _, c := range cands {
+		if c.Count >= minCount {
+			f2 = append(f2, mining.Counted{Items: c.Items, Count: c.Count})
+		}
+	}
+	mining.SortCounted(f2)
+	stats2.Frequent = len(f2)
+	res.Levels = append(res.Levels, mining.LevelResult{K: 2, Frequent: f2, Stats: stats2})
+
+	// Passes k ≥ 3: Apriori-style candidate generation counted against
+	// the trimmed transactions. Pass 3 additionally applies the H3 filter
+	// built during pass 2 (the original algorithm's recursive hashing;
+	// beyond k = 3 the benefit is marginal, as the DHP paper itself
+	// reports, so later passes rely on generation + the OSSM alone).
+	prev := f2
+	for k := 3; len(prev) >= 2 && (opts.MaxLen == 0 || k <= opts.MaxLen); k++ {
+		gen := generate(prev)
+		stats := mining.PassStats{K: k, Generated: len(gen)}
+		var kc []*mining.Candidate
+		for _, items := range gen {
+			if !core.Admit(opts.Pruner, items) {
+				stats.Pruned++
+				continue
+			}
+			if k == 3 && h3[tripleHash(items[0], items[1], items[2], buckets)] < minCount {
+				res.DHP.BucketPruned++
+				continue
+			}
+			kc = append(kc, &mining.Candidate{Items: items})
+		}
+		stats.Counted = len(kc)
+		if len(kc) == 0 {
+			break
+		}
+		ktree := mining.NewHashTree(kc, k)
+		for tid, tx := range trimmed {
+			ktree.CountTransaction(tx, tid, nil)
+		}
+		var freq []mining.Counted
+		for _, c := range kc {
+			if c.Count >= minCount {
+				freq = append(freq, mining.Counted{Items: c.Items, Count: c.Count})
+			}
+		}
+		mining.SortCounted(freq)
+		stats.Frequent = len(freq)
+		res.Levels = append(res.Levels, mining.LevelResult{K: k, Frequent: freq, Stats: stats})
+		prev = freq
+		if len(freq) == 0 {
+			break
+		}
+	}
+	return res, nil
+}
+
+// generate is apriori-gen over a sorted level (join on the shared prefix,
+// prune by subsets).
+func generate(prev []mining.Counted) []dataset.Itemset {
+	known := make(map[string]bool, len(prev))
+	for _, c := range prev {
+		known[c.Items.Key()] = true
+	}
+	var out []dataset.Itemset
+	for i := 0; i < len(prev); i++ {
+		a := prev[i].Items
+		for j := i + 1; j < len(prev); j++ {
+			b := prev[j].Items
+			shared := true
+			for x := 0; x < len(a)-1; x++ {
+				if a[x] != b[x] {
+					shared = false
+					break
+				}
+			}
+			if !shared {
+				break
+			}
+			cand := append(append(dataset.Itemset{}, a...), b[len(b)-1])
+			ok := true
+			for x := range cand {
+				if !known[cand.Without(x).Key()] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				out = append(out, cand)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,163 @@
+// Package eclat implements dEclat-style vertical mining with diffsets
+// (Zaki & Gouda, the paper's reference [20]): depth-first equivalence
+// classes where each extension stores the *difference* of its parent's
+// tidset rather than the tidset itself, so memory shrinks as patterns
+// grow. Like DepthProject, it generates candidate extensions one class
+// at a time — exactly the shape the OSSM prunes (Section 7's argument
+// applies verbatim: known-infrequent extensions are discarded before
+// their diffsets are materialized).
+package eclat
+
+import (
+	"sort"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// Options configures Mine.
+type Options struct {
+	// Pruner applies an OSSM bound (any core.Filter) to candidate
+	// extensions before their diffsets are computed; nil disables it.
+	Pruner core.Filter
+	// MaxLen stops at itemsets of this size (0 = unlimited).
+	MaxLen int
+}
+
+// Stats counts the search work.
+type Stats struct {
+	Classes      int // equivalence classes expanded
+	Extensions   int // candidate extensions considered
+	PrunedByOSSM int // discarded by the bound before diffset computation
+	Diffsets     int // diffsets actually materialized
+}
+
+// Result couples the common mining result with search statistics.
+type Result struct {
+	*mining.Result
+	Eclat Stats
+}
+
+type tidlist []int32
+
+// member is one element of an equivalence class: the prefix extended by
+// item, with its support and its diffset relative to the prefix.
+type member struct {
+	item dataset.Item
+	sup  int64
+	diff tidlist
+}
+
+// Mine runs dEclat over d at the absolute support threshold minCount.
+func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
+	if err := mining.ValidateMinCount(minCount); err != nil {
+		return nil, err
+	}
+	res := &Result{Result: &mining.Result{MinCount: minCount}}
+
+	// Level 1: tidsets.
+	tids := make(map[dataset.Item]tidlist)
+	for i := 0; i < d.NumTx(); i++ {
+		for _, it := range d.Tx(i) {
+			tids[it] = append(tids[it], int32(i))
+		}
+	}
+	var items []dataset.Item
+	for it, tl := range tids {
+		if int64(len(tl)) >= minCount {
+			items = append(items, it)
+		}
+	}
+	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
+
+	var found []mining.Counted
+	for _, it := range items {
+		found = append(found, mining.Counted{Items: dataset.Itemset{it}, Count: int64(len(tids[it]))})
+	}
+	if opts.MaxLen == 1 {
+		res.Result = mining.FromMap(minCount, found)
+		return res, nil
+	}
+
+	// Level 2 seeds each class with diffsets against the level-1 tidsets:
+	// d(xy) = t(x) − t(y), sup(xy) = sup(x) − |d(xy)|.
+	for idx, x := range items {
+		res.Eclat.Classes++
+		var class []member
+		for _, y := range items[idx+1:] {
+			res.Eclat.Extensions++
+			if !core.AdmitPair(opts.Pruner, x, y) {
+				res.Eclat.PrunedByOSSM++
+				continue
+			}
+			res.Eclat.Diffsets++
+			diff := minus(tids[x], tids[y])
+			sup := int64(len(tids[x]) - len(diff))
+			if sup >= minCount {
+				class = append(class, member{item: y, sup: sup, diff: diff})
+			}
+		}
+		for _, m := range class {
+			found = append(found, mining.Counted{Items: dataset.Itemset{x, m.item}, Count: m.sup})
+		}
+		expand(dataset.Itemset{x}, class, minCount, opts, &res.Eclat, &found)
+	}
+	res.Result = mining.FromMap(minCount, found)
+	return res, nil
+}
+
+// expand recurses into each member's subclass:
+// d(P·Xi·Xj) = d(P·Xj) − d(P·Xi), sup = sup(P·Xi) − |d|.
+func expand(prefix dataset.Itemset, class []member, minCount int64, opts Options, st *Stats, out *[]mining.Counted) {
+	if opts.MaxLen != 0 && len(prefix)+2 > opts.MaxLen {
+		return
+	}
+	for i, mi := range class {
+		if i+1 == len(class) {
+			break
+		}
+		st.Classes++
+		newPrefix := append(append(dataset.Itemset{}, prefix...), mi.item)
+		var sub []member
+		for _, mj := range class[i+1:] {
+			st.Extensions++
+			cand := append(append(dataset.Itemset{}, newPrefix...), mj.item)
+			if !core.Admit(opts.Pruner, cand) {
+				st.PrunedByOSSM++
+				continue
+			}
+			st.Diffsets++
+			diff := minus(mj.diff, mi.diff)
+			sup := mi.sup - int64(len(diff))
+			if sup >= minCount {
+				sub = append(sub, member{item: mj.item, sup: sup, diff: diff})
+			}
+		}
+		for _, m := range sub {
+			*out = append(*out, mining.Counted{
+				Items: append(append(dataset.Itemset{}, newPrefix...), m.item),
+				Count: m.sup,
+			})
+		}
+		if len(sub) > 1 {
+			expand(newPrefix, sub, minCount, opts, st, out)
+		}
+	}
+}
+
+// minus returns a − b for sorted tidlists.
+func minus(a, b tidlist) tidlist {
+	var out tidlist
+	j := 0
+	for _, t := range a {
+		for j < len(b) && b[j] < t {
+			j++
+		}
+		if j < len(b) && b[j] == t {
+			continue
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,194 @@
+package eclat
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/apriori"
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func randomDataset(r *rand.Rand) *dataset.Dataset {
+	k := 2 + r.Intn(6)
+	n := 2 + r.Intn(40)
+	b := dataset.NewBuilder(k)
+	for i := 0; i < n; i++ {
+		sz := r.Intn(k + 1)
+		tx := make([]dataset.Item, sz)
+		for j := range tx {
+			tx[j] = dataset.Item(r.Intn(k))
+		}
+		if err := b.Append(tx); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestEclatMatchesApriori(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		ap, err := apriori.Mine(d, minCount, apriori.Options{})
+		if err != nil {
+			return false
+		}
+		ec, err := Mine(d, minCount, Options{})
+		if err != nil {
+			return false
+		}
+		return ap.Equal(ec.Result)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEclatWithOSSMIsLossless(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		plain, err := Mine(d, minCount, Options{})
+		if err != nil {
+			return false
+		}
+		mPages := 1 + r.Intn(d.NumTx())
+		pages := dataset.PaginateN(d, mPages)
+		seg, err := core.Segment(dataset.PageCounts(d, pages), core.Options{
+			Algorithm:      core.AlgGreedy,
+			TargetSegments: 1 + r.Intn(mPages),
+			Seed:           seed,
+		})
+		if err != nil {
+			return false
+		}
+		pruned, err := Mine(d, minCount, Options{
+			Pruner: &core.Pruner{Map: seg.Map, MinCount: minCount},
+		})
+		if err != nil {
+			return false
+		}
+		return plain.Result.Equal(pruned.Result)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOSSMSkipsDiffsets(t *testing.T) {
+	b := dataset.NewBuilder(10)
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 400; i++ {
+		var tx []dataset.Item
+		lo, hi := 0, 5
+		if i >= 200 {
+			lo, hi = 5, 10
+		}
+		for j := lo; j < hi; j++ {
+			if r.Float64() < 0.8 {
+				tx = append(tx, dataset.Item(j))
+			}
+		}
+		if err := b.Append(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := b.Build()
+	minCount := int64(50)
+	plain, err := Mine(d, minCount, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg, err := core.Segment(dataset.PageCounts(d, dataset.PaginateN(d, 8)), core.Options{
+		Algorithm: core.AlgGreedy, TargetSegments: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pruned, err := Mine(d, minCount, Options{
+		Pruner: &core.Pruner{Map: seg.Map, MinCount: minCount},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Result.Equal(pruned.Result) {
+		t.Fatal("OSSM changed dEclat's output")
+	}
+	if pruned.Eclat.PrunedByOSSM == 0 {
+		t.Error("OSSM pruned no extensions on half-split data")
+	}
+	if pruned.Eclat.Diffsets >= plain.Eclat.Diffsets {
+		t.Errorf("diffsets with OSSM (%d) not below without (%d)",
+			pruned.Eclat.Diffsets, plain.Eclat.Diffsets)
+	}
+}
+
+func TestEclatStatsConsistent(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	d := randomDataset(r)
+	res, err := Mine(d, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Eclat.Extensions != res.Eclat.PrunedByOSSM+res.Eclat.Diffsets {
+		t.Errorf("extensions %d ≠ pruned %d + diffsets %d",
+			res.Eclat.Extensions, res.Eclat.PrunedByOSSM, res.Eclat.Diffsets)
+	}
+}
+
+func TestEclatMaxLen(t *testing.T) {
+	d := dataset.MustFromTransactions(4, [][]dataset.Item{
+		{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3},
+	})
+	for maxLen := 1; maxLen <= 4; maxLen++ {
+		res, err := Mine(d, 2, Options{MaxLen: maxLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range res.Levels {
+			if l.K > maxLen {
+				t.Errorf("MaxLen %d: produced level %d", maxLen, l.K)
+			}
+		}
+		ap, err := apriori.Mine(d, 2, apriori.Options{MaxLen: maxLen})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ap.Equal(res.Result) {
+			t.Errorf("MaxLen %d: disagrees with Apriori", maxLen)
+		}
+	}
+}
+
+func TestEclatValidation(t *testing.T) {
+	d := dataset.MustFromTransactions(2, [][]dataset.Item{{0}, {1}})
+	if _, err := Mine(d, 0, Options{}); err == nil {
+		t.Error("minCount 0 accepted")
+	}
+}
+
+func TestMinus(t *testing.T) {
+	cases := []struct{ a, b, want tidlist }{
+		{tidlist{1, 2, 3}, tidlist{2}, tidlist{1, 3}},
+		{tidlist{1, 2}, nil, tidlist{1, 2}},
+		{nil, tidlist{1}, nil},
+		{tidlist{1, 2}, tidlist{1, 2}, nil},
+		{tidlist{5, 7}, tidlist{1, 6, 9}, tidlist{5, 7}},
+	}
+	for _, c := range cases {
+		got := minus(c.a, c.b)
+		if len(got) != len(c.want) {
+			t.Errorf("minus(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("minus(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+			}
+		}
+	}
+}

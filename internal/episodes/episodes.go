@@ -1,0 +1,157 @@
+// Package episodes implements WINEPI-style frequent-episode discovery
+// over event sequences (Mannila, Toivonen & Verkamo, DMKD 1997), one of
+// the pattern classes the paper's introduction lists as benefiting from
+// the OSSM. A transaction here is the set of event types visible in a
+// sliding time window; the frequency of a parallel episode (a set of
+// event types) is the number of windows containing all of them — an
+// instance of the abstract monotone-frequency problem, so the OSSM
+// machinery applies unchanged.
+package episodes
+
+import (
+	"fmt"
+
+	"github.com/ossm-mining/ossm/internal/apriori"
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// Event is one timestamped occurrence of an event type. Timestamps are
+// integral ticks and must be non-decreasing within a sequence.
+type Event struct {
+	Time int
+	Type dataset.Item
+}
+
+// Sequence is an ordered event log over a domain of event types.
+type Sequence struct {
+	Events   []Event
+	NumTypes int
+}
+
+// NewSequence validates and wraps an event log.
+func NewSequence(numTypes int, events []Event) (*Sequence, error) {
+	if numTypes <= 0 {
+		return nil, fmt.Errorf("episodes: NumTypes must be positive, got %d", numTypes)
+	}
+	for i, e := range events {
+		if int(e.Type) >= numTypes {
+			return nil, fmt.Errorf("episodes: event %d type %d out of range (%d types)", i, e.Type, numTypes)
+		}
+		if i > 0 && e.Time < events[i-1].Time {
+			return nil, fmt.Errorf("episodes: event %d time %d before predecessor %d", i, e.Time, events[i-1].Time)
+		}
+	}
+	return &Sequence{Events: events, NumTypes: numTypes}, nil
+}
+
+// FromTypes builds a Sequence with unit-spaced timestamps from a plain
+// list of event types.
+func FromTypes(numTypes int, types []dataset.Item) (*Sequence, error) {
+	events := make([]Event, len(types))
+	for i, tp := range types {
+		events[i] = Event{Time: i, Type: tp}
+	}
+	return NewSequence(numTypes, events)
+}
+
+// Windows converts the sequence into the window dataset: one transaction
+// per window position, holding the distinct event types in [t, t+width).
+// Following WINEPI, a window is generated for every start time from
+// first.Time − width + 1 through last.Time, so every event appears in
+// exactly width windows.
+func (s *Sequence) Windows(width int) (*dataset.Dataset, error) {
+	if width <= 0 {
+		return nil, fmt.Errorf("episodes: window width must be positive, got %d", width)
+	}
+	b := dataset.NewBuilder(s.NumTypes)
+	if len(s.Events) == 0 {
+		return b.Build(), nil
+	}
+	first := s.Events[0].Time - width + 1
+	last := s.Events[len(s.Events)-1].Time
+	lo := 0
+	var inWin []dataset.Item
+	for start := first; start <= last; start++ {
+		end := start + width // window is [start, end)
+		for lo < len(s.Events) && s.Events[lo].Time < start {
+			lo++
+		}
+		inWin = inWin[:0]
+		for i := lo; i < len(s.Events) && s.Events[i].Time < end; i++ {
+			inWin = append(inWin, s.Events[i].Type)
+		}
+		if err := b.Append(inWin); err != nil {
+			return nil, err
+		}
+	}
+	return b.Build(), nil
+}
+
+// Options configures Mine.
+type Options struct {
+	// Width is the sliding-window width in ticks (required).
+	Width int
+	// MinFrequency is the minimum fraction of windows an episode must
+	// occur in, the paper's min_fr (required, in (0, 1]).
+	MinFrequency float64
+	// Segmentation, if non-nil, builds an OSSM over the window dataset
+	// and prunes candidate episodes with it.
+	Segmentation *core.Options
+	// Pages is the page count used when building the OSSM (default 32,
+	// clamped to the window count).
+	Pages int
+	// MaxLen bounds episode size (0 = unlimited).
+	MaxLen int
+}
+
+// Result carries the frequent parallel episodes (as itemsets of event
+// types over the window dataset) plus the OSSM pruning counters.
+type Result struct {
+	*mining.Result
+	Windows int   // number of windows examined
+	Checked int64 // candidates tested against the OSSM bound
+	Pruned  int64 // candidates rejected by it
+}
+
+// Mine discovers all frequent parallel episodes of s.
+func Mine(s *Sequence, opts Options) (*Result, error) {
+	if opts.MinFrequency <= 0 || opts.MinFrequency > 1 {
+		return nil, fmt.Errorf("episodes: MinFrequency must be in (0,1], got %g", opts.MinFrequency)
+	}
+	wins, err := s.Windows(opts.Width)
+	if err != nil {
+		return nil, err
+	}
+	if wins.NumTx() == 0 {
+		return &Result{Result: &mining.Result{MinCount: 1}}, nil
+	}
+	minCount := mining.MinCountFor(wins, opts.MinFrequency)
+
+	var pruner *core.Pruner
+	if opts.Segmentation != nil {
+		pages := opts.Pages
+		if pages == 0 {
+			pages = 32
+		}
+		if pages > wins.NumTx() {
+			pages = wins.NumTx()
+		}
+		segRows := dataset.PageCounts(wins, dataset.PaginateN(wins, pages))
+		segRes, err := core.Segment(segRows, *opts.Segmentation)
+		if err != nil {
+			return nil, err
+		}
+		pruner = &core.Pruner{Map: segRes.Map, MinCount: minCount}
+	}
+	res, err := apriori.Mine(wins, minCount, apriori.Options{Pruner: pruner, MaxLen: opts.MaxLen})
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{Result: res, Windows: wins.NumTx()}
+	if pruner != nil {
+		out.Checked, out.Pruned = pruner.Checked, pruner.Pruned
+	}
+	return out, nil
+}

@@ -1,0 +1,230 @@
+package episodes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func TestNewSequenceValidation(t *testing.T) {
+	if _, err := NewSequence(0, nil); err == nil {
+		t.Error("NumTypes 0 accepted")
+	}
+	if _, err := NewSequence(2, []Event{{Time: 0, Type: 5}}); err == nil {
+		t.Error("out-of-range type accepted")
+	}
+	if _, err := NewSequence(2, []Event{{Time: 5, Type: 0}, {Time: 3, Type: 1}}); err == nil {
+		t.Error("decreasing timestamps accepted")
+	}
+}
+
+func TestWindowsBasic(t *testing.T) {
+	// Types a=0 b=1 at times 0 and 1, width 2.
+	s, err := FromTypes(2, []dataset.Item{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Windows(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Starts −1, 0, 1: windows {a}, {a,b}, {b}.
+	if w.NumTx() != 3 {
+		t.Fatalf("NumTx = %d, want 3", w.NumTx())
+	}
+	if !w.Tx(0).Equal(dataset.NewItemset(0)) ||
+		!w.Tx(1).Equal(dataset.NewItemset(0, 1)) ||
+		!w.Tx(2).Equal(dataset.NewItemset(1)) {
+		t.Errorf("windows = %v %v %v", w.Tx(0), w.Tx(1), w.Tx(2))
+	}
+}
+
+func TestEveryEventAppearsInWidthWindows(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numTypes := 2 + r.Intn(5)
+		n := 1 + r.Intn(30)
+		types := make([]dataset.Item, n)
+		for i := range types {
+			types[i] = dataset.Item(r.Intn(numTypes))
+		}
+		s, err := FromTypes(numTypes, types)
+		if err != nil {
+			return false
+		}
+		width := 1 + r.Intn(6)
+		w, err := s.Windows(width)
+		if err != nil {
+			return false
+		}
+		// With unit-spaced distinct timestamps, each singleton's window
+		// support is width × (occurrences)… only when occurrences are
+		// spaced ≥ width apart; in general it is the number of distinct
+		// window starts covering any occurrence. Check the exact
+		// definition instead: support of {type} equals the number of
+		// start positions s.t. some event of that type lies in the
+		// window.
+		counts := w.ItemCounts(0, w.NumTx())
+		for tp := 0; tp < numTypes; tp++ {
+			want := 0
+			first := s.Events[0].Time - width + 1
+			last := s.Events[len(s.Events)-1].Time
+			for start := first; start <= last; start++ {
+				for _, e := range s.Events {
+					if e.Type == dataset.Item(tp) && e.Time >= start && e.Time < start+width {
+						want++
+						break
+					}
+				}
+			}
+			if int(counts[tp]) != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowsValidation(t *testing.T) {
+	s, _ := FromTypes(2, []dataset.Item{0})
+	if _, err := s.Windows(0); err == nil {
+		t.Error("width 0 accepted")
+	}
+}
+
+func TestMineFindsCoOccurringEpisode(t *testing.T) {
+	// Types 0 and 1 always fire together; type 2 fires alone, far away.
+	var types []dataset.Item
+	for i := 0; i < 50; i++ {
+		types = append(types, 0, 1, 2)
+	}
+	s, err := FromTypes(3, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(s, Options{Width: 2, MinFrequency: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Support(dataset.NewItemset(0, 1)); !ok {
+		t.Error("episode {0,1} not found despite perfect co-occurrence")
+	}
+}
+
+func TestMineWithOSSMIsLossless(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numTypes := 2 + r.Intn(4)
+		n := 10 + r.Intn(60)
+		types := make([]dataset.Item, n)
+		for i := range types {
+			types[i] = dataset.Item(r.Intn(numTypes))
+		}
+		s, err := FromTypes(numTypes, types)
+		if err != nil {
+			return false
+		}
+		width := 1 + r.Intn(4)
+		plain, err := Mine(s, Options{Width: width, MinFrequency: 0.1})
+		if err != nil {
+			return false
+		}
+		withOSSM, err := Mine(s, Options{
+			Width: width, MinFrequency: 0.1,
+			Segmentation: &core.Options{
+				Algorithm:      core.AlgGreedy,
+				TargetSegments: 4,
+				Seed:           seed,
+			},
+			Pages: 8,
+		})
+		if err != nil {
+			return false
+		}
+		return plain.Result.Equal(withOSSM.Result)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineOSSMPrunesDriftingEpisodes(t *testing.T) {
+	// First half of the log only types {0,1}, second half only {2,3}:
+	// cross-phase episodes are prunable from the segment supports.
+	var types []dataset.Item
+	for i := 0; i < 200; i++ {
+		types = append(types, dataset.Item(i%2))
+	}
+	for i := 0; i < 200; i++ {
+		types = append(types, dataset.Item(2+i%2))
+	}
+	s, err := FromTypes(4, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(s, Options{
+		Width: 4, MinFrequency: 0.3,
+		Segmentation: &core.Options{Algorithm: core.AlgGreedy, TargetSegments: 4},
+		Pages:        16,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pruned == 0 {
+		t.Error("OSSM pruned no episode candidates on a phase-split log")
+	}
+}
+
+func TestMineValidation(t *testing.T) {
+	s, _ := FromTypes(2, []dataset.Item{0, 1})
+	if _, err := Mine(s, Options{Width: 2, MinFrequency: 0}); err == nil {
+		t.Error("MinFrequency 0 accepted")
+	}
+	if _, err := Mine(s, Options{Width: 2, MinFrequency: 1.5}); err == nil {
+		t.Error("MinFrequency > 1 accepted")
+	}
+	if _, err := Mine(s, Options{Width: 0, MinFrequency: 0.5}); err == nil {
+		t.Error("width 0 accepted")
+	}
+}
+
+func TestMineEmptySequence(t *testing.T) {
+	s, err := NewSequence(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Mine(s, Options{Width: 3, MinFrequency: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrequent() != 0 || res.Windows != 0 {
+		t.Errorf("empty sequence mined %d episodes over %d windows", res.NumFrequent(), res.Windows)
+	}
+}
+
+func TestTimestampGaps(t *testing.T) {
+	// Events at times 0 and 10 with width 3 never share a window.
+	s, err := NewSequence(2, []Event{{Time: 0, Type: 0}, {Time: 10, Type: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := s.Windows(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < w.NumTx(); i++ {
+		if len(w.Tx(i)) == 2 {
+			t.Fatal("distant events share a window")
+		}
+	}
+	// Starts −2 … 10 → 13 windows.
+	if w.NumTx() != 13 {
+		t.Errorf("NumTx = %d, want 13", w.NumTx())
+	}
+}

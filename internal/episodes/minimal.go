@@ -1,0 +1,207 @@
+package episodes
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// MINEPI-style mining (Mannila, Toivonen & Verkamo, DMKD 1997): instead
+// of counting sliding windows, count the *minimal occurrences* of each
+// serial episode — intervals [s, e] in which the episode occurs but no
+// proper sub-interval does — subject to a maximum width. Minimal
+// occurrences compose by interval joins, so each level is computed from
+// the previous one without rescanning the sequence.
+//
+// The OSSM still applies: every minimal occurrence of width ≤ W starts
+// at a distinct time s and is contained in the window [s, s+W), so the
+// number of qualifying minimal occurrences is bounded by the episode's
+// type-set support in the width-W window dataset — exactly the bound
+// equation (1) provides.
+
+// Interval is a closed time interval [Start, End].
+type Interval struct {
+	Start, End int
+}
+
+// Width returns the interval's width in ticks (inclusive).
+func (iv Interval) Width() int { return iv.End - iv.Start + 1 }
+
+// MinimalOptions configures MineMinimal.
+type MinimalOptions struct {
+	// MaxWidth is the maximum minimal-occurrence width W (required).
+	MaxWidth int
+	// MinCount is the minimum number of qualifying minimal occurrences
+	// (required, ≥ 1).
+	MinCount int64
+	// MaxLen bounds episode length (0 = unlimited).
+	MaxLen int
+	// Segmentation, if non-nil, builds an OSSM over the width-W window
+	// dataset and prunes candidate episodes with it.
+	Segmentation *core.Options
+	// Pages is the page count for the OSSM (default 32).
+	Pages int
+}
+
+// CountedMinimal is a frequent serial episode with its minimal
+// occurrences.
+type CountedMinimal struct {
+	Episode     SerialEpisode
+	Occurrences []Interval // minimal occurrences of width ≤ MaxWidth, by start time
+}
+
+// Count returns the number of qualifying minimal occurrences.
+func (c CountedMinimal) Count() int64 { return int64(len(c.Occurrences)) }
+
+// MinimalResult is the output of MineMinimal.
+type MinimalResult struct {
+	MinCount int64
+	Levels   [][]CountedMinimal
+	Checked  int64 // candidates tested against the OSSM bound
+	Pruned   int64 // candidates rejected by it
+}
+
+// NumFrequent returns the total number of frequent episodes.
+func (r *MinimalResult) NumFrequent() int {
+	n := 0
+	for _, l := range r.Levels {
+		n += len(l)
+	}
+	return n
+}
+
+// Support looks up an episode's minimal-occurrence count.
+func (r *MinimalResult) Support(e SerialEpisode) (int64, bool) {
+	if len(e) == 0 || len(e) > len(r.Levels) {
+		return 0, false
+	}
+	for _, c := range r.Levels[len(e)-1] {
+		if c.Episode.Key() == e.Key() {
+			return c.Count(), true
+		}
+	}
+	return 0, false
+}
+
+// MineMinimal discovers all serial episodes with at least MinCount
+// minimal occurrences of width at most MaxWidth.
+func MineMinimal(s *Sequence, opts MinimalOptions) (*MinimalResult, error) {
+	if opts.MaxWidth <= 0 {
+		return nil, fmt.Errorf("episodes: MaxWidth must be positive, got %d", opts.MaxWidth)
+	}
+	if opts.MinCount < 1 {
+		return nil, fmt.Errorf("episodes: MinCount must be ≥ 1, got %d", opts.MinCount)
+	}
+	res := &MinimalResult{MinCount: opts.MinCount}
+
+	var pruner core.Filter
+	if opts.Segmentation != nil {
+		wins, err := s.Windows(opts.MaxWidth)
+		if err != nil {
+			return nil, err
+		}
+		if wins.NumTx() > 0 {
+			pages := opts.Pages
+			if pages == 0 {
+				pages = 32
+			}
+			if pages > wins.NumTx() {
+				pages = wins.NumTx()
+			}
+			segRes, err := core.Segment(dataset.PageCounts(wins, dataset.PaginateN(wins, pages)), *opts.Segmentation)
+			if err != nil {
+				return nil, err
+			}
+			pruner = &core.Pruner{Map: segRes.Map, MinCount: opts.MinCount}
+		}
+	}
+
+	// Level 1: each occurrence of a type is a (trivially minimal)
+	// occurrence of width 1.
+	occTimes := make(map[dataset.Item][]int)
+	for _, ev := range s.Events {
+		occTimes[ev.Type] = append(occTimes[ev.Type], ev.Time)
+	}
+	var level []CountedMinimal
+	var freqTypes []dataset.Item
+	for tp, times := range occTimes {
+		if int64(len(times)) < opts.MinCount {
+			continue
+		}
+		ivs := make([]Interval, len(times))
+		for i, t := range times {
+			ivs[i] = Interval{Start: t, End: t}
+		}
+		level = append(level, CountedMinimal{Episode: SerialEpisode{tp}, Occurrences: ivs})
+		freqTypes = append(freqTypes, tp)
+	}
+	sort.Slice(level, func(i, j int) bool { return level[i].Episode[0] < level[j].Episode[0] })
+	sort.Slice(freqTypes, func(i, j int) bool { return freqTypes[i] < freqTypes[j] })
+	res.Levels = append(res.Levels, level)
+
+	for k := 2; len(level) > 0 && (opts.MaxLen == 0 || k <= opts.MaxLen); k++ {
+		prevKeys := make(map[string]bool, len(level))
+		for _, c := range level {
+			prevKeys[c.Episode.Key()] = true
+		}
+		var next []CountedMinimal
+		for _, c := range level {
+			for _, e := range freqTypes {
+				cand := append(append(SerialEpisode{}, c.Episode...), e)
+				if !prevKeys[SerialEpisode(cand[1:]).Key()] {
+					continue
+				}
+				if pruner != nil {
+					res.Checked++
+					if !pruner.Allow(cand.TypeSet()) {
+						res.Pruned++
+						continue
+					}
+				}
+				mo := joinMinimal(c.Occurrences, occTimes[e], opts.MaxWidth)
+				if int64(len(mo)) >= opts.MinCount {
+					next = append(next, CountedMinimal{Episode: cand, Occurrences: mo})
+				}
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		res.Levels = append(res.Levels, next)
+		level = next
+	}
+	return res, nil
+}
+
+// joinMinimal extends each minimal occurrence of the prefix with the
+// earliest later occurrence of the appended type, then keeps the
+// minimal, width-bounded intervals. Prefix occurrences arrive sorted by
+// start (and, being minimal, by end); times is sorted ascending.
+func joinMinimal(prefix []Interval, times []int, maxWidth int) []Interval {
+	var cands []Interval
+	for _, iv := range prefix {
+		// Earliest occurrence of the new type strictly after the prefix
+		// ends.
+		idx := sort.SearchInts(times, iv.End+1)
+		if idx == len(times) {
+			continue
+		}
+		end := times[idx]
+		if end-iv.Start+1 > maxWidth {
+			continue
+		}
+		cands = append(cands, Interval{Start: iv.Start, End: end})
+	}
+	// Minimality: starts strictly increase along cands; an interval is
+	// non-minimal iff a later candidate ends no later (it nests inside).
+	var out []Interval
+	for i, iv := range cands {
+		if i+1 < len(cands) && cands[i+1].End <= iv.End {
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}

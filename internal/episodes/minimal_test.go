@@ -1,0 +1,251 @@
+package episodes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func TestMineMinimalValidation(t *testing.T) {
+	s, _ := FromTypes(2, []dataset.Item{0, 1})
+	if _, err := MineMinimal(s, MinimalOptions{MaxWidth: 0, MinCount: 1}); err == nil {
+		t.Error("MaxWidth 0 accepted")
+	}
+	if _, err := MineMinimal(s, MinimalOptions{MaxWidth: 2, MinCount: 0}); err == nil {
+		t.Error("MinCount 0 accepted")
+	}
+}
+
+func TestMineMinimalHandComputed(t *testing.T) {
+	// Log: A B A B at times 0..3, W=2.
+	// mo(A) = [0,0],[2,2]; mo(B) = [1,1],[3,3].
+	// mo(A→B) = [0,1],[2,3] (both width 2).
+	// mo(B→A) = [1,2].
+	// mo(A→A), mo(B→B): width 3 > W → none.
+	s, err := FromTypes(2, []dataset.Item{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineMinimal(s, MinimalOptions{MaxWidth: 2, MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := res.Support(SerialEpisode{0, 1}); !ok || got != 2 {
+		t.Errorf("mo-count(A→B) = %d,%v; want 2", got, ok)
+	}
+	if got, ok := res.Support(SerialEpisode{1, 0}); !ok || got != 1 {
+		t.Errorf("mo-count(B→A) = %d,%v; want 1", got, ok)
+	}
+	if _, ok := res.Support(SerialEpisode{0, 0}); ok {
+		t.Error("A→A should exceed the width bound")
+	}
+	// Check the intervals themselves.
+	for _, c := range res.Levels[1] {
+		if c.Episode.Key() == (SerialEpisode{0, 1}).Key() {
+			want := []Interval{{0, 1}, {2, 3}}
+			if len(c.Occurrences) != 2 || c.Occurrences[0] != want[0] || c.Occurrences[1] != want[1] {
+				t.Errorf("mo(A→B) = %v, want %v", c.Occurrences, want)
+			}
+		}
+	}
+}
+
+func TestMinimalityFilter(t *testing.T) {
+	// Log: A A B. Candidate occurrences of A→B: [0,2] and [1,2]; [0,2]
+	// contains [1,2] → only [1,2] is minimal.
+	s, err := FromTypes(2, []dataset.Item{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineMinimal(s, MinimalOptions{MaxWidth: 3, MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Levels[1] {
+		if c.Episode.Key() == (SerialEpisode{0, 1}).Key() {
+			if len(c.Occurrences) != 1 || c.Occurrences[0] != (Interval{1, 2}) {
+				t.Errorf("mo(A→B) = %v, want [{1 2}]", c.Occurrences)
+			}
+		}
+	}
+}
+
+// bruteMinimal enumerates minimal occurrences by checking every interval.
+func bruteMinimal(s *Sequence, ep SerialEpisode, maxWidth int) []Interval {
+	if len(s.Events) == 0 {
+		return nil
+	}
+	lo := s.Events[0].Time
+	hi := s.Events[len(s.Events)-1].Time
+	occursIn := func(a, b int) bool {
+		j := 0
+		for _, ev := range s.Events {
+			if ev.Time < a || ev.Time > b {
+				continue
+			}
+			if ev.Type == ep[j] {
+				j++
+				if j == len(ep) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var out []Interval
+	for a := lo; a <= hi; a++ {
+		for b := a; b <= hi && b-a+1 <= maxWidth; b++ {
+			if !occursIn(a, b) {
+				continue
+			}
+			// Minimal iff neither [a+1,b] nor [a,b-1] contains it.
+			if occursIn(a+1, b) || (b > a && occursIn(a, b-1)) {
+				continue
+			}
+			out = append(out, Interval{a, b})
+		}
+	}
+	return out
+}
+
+func TestMineMinimalMatchesBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numTypes := 2 + r.Intn(3)
+		n := 8 + r.Intn(30)
+		types := make([]dataset.Item, n)
+		for i := range types {
+			types[i] = dataset.Item(r.Intn(numTypes))
+		}
+		s, err := FromTypes(numTypes, types)
+		if err != nil {
+			return false
+		}
+		maxWidth := 2 + r.Intn(4)
+		res, err := MineMinimal(s, MinimalOptions{MaxWidth: maxWidth, MinCount: 1, MaxLen: 3})
+		if err != nil {
+			return false
+		}
+		for _, level := range res.Levels {
+			for _, c := range level {
+				want := bruteMinimal(s, c.Episode, maxWidth)
+				if len(want) != len(c.Occurrences) {
+					return false
+				}
+				for i := range want {
+					if want[i] != c.Occurrences[i] {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineMinimalAntiMonotone(t *testing.T) {
+	// Prefix and drop-first subepisodes have at least as many qualifying
+	// minimal occurrences.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numTypes := 2 + r.Intn(3)
+		n := 10 + r.Intn(40)
+		types := make([]dataset.Item, n)
+		for i := range types {
+			types[i] = dataset.Item(r.Intn(numTypes))
+		}
+		s, err := FromTypes(numTypes, types)
+		if err != nil {
+			return false
+		}
+		res, err := MineMinimal(s, MinimalOptions{MaxWidth: 2 + r.Intn(3), MinCount: 1, MaxLen: 4})
+		if err != nil {
+			return false
+		}
+		for k := 1; k < len(res.Levels); k++ {
+			for _, c := range res.Levels[k] {
+				for _, sub := range []SerialEpisode{c.Episode[1:], c.Episode[:len(c.Episode)-1]} {
+					supSub, ok := res.Support(sub)
+					if !ok || supSub < c.Count() {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineMinimalWithOSSMIsLossless(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numTypes := 2 + r.Intn(3)
+		n := 20 + r.Intn(60)
+		types := make([]dataset.Item, n)
+		for i := range types {
+			types[i] = dataset.Item(r.Intn(numTypes))
+		}
+		s, err := FromTypes(numTypes, types)
+		if err != nil {
+			return false
+		}
+		opts := MinimalOptions{MaxWidth: 3, MinCount: 2, MaxLen: 3}
+		plain, err := MineMinimal(s, opts)
+		if err != nil {
+			return false
+		}
+		opts.Segmentation = &core.Options{Algorithm: core.AlgGreedy, TargetSegments: 4, Seed: seed}
+		opts.Pages = 8
+		pruned, err := MineMinimal(s, opts)
+		if err != nil {
+			return false
+		}
+		if plain.NumFrequent() != pruned.NumFrequent() {
+			return false
+		}
+		for _, level := range plain.Levels {
+			for _, c := range level {
+				got, ok := pruned.Support(c.Episode)
+				if !ok || got != c.Count() {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineMinimalEmpty(t *testing.T) {
+	s, err := NewSequence(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineMinimal(s, MinimalOptions{MaxWidth: 3, MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrequent() != 0 {
+		t.Errorf("NumFrequent = %d on empty log", res.NumFrequent())
+	}
+}
+
+func TestIntervalWidth(t *testing.T) {
+	if (Interval{3, 5}).Width() != 3 {
+		t.Error("Width wrong")
+	}
+	if (Interval{4, 4}).Width() != 1 {
+		t.Error("point interval width wrong")
+	}
+}

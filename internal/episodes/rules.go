@@ -1,0 +1,67 @@
+package episodes
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Episode rules, the downstream product of MINEPI: "if the prefix α
+// occurs, the full episode β follows within the width bound", with
+// confidence mo-count(β) / mo-count(α). Only prefix antecedents are
+// generated (the classical serial-episode rule form).
+
+// EpisodeRule is a serial-episode rule α ⇒ β (α a proper prefix of β).
+type EpisodeRule struct {
+	Antecedent SerialEpisode
+	Consequent SerialEpisode // the full episode
+	Support    int64         // mo-count of the full episode
+	Confidence float64
+}
+
+// String renders the rule as "a → b ⇒ a → b → c (...)".
+func (r EpisodeRule) String() string {
+	return fmt.Sprintf("%s ⇒ %s (sup=%d conf=%.3f)",
+		r.Antecedent, r.Consequent, r.Support, r.Confidence)
+}
+
+// Rules derives every prefix rule with confidence ≥ minConf from a
+// MINEPI result, sorted by descending confidence then support.
+func (r *MinimalResult) Rules(minConf float64) ([]EpisodeRule, error) {
+	if minConf < 0 || minConf > 1 {
+		return nil, fmt.Errorf("episodes: minConf must be in [0,1], got %g", minConf)
+	}
+	var out []EpisodeRule
+	for k := 1; k < len(r.Levels); k++ {
+		for _, c := range r.Levels[k] {
+			for plen := 1; plen < len(c.Episode); plen++ {
+				ante := c.Episode[:plen]
+				supA, ok := r.Support(ante)
+				if !ok || supA == 0 {
+					// The antecedent must be frequent (anti-monotonicity),
+					// but guard anyway.
+					continue
+				}
+				conf := float64(c.Count()) / float64(supA)
+				if conf < minConf {
+					continue
+				}
+				out = append(out, EpisodeRule{
+					Antecedent: ante,
+					Consequent: c.Episode,
+					Support:    c.Count(),
+					Confidence: conf,
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Consequent.Key() < out[j].Consequent.Key()
+	})
+	return out, nil
+}

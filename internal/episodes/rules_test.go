@@ -1,0 +1,107 @@
+package episodes
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func TestEpisodeRulesHandComputed(t *testing.T) {
+	// A B A B: mo(A)=2, mo(B)=2, mo(A→B)=2, mo(B→A)=1 at W=2.
+	// Rule A ⇒ A→B: conf 2/2 = 1. Rule B ⇒ B→A: conf 1/2 = 0.5.
+	s, err := FromTypes(2, []dataset.Item{0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineMinimal(s, MinimalOptions{MaxWidth: 2, MinCount: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := res.Rules(0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) != 2 {
+		t.Fatalf("rules = %v, want 2", rules)
+	}
+	if rules[0].Confidence != 1.0 || rules[0].Consequent.Key() != (SerialEpisode{0, 1}).Key() {
+		t.Errorf("best rule = %v", rules[0])
+	}
+	if math.Abs(rules[1].Confidence-0.5) > 1e-9 {
+		t.Errorf("second rule = %v", rules[1])
+	}
+	if !strings.Contains(rules[0].String(), "⇒") {
+		t.Errorf("String = %q", rules[0].String())
+	}
+	// High threshold filters the weaker rule.
+	strict, err := res.Rules(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strict) != 1 {
+		t.Errorf("strict rules = %v, want 1", strict)
+	}
+}
+
+func TestEpisodeRulesValidation(t *testing.T) {
+	res := &MinimalResult{}
+	if _, err := res.Rules(-0.1); err == nil {
+		t.Error("negative minConf accepted")
+	}
+	if _, err := res.Rules(1.1); err == nil {
+		t.Error("minConf > 1 accepted")
+	}
+}
+
+func TestEpisodeRulesConfidenceConsistent(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numTypes := 2 + r.Intn(3)
+		n := 10 + r.Intn(40)
+		types := make([]dataset.Item, n)
+		for i := range types {
+			types[i] = dataset.Item(r.Intn(numTypes))
+		}
+		s, err := FromTypes(numTypes, types)
+		if err != nil {
+			return false
+		}
+		res, err := MineMinimal(s, MinimalOptions{MaxWidth: 3, MinCount: 1, MaxLen: 3})
+		if err != nil {
+			return false
+		}
+		minConf := r.Float64()
+		rules, err := res.Rules(minConf)
+		if err != nil {
+			return false
+		}
+		for _, rule := range rules {
+			supA, okA := res.Support(rule.Antecedent)
+			supB, okB := res.Support(rule.Consequent)
+			if !okA || !okB || supB != rule.Support {
+				return false
+			}
+			conf := float64(supB) / float64(supA)
+			if math.Abs(conf-rule.Confidence) > 1e-9 || conf < minConf {
+				return false
+			}
+			// Antecedent is a proper prefix.
+			if len(rule.Antecedent) >= len(rule.Consequent) {
+				return false
+			}
+			for i, tp := range rule.Antecedent {
+				if rule.Consequent[i] != tp {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,225 @@
+package episodes
+
+import (
+	"fmt"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// SerialEpisode is an ordered tuple of event types; it occurs in a
+// window when events of those types appear in that order (as a
+// subsequence of the window's events). Repeated types are legal
+// (A → A is the classic "alarm repeats within w ticks" pattern).
+type SerialEpisode []dataset.Item
+
+// Key returns a canonical map key (order-sensitive, unlike Itemset.Key).
+func (e SerialEpisode) Key() string {
+	b := make([]byte, 0, 4*len(e))
+	for _, it := range e {
+		b = append(b, byte(it), byte(it>>8), byte(it>>16), byte(it>>24))
+	}
+	return string(b)
+}
+
+// String renders the episode as "a → b → c".
+func (e SerialEpisode) String() string {
+	s := ""
+	for i, it := range e {
+		if i > 0 {
+			s += " → "
+		}
+		s += fmt.Sprintf("%d", it)
+	}
+	return s
+}
+
+// TypeSet returns the distinct event types of the episode — the itemset
+// the OSSM bound applies to (every window containing the episode
+// contains each of its types, so the bound stays sound).
+func (e SerialEpisode) TypeSet() dataset.Itemset {
+	return dataset.NewItemset(e...)
+}
+
+// CountedSerial is a frequent serial episode with its window count.
+type CountedSerial struct {
+	Episode SerialEpisode
+	Count   int64
+}
+
+// SerialResult is the output of MineSerial.
+type SerialResult struct {
+	Windows  int
+	MinCount int64
+	Levels   [][]CountedSerial // Levels[k-1] holds the frequent k-episodes
+	Checked  int64             // candidates tested against the OSSM bound
+	Pruned   int64             // candidates rejected by it
+}
+
+// NumFrequent returns the total number of frequent serial episodes.
+func (r *SerialResult) NumFrequent() int {
+	n := 0
+	for _, l := range r.Levels {
+		n += len(l)
+	}
+	return n
+}
+
+// Support looks up the window count of an episode.
+func (r *SerialResult) Support(e SerialEpisode) (int64, bool) {
+	if len(e) == 0 || len(e) > len(r.Levels) {
+		return 0, false
+	}
+	for _, c := range r.Levels[len(e)-1] {
+		if c.Episode.Key() == e.Key() {
+			return c.Count, true
+		}
+	}
+	return 0, false
+}
+
+// MineSerial discovers all frequent serial episodes of s with the
+// level-wise WINEPI strategy: frequent k-episodes are extended by
+// frequent types, pruned by their (k-1)-subepisodes, optionally pruned
+// by an OSSM over the window dataset, and counted against the sliding
+// windows.
+func MineSerial(s *Sequence, opts Options) (*SerialResult, error) {
+	if opts.MinFrequency <= 0 || opts.MinFrequency > 1 {
+		return nil, fmt.Errorf("episodes: MinFrequency must be in (0,1], got %g", opts.MinFrequency)
+	}
+	if opts.Width <= 0 {
+		return nil, fmt.Errorf("episodes: window width must be positive, got %d", opts.Width)
+	}
+	wins, err := s.Windows(opts.Width)
+	if err != nil {
+		return nil, err
+	}
+	res := &SerialResult{Windows: wins.NumTx()}
+	if wins.NumTx() == 0 {
+		res.MinCount = 1
+		return res, nil
+	}
+	minCount := mining.MinCountFor(wins, opts.MinFrequency)
+	res.MinCount = minCount
+
+	var pruner core.Filter
+	if opts.Segmentation != nil {
+		pages := opts.Pages
+		if pages == 0 {
+			pages = 32
+		}
+		if pages > wins.NumTx() {
+			pages = wins.NumTx()
+		}
+		segRes, err := core.Segment(dataset.PageCounts(wins, dataset.PaginateN(wins, pages)), *opts.Segmentation)
+		if err != nil {
+			return nil, err
+		}
+		pruner = &core.Pruner{Map: segRes.Map, MinCount: minCount}
+	}
+
+	// Level 1: window frequency of each type is its singleton support in
+	// the window dataset.
+	counts := wins.ItemCounts(0, wins.NumTx())
+	var level []CountedSerial
+	var freqTypes []dataset.Item
+	for it, c := range counts {
+		if int64(c) >= minCount {
+			level = append(level, CountedSerial{Episode: SerialEpisode{dataset.Item(it)}, Count: int64(c)})
+			freqTypes = append(freqTypes, dataset.Item(it))
+		}
+	}
+	res.Levels = append(res.Levels, level)
+
+	for k := 2; len(level) > 0 && (opts.MaxLen == 0 || k <= opts.MaxLen); k++ {
+		prevKeys := make(map[string]bool, len(level))
+		for _, c := range level {
+			prevKeys[c.Episode.Key()] = true
+		}
+		// Generate candidates: extend each frequent (k-1)-episode by each
+		// frequent type; prune unless the drop-first subepisode is also
+		// frequent.
+		var cands []SerialEpisode
+		for _, c := range level {
+			for _, e := range freqTypes {
+				cand := append(append(SerialEpisode{}, c.Episode...), e)
+				if !prevKeys[SerialEpisode(cand[1:]).Key()] {
+					continue
+				}
+				if pruner != nil {
+					res.Checked++
+					if !pruner.Allow(cand.TypeSet()) {
+						res.Pruned++
+						continue
+					}
+				}
+				cands = append(cands, cand)
+			}
+		}
+		if len(cands) == 0 {
+			break
+		}
+		counts := countSerial(s, opts.Width, cands)
+		var next []CountedSerial
+		for i, cand := range cands {
+			if counts[i] >= minCount {
+				next = append(next, CountedSerial{Episode: cand, Count: counts[i]})
+			}
+		}
+		if len(next) == 0 {
+			break
+		}
+		res.Levels = append(res.Levels, next)
+		level = next
+	}
+	return res, nil
+}
+
+// countSerial counts, for each candidate, the number of windows in which
+// it occurs as a time-ordered subsequence.
+func countSerial(s *Sequence, width int, cands []SerialEpisode) []int64 {
+	counts := make([]int64, len(cands))
+	if len(s.Events) == 0 {
+		return counts
+	}
+	first := s.Events[0].Time - width + 1
+	last := s.Events[len(s.Events)-1].Time
+	lo := 0
+	for start := first; start <= last; start++ {
+		end := start + width
+		for lo < len(s.Events) && s.Events[lo].Time < start {
+			lo++
+		}
+		hi := lo
+		for hi < len(s.Events) && s.Events[hi].Time < end {
+			hi++
+		}
+		if hi == lo {
+			continue
+		}
+		window := s.Events[lo:hi]
+		for i, cand := range cands {
+			if occursSerial(cand, window) {
+				counts[i]++
+			}
+		}
+	}
+	return counts
+}
+
+// occursSerial reports whether ep is a subsequence of the window's
+// events in time order. Events sharing a timestamp are matched in log
+// order, the usual WINEPI convention for totally-ordered logs.
+func occursSerial(ep SerialEpisode, window []Event) bool {
+	j := 0
+	for _, ev := range window {
+		if ev.Type == ep[j] {
+			j++
+			if j == len(ep) {
+				return true
+			}
+		}
+	}
+	return false
+}

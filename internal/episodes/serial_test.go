@@ -1,0 +1,257 @@
+package episodes
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func TestSerialEpisodeBasics(t *testing.T) {
+	e := SerialEpisode{3, 1, 3}
+	if e.String() != "3 → 1 → 3" {
+		t.Errorf("String = %q", e.String())
+	}
+	if !e.TypeSet().Equal(dataset.NewItemset(1, 3)) {
+		t.Errorf("TypeSet = %v, want {1,3}", e.TypeSet())
+	}
+	// Key is order-sensitive.
+	if (SerialEpisode{1, 2}).Key() == (SerialEpisode{2, 1}).Key() {
+		t.Error("Key not order-sensitive")
+	}
+}
+
+func TestOccursSerial(t *testing.T) {
+	win := []Event{{0, 1}, {1, 2}, {2, 1}, {3, 3}}
+	cases := []struct {
+		ep   SerialEpisode
+		want bool
+	}{
+		{SerialEpisode{1}, true},
+		{SerialEpisode{1, 2}, true},
+		{SerialEpisode{2, 1}, true}, // 2 at t1, 1 at t2
+		{SerialEpisode{1, 1}, true}, // t0 and t2
+		{SerialEpisode{3, 1}, false},
+		{SerialEpisode{1, 2, 1, 3}, true},
+		{SerialEpisode{2, 2}, false},
+	}
+	for _, c := range cases {
+		if got := occursSerial(c.ep, win); got != c.want {
+			t.Errorf("occursSerial(%v) = %v, want %v", c.ep, got, c.want)
+		}
+	}
+}
+
+func TestMineSerialOrderSensitivity(t *testing.T) {
+	// The log is strictly "0 then 1" in every burst: 0,1 pairs with a gap
+	// before the next burst. 0→1 must be frequent; 1→0 must not (bursts
+	// are separated by more than the window).
+	var events []Event
+	tick := 0
+	for i := 0; i < 60; i++ {
+		events = append(events, Event{Time: tick, Type: 0}, Event{Time: tick + 1, Type: 1})
+		tick += 10
+	}
+	s, err := NewSequence(2, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineSerial(s, Options{Width: 3, MinFrequency: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Support(SerialEpisode{0, 1}); !ok {
+		t.Error("0 → 1 not frequent despite occurring in every burst")
+	}
+	if _, ok := res.Support(SerialEpisode{1, 0}); ok {
+		t.Error("1 → 0 reported frequent despite never occurring")
+	}
+}
+
+func TestMineSerialRepeatedType(t *testing.T) {
+	// A repeats every tick → A→A frequent at width 2.
+	var types []dataset.Item
+	for i := 0; i < 50; i++ {
+		types = append(types, 0)
+	}
+	s, err := FromTypes(1, types)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineSerial(s, Options{Width: 2, MinFrequency: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Support(SerialEpisode{0, 0}); !ok {
+		t.Error("A → A not found in a constant stream")
+	}
+}
+
+// bruteForceSerial counts an episode's windows directly.
+func bruteForceSerial(s *Sequence, width int, ep SerialEpisode) int64 {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	first := s.Events[0].Time - width + 1
+	last := s.Events[len(s.Events)-1].Time
+	var n int64
+	for start := first; start <= last; start++ {
+		var win []Event
+		for _, ev := range s.Events {
+			if ev.Time >= start && ev.Time < start+width {
+				win = append(win, ev)
+			}
+		}
+		if len(win) > 0 && occursSerial(ep, win) {
+			n++
+		}
+	}
+	return n
+}
+
+func TestMineSerialCountsMatchBruteForce(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numTypes := 2 + r.Intn(3)
+		n := 10 + r.Intn(40)
+		types := make([]dataset.Item, n)
+		for i := range types {
+			types[i] = dataset.Item(r.Intn(numTypes))
+		}
+		s, err := FromTypes(numTypes, types)
+		if err != nil {
+			return false
+		}
+		width := 1 + r.Intn(4)
+		res, err := MineSerial(s, Options{Width: width, MinFrequency: 0.05, MaxLen: 3})
+		if err != nil {
+			return false
+		}
+		for _, level := range res.Levels {
+			for _, c := range level {
+				if c.Count != bruteForceSerial(s, width, c.Episode) {
+					return false
+				}
+				if c.Count < res.MinCount {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineSerialDownwardClosure(t *testing.T) {
+	// Every prefix and suffix of a frequent serial episode is frequent.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numTypes := 2 + r.Intn(3)
+		n := 10 + r.Intn(40)
+		types := make([]dataset.Item, n)
+		for i := range types {
+			types[i] = dataset.Item(r.Intn(numTypes))
+		}
+		s, err := FromTypes(numTypes, types)
+		if err != nil {
+			return false
+		}
+		res, err := MineSerial(s, Options{Width: 1 + r.Intn(4), MinFrequency: 0.05, MaxLen: 4})
+		if err != nil {
+			return false
+		}
+		for k := 1; k < len(res.Levels); k++ {
+			for _, c := range res.Levels[k] {
+				if _, ok := res.Support(c.Episode[1:]); !ok {
+					return false
+				}
+				if _, ok := res.Support(c.Episode[:len(c.Episode)-1]); !ok {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineSerialWithOSSMIsLossless(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numTypes := 2 + r.Intn(3)
+		n := 20 + r.Intn(60)
+		types := make([]dataset.Item, n)
+		for i := range types {
+			types[i] = dataset.Item(r.Intn(numTypes))
+		}
+		s, err := FromTypes(numTypes, types)
+		if err != nil {
+			return false
+		}
+		width := 1 + r.Intn(4)
+		plain, err := MineSerial(s, Options{Width: width, MinFrequency: 0.1, MaxLen: 3})
+		if err != nil {
+			return false
+		}
+		pruned, err := MineSerial(s, Options{
+			Width: width, MinFrequency: 0.1, MaxLen: 3,
+			Segmentation: &core.Options{Algorithm: core.AlgGreedy, TargetSegments: 4, Seed: seed},
+			Pages:        8,
+		})
+		if err != nil {
+			return false
+		}
+		if plain.NumFrequent() != pruned.NumFrequent() {
+			return false
+		}
+		for k, level := range plain.Levels {
+			for _, c := range level {
+				got, ok := pruned.Support(c.Episode)
+				if !ok || got != c.Count {
+					return false
+				}
+			}
+			_ = k
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMineSerialValidation(t *testing.T) {
+	s, _ := FromTypes(2, []dataset.Item{0, 1})
+	if _, err := MineSerial(s, Options{Width: 0, MinFrequency: 0.5}); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := MineSerial(s, Options{Width: 2, MinFrequency: 0}); err == nil {
+		t.Error("MinFrequency 0 accepted")
+	}
+}
+
+func TestMineSerialEmpty(t *testing.T) {
+	s, err := NewSequence(2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineSerial(s, Options{Width: 2, MinFrequency: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrequent() != 0 {
+		t.Errorf("NumFrequent = %d on an empty log", res.NumFrequent())
+	}
+	if _, ok := res.Support(SerialEpisode{0}); ok {
+		t.Error("Support found an episode in an empty result")
+	}
+	if _, ok := res.Support(SerialEpisode{}); ok {
+		t.Error("empty episode reported supported")
+	}
+}

@@ -1,0 +1,167 @@
+// Package fpgrowth implements the FP-growth algorithm of Han, Pei and Yin
+// (SIGMOD 2000), the candidate-generation-free framework the paper's
+// related-work section contrasts the OSSM against. It serves two roles
+// here: an independent oracle for cross-validating every candidate-based
+// miner, and the subject of the framework-comparison ablation (FP-growth
+// is query-dependent and memory-resident; the OSSM is query-independent
+// and sized to fit any memory budget).
+package fpgrowth
+
+import (
+	"sort"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// Options configures Mine.
+type Options struct {
+	// MaxLen stops at itemsets of this size (0 = unlimited).
+	MaxLen int
+}
+
+// fpNode is one node of an FP-tree.
+type fpNode struct {
+	item     dataset.Item
+	count    int64
+	parent   *fpNode
+	children map[dataset.Item]*fpNode
+	next     *fpNode // header-table chain of same-item nodes
+}
+
+// fpTree is an FP-tree with its header table.
+type fpTree struct {
+	root    *fpNode
+	heads   map[dataset.Item]*fpNode // first node of each item's chain
+	counts  map[dataset.Item]int64   // item frequency within this tree
+	ordered []dataset.Item           // frequent items, ascending frequency
+}
+
+// newTree builds an FP-tree from weighted transactions: each input is an
+// item list with a multiplicity (1 for raw transactions; conditional
+// pattern bases carry counts).
+func newTree(txs []weighted, minCount int64) *fpTree {
+	t := &fpTree{
+		root:   &fpNode{children: make(map[dataset.Item]*fpNode)},
+		heads:  make(map[dataset.Item]*fpNode),
+		counts: make(map[dataset.Item]int64),
+	}
+	for _, w := range txs {
+		for _, it := range w.items {
+			t.counts[it] += w.count
+		}
+	}
+	freq := make(map[dataset.Item]int64)
+	for it, c := range t.counts {
+		if c >= minCount {
+			freq[it] = c
+			t.ordered = append(t.ordered, it)
+		}
+	}
+	// Descending frequency, ties by item id — the canonical FP-tree item
+	// order (reused in reverse for mining).
+	sort.Slice(t.ordered, func(i, j int) bool {
+		ci, cj := freq[t.ordered[i]], freq[t.ordered[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return t.ordered[i] < t.ordered[j]
+	})
+	rank := make(map[dataset.Item]int, len(t.ordered))
+	for i, it := range t.ordered {
+		rank[it] = i
+	}
+	buf := make([]dataset.Item, 0, 32)
+	for _, w := range txs {
+		buf = buf[:0]
+		for _, it := range w.items {
+			if _, ok := freq[it]; ok {
+				buf = append(buf, it)
+			}
+		}
+		sort.Slice(buf, func(i, j int) bool { return rank[buf[i]] < rank[buf[j]] })
+		t.insert(buf, w.count)
+	}
+	return t
+}
+
+type weighted struct {
+	items []dataset.Item
+	count int64
+}
+
+func (t *fpTree) insert(path []dataset.Item, count int64) {
+	node := t.root
+	for _, it := range path {
+		child := node.children[it]
+		if child == nil {
+			child = &fpNode{
+				item:     it,
+				parent:   node,
+				children: make(map[dataset.Item]*fpNode),
+				next:     t.heads[it],
+			}
+			t.heads[it] = child
+			node.children[it] = child
+		}
+		child.count += count
+		node = child
+	}
+}
+
+// conditionalBase collects the prefix paths of every node of item it,
+// each weighted by that node's count.
+func (t *fpTree) conditionalBase(it dataset.Item) []weighted {
+	var base []weighted
+	for node := t.heads[it]; node != nil; node = node.next {
+		var path []dataset.Item
+		for p := node.parent; p != nil && p.parent != nil; p = p.parent {
+			path = append(path, p.item)
+		}
+		if len(path) > 0 {
+			base = append(base, weighted{items: path, count: node.count})
+		}
+	}
+	return base
+}
+
+// Mine runs FP-growth over d at the absolute support threshold minCount.
+func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, error) {
+	if err := mining.ValidateMinCount(minCount); err != nil {
+		return nil, err
+	}
+	txs := make([]weighted, 0, d.NumTx())
+	for i := 0; i < d.NumTx(); i++ {
+		tx := d.Tx(i)
+		if len(tx) > 0 {
+			txs = append(txs, weighted{items: tx, count: 1})
+		}
+	}
+	tree := newTree(txs, minCount)
+	var found []mining.Counted
+	growth(tree, nil, minCount, opts.MaxLen, &found)
+	return mining.FromMap(minCount, found), nil
+}
+
+// growth is the recursive FP-growth step: for each frequent item of the
+// tree (ascending frequency), emit suffix ∪ {item} and recurse into the
+// conditional tree.
+func growth(t *fpTree, suffix dataset.Itemset, minCount int64, maxLen int, out *[]mining.Counted) {
+	// Iterate ascending frequency = reverse of ordered.
+	for i := len(t.ordered) - 1; i >= 0; i-- {
+		it := t.ordered[i]
+		items := suffix.Union(dataset.Itemset{it})
+		*out = append(*out, mining.Counted{Items: items, Count: t.counts[it]})
+		if maxLen != 0 && len(items) >= maxLen {
+			continue
+		}
+		base := t.conditionalBase(it)
+		if len(base) == 0 {
+			continue
+		}
+		cond := newTree(base, minCount)
+		if len(cond.ordered) > 0 {
+			growth(cond, items, minCount, maxLen, out)
+		}
+	}
+}

@@ -1,0 +1,118 @@
+package fpgrowth
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/apriori"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func randomDataset(r *rand.Rand) *dataset.Dataset {
+	k := 2 + r.Intn(6)
+	n := 2 + r.Intn(40)
+	b := dataset.NewBuilder(k)
+	for i := 0; i < n; i++ {
+		sz := r.Intn(k + 1)
+		tx := make([]dataset.Item, sz)
+		for j := range tx {
+			tx[j] = dataset.Item(r.Intn(k))
+		}
+		if err := b.Append(tx); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestFPGrowthClassicExample(t *testing.T) {
+	// The running example of the FP-growth paper (minsup 3), item-coded:
+	// f=0 c=1 a=2 b=3 m=4 p=5 (others mapped above).
+	d := dataset.MustFromTransactions(11, [][]dataset.Item{
+		{0, 2, 1, 6, 7, 4, 5},    // f a c d g i m p
+		{2, 3, 1, 0, 8, 4, 9},    // a b c f l m o
+		{3, 0, 10, 9},            // b f h j o — j,h mapped to 10 (dedup ok: use distinct)
+		{3, 1, 5, 6},             // b c k(→6?) s p — approximate
+		{2, 0, 1, 7, 8, 5, 4, 6}, // a f c e l p m n
+	})
+	res, err := Mine(d, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ap, err := apriori.Mine(d, 3, apriori.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ap.Equal(res) {
+		t.Errorf("FP-growth disagrees with Apriori on the classic example:\nfp = %v\nap = %v", res.AsMap(), ap.AsMap())
+	}
+	// Spot-check a known frequent pattern: {f, c, m} i.e. {0,1,4} has
+	// support 3 in this encoding.
+	if got, ok := res.Support(dataset.NewItemset(0, 1, 4)); !ok || got != 3 {
+		t.Errorf("Support({f,c,m}) = %d,%v; want 3,true", got, ok)
+	}
+}
+
+func TestFPGrowthMatchesApriori(t *testing.T) {
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		ap, err := apriori.Mine(d, minCount, apriori.Options{})
+		if err != nil {
+			return false
+		}
+		fp, err := Mine(d, minCount, Options{})
+		if err != nil {
+			return false
+		}
+		return ap.Equal(fp)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFPGrowthMaxLen(t *testing.T) {
+	d := dataset.MustFromTransactions(3, [][]dataset.Item{
+		{0, 1, 2}, {0, 1, 2}, {0, 1, 2},
+	})
+	res, err := Mine(d, 2, Options{MaxLen: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range res.Levels {
+		if l.K > 2 {
+			t.Errorf("level %d produced despite MaxLen 2", l.K)
+		}
+	}
+	if res.NumFrequent() != 6 { // 3 singletons + 3 pairs
+		t.Errorf("NumFrequent = %d, want 6", res.NumFrequent())
+	}
+}
+
+func TestFPGrowthValidation(t *testing.T) {
+	d := dataset.MustFromTransactions(2, [][]dataset.Item{{0}, {1}})
+	if _, err := Mine(d, 0, Options{}); err == nil {
+		t.Error("minCount 0 accepted")
+	}
+}
+
+func TestFPGrowthEmptyAndSparse(t *testing.T) {
+	d := dataset.MustFromTransactions(3, [][]dataset.Item{{}, {}, {1}})
+	res, err := Mine(d, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumFrequent() != 0 {
+		t.Errorf("NumFrequent = %d, want 0", res.NumFrequent())
+	}
+	res1, err := Mine(d, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.NumFrequent() != 1 {
+		t.Errorf("NumFrequent = %d, want 1 ({1})", res1.NumFrequent())
+	}
+}

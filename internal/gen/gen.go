@@ -1,0 +1,76 @@
+// Package gen provides the synthetic workload generators used by the
+// paper's evaluation (Section 6.1):
+//
+//   - Quest: a reimplementation of the IBM Almaden Quest association-rule
+//     generator of Agrawal & Srikant ("regular-synthetic").
+//   - Skewed: a "seasonal" variant where half the items favor the first
+//     half of the collection and half favor the second ("skewed-synthetic").
+//   - Alarm: a surrogate for the proprietary Nokia telecommunication-alarm
+//     data set — bursty, cascade-correlated alarm transactions.
+//
+// Every generator is fully deterministic given its Seed.
+package gen
+
+import (
+	"math"
+	"math/rand"
+)
+
+// poisson draws from a Poisson distribution with the given mean using
+// Knuth's product-of-uniforms method; adequate for the small means
+// (transaction and pattern sizes) used here.
+func poisson(r *rand.Rand, mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// clamped01 draws from Normal(mean, sd) truncated into [0, 1].
+func clamped01(r *rand.Rand, mean, sd float64) float64 {
+	v := r.NormFloat64()*sd + mean
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// weightedPick returns an index into cum, a cumulative weight table, for a
+// uniform draw in [0, cum[len-1]).
+func weightedPick(r *rand.Rand, cum []float64) int {
+	total := cum[len(cum)-1]
+	x := r.Float64() * total
+	lo, hi := 0, len(cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if cum[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// cumulative converts weights into a cumulative table for weightedPick.
+func cumulative(weights []float64) []float64 {
+	cum := make([]float64, len(weights))
+	sum := 0.0
+	for i, w := range weights {
+		sum += w
+		cum[i] = sum
+	}
+	return cum
+}

@@ -1,0 +1,39 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// ShuffleBlocks permutes a dataset at block granularity: transactions are
+// grouped into consecutive blocks of blockTx and the blocks are shuffled.
+// Within-block locality (what a page sees) survives; file-order locality
+// (what a contiguous segmentation could exploit for free) is destroyed.
+//
+// This models multi-source data — a warehouse batch-loading pages from
+// many stores or network elements — and is the regime where the paper's
+// sumdiff-driven algorithms (Greedy, RC) separate from the arbitrary
+// Random partition: similar pages exist but are scattered, so they must
+// be *found*.
+func ShuffleBlocks(d *dataset.Dataset, blockTx int, seed int64) (*dataset.Dataset, error) {
+	if blockTx <= 0 {
+		return nil, fmt.Errorf("gen: blockTx must be positive, got %d", blockTx)
+	}
+	n := d.NumTx()
+	numBlocks := (n + blockTx - 1) / blockTx
+	order := rand.New(rand.NewSource(seed)).Perm(numBlocks)
+	perm := make([]int, 0, n)
+	for _, b := range order {
+		lo := b * blockTx
+		hi := lo + blockTx
+		if hi > n {
+			hi = n
+		}
+		for i := lo; i < hi; i++ {
+			perm = append(perm, i)
+		}
+	}
+	return d.Reorder(perm), nil
+}

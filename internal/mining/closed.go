@@ -1,0 +1,83 @@
+package mining
+
+// Closed and maximal itemset post-processing. The paper's introduction
+// lists closed sets (Pasquier et al., ICDT 1999) among the pattern
+// classes whose counting the OSSM accelerates; these filters derive the
+// condensed representations from a full mining result.
+
+// Closed returns the frequent itemsets with no frequent proper superset
+// of equal support (the closed frequent itemsets). The input result must
+// be downward-closed (as every miner here produces); the output is in
+// level order, lexicographic within a level.
+func Closed(r *Result) []Counted {
+	var out []Counted
+	for li, l := range r.Levels {
+		next := map[string]int64{}
+		if li+1 < len(r.Levels) && r.Levels[li+1].K == l.K+1 {
+			for _, c := range r.Levels[li+1].Frequent {
+				next[c.Items.Key()] = c.Count
+			}
+		}
+		for _, c := range l.Frequent {
+			closed := true
+			// A superset of equal support exists iff some (k+1)-extension
+			// within the next level matches the count. Only frequent
+			// supersets can match: sup(superset) ≤ sup(c), and if an
+			// *infrequent* superset had equal support, c itself would be
+			// infrequent.
+			for key, cnt := range next {
+				if cnt == c.Count && supersetKey(c, key, r) {
+					closed = false
+					break
+				}
+			}
+			if closed {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}
+
+// supersetKey reports whether the itemset behind key (a member of the
+// next level) is a superset of c. Keys are canonical, so we look the
+// itemset up in the result rather than parsing.
+func supersetKey(c Counted, key string, r *Result) bool {
+	for _, l := range r.Levels {
+		if l.K != len(c.Items)+1 {
+			continue
+		}
+		for _, s := range l.Frequent {
+			if s.Items.Key() == key {
+				return c.Items.SubsetOf(s.Items)
+			}
+		}
+	}
+	return false
+}
+
+// Maximal returns the frequent itemsets with no frequent proper superset
+// at all (the maximal frequent itemsets, the long-pattern representation
+// of Bayardo's Max-Miner and DepthProject).
+func Maximal(r *Result) []Counted {
+	var out []Counted
+	for li, l := range r.Levels {
+		var next []Counted
+		if li+1 < len(r.Levels) && r.Levels[li+1].K == l.K+1 {
+			next = r.Levels[li+1].Frequent
+		}
+		for _, c := range l.Frequent {
+			maximal := true
+			for _, s := range next {
+				if c.Items.SubsetOf(s.Items) {
+					maximal = false
+					break
+				}
+			}
+			if maximal {
+				out = append(out, c)
+			}
+		}
+	}
+	return out
+}

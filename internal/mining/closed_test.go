@@ -1,0 +1,77 @@
+package mining
+
+import (
+	"testing"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// resultFrom builds a Result from literal counted itemsets.
+func resultFrom(minCount int64, cs ...Counted) *Result {
+	return FromMap(minCount, cs)
+}
+
+func TestClosedAndMaximal(t *testing.T) {
+	// Classic example: tx = {a,b}, {a,b}, {a,b,c}. minCount 1.
+	// Frequent: a:3 b:3 c:1 ab:3 ac:1 bc:1 abc:1.
+	// Closed: {a,b} (3), {a,b,c} (1). ({a} and {b} are absorbed by ab;
+	// {c}, {a,c}, {b,c} absorbed by abc.)
+	// Maximal: {a,b,c} only.
+	res := resultFrom(1,
+		Counted{Items: dataset.NewItemset(0), Count: 3},
+		Counted{Items: dataset.NewItemset(1), Count: 3},
+		Counted{Items: dataset.NewItemset(2), Count: 1},
+		Counted{Items: dataset.NewItemset(0, 1), Count: 3},
+		Counted{Items: dataset.NewItemset(0, 2), Count: 1},
+		Counted{Items: dataset.NewItemset(1, 2), Count: 1},
+		Counted{Items: dataset.NewItemset(0, 1, 2), Count: 1},
+	)
+	closed := Closed(res)
+	wantClosed := map[string]bool{"0,1": true, "0,1,2": true}
+	if len(closed) != len(wantClosed) {
+		t.Fatalf("closed = %v, want keys %v", closed, wantClosed)
+	}
+	for _, c := range closed {
+		if !wantClosed[c.Items.Key()] {
+			t.Errorf("unexpected closed itemset %v", c.Items)
+		}
+	}
+	maximal := Maximal(res)
+	if len(maximal) != 1 || maximal[0].Items.Key() != "0,1,2" {
+		t.Errorf("maximal = %v, want [{0,1,2}]", maximal)
+	}
+}
+
+func TestClosedOfFlatResult(t *testing.T) {
+	// Singletons only: everything is closed and maximal.
+	res := resultFrom(1,
+		Counted{Items: dataset.NewItemset(0), Count: 2},
+		Counted{Items: dataset.NewItemset(1), Count: 5},
+	)
+	if got := Closed(res); len(got) != 2 {
+		t.Errorf("closed = %v, want both singletons", got)
+	}
+	if got := Maximal(res); len(got) != 2 {
+		t.Errorf("maximal = %v, want both singletons", got)
+	}
+}
+
+func TestMaximalSubsetOfClosed(t *testing.T) {
+	// Structural fact: every maximal itemset is closed.
+	res := resultFrom(1,
+		Counted{Items: dataset.NewItemset(0), Count: 4},
+		Counted{Items: dataset.NewItemset(1), Count: 4},
+		Counted{Items: dataset.NewItemset(2), Count: 3},
+		Counted{Items: dataset.NewItemset(0, 1), Count: 3},
+		Counted{Items: dataset.NewItemset(0, 2), Count: 3},
+	)
+	closedKeys := map[string]bool{}
+	for _, c := range Closed(res) {
+		closedKeys[c.Items.Key()] = true
+	}
+	for _, m := range Maximal(res) {
+		if !closedKeys[m.Items.Key()] {
+			t.Errorf("maximal %v not closed", m.Items)
+		}
+	}
+}

@@ -1,0 +1,59 @@
+package mining
+
+import (
+	"testing"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func TestHashTreeLeafSplit(t *testing.T) {
+	// More than maxLeaf candidates with a shared first item force leaf
+	// splits several levels deep.
+	var cands []*Candidate
+	for j := 1; j <= 20; j++ {
+		cands = append(cands, &Candidate{Items: dataset.NewItemset(0, dataset.Item(j))})
+	}
+	tree := NewHashTree(cands, 2)
+	tx := dataset.NewItemset(0, 3, 7, 11)
+	tree.CountTransaction(tx, 0, nil)
+	for _, c := range cands {
+		want := int64(0)
+		if c.Items.SubsetOf(tx) {
+			want = 1
+		}
+		if c.Count != want {
+			t.Errorf("candidate %v count = %d, want %d", c.Items, c.Count, want)
+		}
+	}
+}
+
+func TestHashTreeShortTransactionSkipped(t *testing.T) {
+	cands := []*Candidate{{Items: dataset.NewItemset(1, 2, 3)}}
+	tree := NewHashTree(cands, 3)
+	tree.CountTransaction(dataset.NewItemset(1, 2), 0, nil)
+	if cands[0].Count != 0 {
+		t.Error("transaction shorter than candidate size was counted")
+	}
+}
+
+func TestHashTreeOnMatchOncePerTransaction(t *testing.T) {
+	// Items 0 and 32 collide under fanout 32, creating duplicate hash
+	// paths; onMatch must still fire exactly once per contained candidate
+	// per transaction.
+	cands := []*Candidate{
+		{Items: dataset.NewItemset(0, 33)},
+		{Items: dataset.NewItemset(32, 33)},
+	}
+	tree := NewHashTree(cands, 2)
+	calls := map[string]int{}
+	tx := dataset.NewItemset(0, 32, 33)
+	tree.CountTransaction(tx, 7, func(c *Candidate) { calls[c.Items.Key()]++ })
+	for _, c := range cands {
+		if calls[c.Items.Key()] != 1 {
+			t.Errorf("onMatch for %v fired %d times, want 1", c.Items, calls[c.Items.Key()])
+		}
+		if c.Count != 1 {
+			t.Errorf("count for %v = %d, want 1", c.Items, c.Count)
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Package partition implements the Partition algorithm of Savasere,
+// Omiecinski and Navathe (VLDB 1995): the database is split into
+// partitions small enough to mine in memory with vertical tidlists; the
+// union of locally frequent itemsets forms the global candidate set,
+// which a second pass counts exactly.
+//
+// Section 7 of the OSSM paper describes two integration points, both
+// supported here: a per-partition OSSM pruning local candidates, and a
+// global OSSM pruning global candidates before the counting pass.
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// Options configures Mine.
+type Options struct {
+	// NumPartitions splits the database; defaults to 1 when zero (which
+	// degenerates into plain vertical mining).
+	NumPartitions int
+	// Pruner applies a global OSSM (any core.Filter) to the global
+	// candidate set before the phase-2 counting scan.
+	Pruner core.Filter
+	// LocalPruner, if non-nil, supplies a filter for each partition's
+	// local mining (built, e.g., from a per-partition OSSM).
+	LocalPruner func(part int, lo, hi int) core.Filter
+	// LocalOSSM, if non-nil, builds a per-partition OSSM automatically
+	// (Section 7: "if an OSSM is built for each partition, the execution
+	// time for each partition will be significantly reduced") with the
+	// given segmentation options, pruning each partition's local mining
+	// at its local threshold. Ignored when LocalPruner is set.
+	LocalOSSM *core.Options
+	// LocalPages is the page count per partition for LocalOSSM (0 ⇒ 4 ×
+	// TargetSegments, clamped to the partition size).
+	LocalPages int
+	// MaxLen stops at itemsets of this size (0 = unlimited).
+	MaxLen int
+}
+
+// Stats carries Partition-specific accounting.
+type Stats struct {
+	NumPartitions    int
+	LocalFrequent    int // locally frequent itemsets summed over partitions (before union)
+	GlobalCandidates int // distinct candidates entering phase 2
+	GlobalPruned     int // removed from phase 2 by the global OSSM
+	// CrossPruned counts global candidates removed by the *combined*
+	// per-partition OSSMs (Section 7: itemsets locally frequent in one
+	// partition but "known to be globally infrequent with respect to the
+	// OSSMs"). Only populated when LocalOSSM is set.
+	CrossPruned int
+}
+
+// Result couples the common mining result with Partition's statistics.
+type Result struct {
+	*mining.Result
+	Partition Stats
+}
+
+// Mine runs Partition over d at the absolute support threshold minCount.
+func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
+	if err := mining.ValidateMinCount(minCount); err != nil {
+		return nil, err
+	}
+	np := opts.NumPartitions
+	if np == 0 {
+		np = 1
+	}
+	if np < 1 || np > d.NumTx() {
+		return nil, fmt.Errorf("partition: NumPartitions %d out of range [1, %d]", np, d.NumTx())
+	}
+	parts := dataset.PaginateN(d, np)
+	res := &Result{Result: &mining.Result{MinCount: minCount}, Partition: Stats{NumPartitions: np}}
+
+	// Phase 1: mine each partition locally. When LocalOSSM is set, the
+	// per-partition maps are kept: stacked together they form a combined
+	// OSSM over the whole collection (each partition's segments are
+	// segments of the union), which Section 7 uses to prune global
+	// candidates before phase 2.
+	candidates := make(map[string]dataset.Itemset)
+	var stackedRows [][]uint32
+	for pi, p := range parts {
+		localMin := localMinCount(minCount, p.Len(), d.NumTx())
+		var pruner core.Filter
+		switch {
+		case opts.LocalPruner != nil:
+			pruner = opts.LocalPruner(pi, p.Lo, p.Hi)
+		case opts.LocalOSSM != nil:
+			lp, err := localOSSMPruner(d, p, localMin, *opts.LocalOSSM, opts.LocalPages)
+			if err != nil {
+				return nil, fmt.Errorf("partition %d: %w", pi, err)
+			}
+			pruner = lp
+			m := lp.(*core.Pruner).Map
+			for s := 0; s < m.NumSegments(); s++ {
+				row := make([]uint32, d.NumItems())
+				copy(row, m.SegmentRow(s))
+				stackedRows = append(stackedRows, row)
+			}
+		}
+		local := mineVertical(d, p, localMin, opts.MaxLen, pruner)
+		res.Partition.LocalFrequent += len(local)
+		for _, x := range local {
+			candidates[x.Key()] = x
+		}
+	}
+	res.Partition.GlobalCandidates = len(candidates)
+
+	// The combined per-partition OSSM prunes at the *global* threshold.
+	var crossPruner *core.Pruner
+	if len(stackedRows) > 0 {
+		combined, err := core.NewMap(stackedRows)
+		if err != nil {
+			return nil, err
+		}
+		crossPruner = &core.Pruner{Map: combined, MinCount: minCount}
+	}
+
+	// Phase 2: prune with the combined per-partition OSSM and the global
+	// OSSM, then count exactly against global tidlists.
+	var toCount []dataset.Itemset
+	for _, x := range candidates {
+		if crossPruner != nil && !crossPruner.Allow(x) {
+			res.Partition.CrossPruned++
+			continue
+		}
+		if core.Admit(opts.Pruner, x) {
+			toCount = append(toCount, x)
+		} else {
+			res.Partition.GlobalPruned++
+		}
+	}
+	neededItem := make(map[dataset.Item]bool)
+	for _, x := range toCount {
+		for _, it := range x {
+			neededItem[it] = true
+		}
+	}
+	tids := buildTidlists(d, 0, d.NumTx(), neededItem)
+	var found []mining.Counted
+	for _, x := range toCount {
+		if c := supportByIntersection(tids, x, minCount); c >= minCount {
+			found = append(found, mining.Counted{Items: x, Count: c})
+		}
+	}
+	res.Result = mining.FromMap(minCount, found)
+	return res, nil
+}
+
+// localOSSMPruner builds the Section 7 per-partition OSSM: the
+// partition's own pages, segmented with the given options, pruning at
+// the partition-local threshold.
+func localOSSMPruner(d *dataset.Dataset, p dataset.Page, localMin int64, segOpts core.Options, localPages int) (core.Filter, error) {
+	if localPages == 0 {
+		localPages = 4 * segOpts.TargetSegments
+	}
+	if localPages > p.Len() {
+		localPages = p.Len()
+	}
+	if localPages < 1 {
+		localPages = 1
+	}
+	pages := make([]dataset.Page, 0, localPages)
+	base, rem := p.Len()/localPages, p.Len()%localPages
+	lo := p.Lo
+	for i := 0; i < localPages; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		pages = append(pages, dataset.Page{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	seg, err := core.Segment(dataset.PageCounts(d, pages), segOpts)
+	if err != nil {
+		return nil, err
+	}
+	return &core.Pruner{Map: seg.Map, MinCount: localMin}, nil
+}
+
+// localMinCount scales the global threshold to a partition:
+// ceil(minCount · partLen / total). Pigeonhole guarantees every globally
+// frequent itemset meets this bound in at least one partition.
+func localMinCount(minCount int64, partLen, total int) int64 {
+	num := minCount * int64(partLen)
+	lm := num / int64(total)
+	if num%int64(total) != 0 {
+		lm++
+	}
+	if lm < 1 {
+		lm = 1
+	}
+	return lm
+}
+
+// tidlist is a sorted list of local transaction indices.
+type tidlist []int32
+
+// buildTidlists scans [lo,hi) once and returns a tidlist per requested
+// item (nil filter ⇒ every item).
+func buildTidlists(d *dataset.Dataset, lo, hi int, filter map[dataset.Item]bool) map[dataset.Item]tidlist {
+	out := make(map[dataset.Item]tidlist)
+	for i := lo; i < hi; i++ {
+		for _, it := range d.Tx(i) {
+			if filter == nil || filter[it] {
+				out[it] = append(out[it], int32(i-lo))
+			}
+		}
+	}
+	return out
+}
+
+// intersect returns a ∩ b (both sorted).
+func intersect(a, b tidlist) tidlist {
+	var out tidlist
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// supportByIntersection counts sup(x) by progressive tidlist
+// intersection, aborting (returning a value < minCount) as soon as the
+// running intersection proves the candidate infrequent.
+func supportByIntersection(tids map[dataset.Item]tidlist, x dataset.Itemset, minCount int64) int64 {
+	cur := tids[x[0]]
+	if int64(len(cur)) < minCount {
+		return int64(len(cur))
+	}
+	for _, it := range x[1:] {
+		cur = intersect(cur, tids[it])
+		if int64(len(cur)) < minCount {
+			return int64(len(cur))
+		}
+	}
+	return int64(len(cur))
+}
+
+// mineVertical mines all locally frequent itemsets of a partition with
+// level-wise candidate generation and tidlist intersection counting — the
+// in-memory engine of the original Partition algorithm.
+func mineVertical(d *dataset.Dataset, p dataset.Page, localMin int64, maxLen int, pruner core.Filter) []dataset.Itemset {
+	tids := buildTidlists(d, p.Lo, p.Hi, nil)
+	var level []node
+	for it, tl := range tids {
+		if int64(len(tl)) >= localMin {
+			level = append(level, node{items: dataset.NewItemset(it), tids: tl})
+		}
+	}
+	sortNodes(level)
+	var out []dataset.Itemset
+	for _, n := range level {
+		out = append(out, n.items)
+	}
+	for k := 2; len(level) >= 2 && (maxLen == 0 || k <= maxLen); k++ {
+		known := make(map[string]bool, len(level))
+		for _, n := range level {
+			known[n.items.Key()] = true
+		}
+		var next []node
+		for i := 0; i < len(level); i++ {
+			a := level[i]
+			for j := i + 1; j < len(level); j++ {
+				b := level[j]
+				if !samePrefix(a.items, b.items) {
+					break
+				}
+				cand := append(append(dataset.Itemset{}, a.items...), b.items[len(b.items)-1])
+				if !hasAllSubsets(cand, known) {
+					continue
+				}
+				if !core.Admit(pruner, cand) {
+					continue
+				}
+				tl := intersect(a.tids, b.tids)
+				if int64(len(tl)) >= localMin {
+					next = append(next, node{items: cand, tids: tl})
+				}
+			}
+		}
+		sortNodes(next)
+		for _, n := range next {
+			out = append(out, n.items)
+		}
+		level = next
+	}
+	return out
+}
+
+// node is a locally frequent itemset with its partition-local tidlist.
+type node struct {
+	items dataset.Itemset
+	tids  tidlist
+}
+
+func sortNodes(ns []node) {
+	sort.Slice(ns, func(i, j int) bool { return ns[i].items.Compare(ns[j].items) < 0 })
+}
+
+func samePrefix(a, b dataset.Itemset) bool {
+	for i := 0; i < len(a)-1; i++ {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func hasAllSubsets(cand dataset.Itemset, known map[string]bool) bool {
+	for i := range cand {
+		if !known[cand.Without(i).Key()] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,90 @@
+// Package rules derives association rules from a set of mined frequent
+// itemsets — the downstream consumer that motivates frequency counting in
+// the first place (Agrawal, Imielinski & Swami, SIGMOD 1993).
+package rules
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// Rule is an association rule A ⇒ C with its quality measures.
+type Rule struct {
+	Antecedent dataset.Itemset
+	Consequent dataset.Itemset
+	Support    int64   // sup(A ∪ C)
+	Confidence float64 // sup(A ∪ C) / sup(A)
+	Lift       float64 // confidence / (sup(C) / N)
+}
+
+// String renders the rule human-readably.
+func (r Rule) String() string {
+	return fmt.Sprintf("%v => %v (sup=%d conf=%.3f lift=%.2f)",
+		r.Antecedent, r.Consequent, r.Support, r.Confidence, r.Lift)
+}
+
+// Generate derives every rule with confidence ≥ minConf from the frequent
+// itemsets of res. numTx is the transaction count of the mined dataset
+// (needed for lift). Antecedent and consequent supports are looked up in
+// res itself — by downward closure every subset of a frequent itemset is
+// present. Rules are returned sorted by descending confidence, then
+// descending support, then antecedent order.
+func Generate(res *mining.Result, numTx int, minConf float64) ([]Rule, error) {
+	if minConf < 0 || minConf > 1 {
+		return nil, fmt.Errorf("rules: minConf must be in [0,1], got %g", minConf)
+	}
+	if numTx <= 0 {
+		return nil, fmt.Errorf("rules: numTx must be positive, got %d", numTx)
+	}
+	supports := res.AsMap()
+	var out []Rule
+	for _, c := range res.All() {
+		n := len(c.Items)
+		if n < 2 {
+			continue
+		}
+		// Every non-empty proper subset as antecedent.
+		for mask := 1; mask < (1<<n)-1; mask++ {
+			var ante, cons dataset.Itemset
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					ante = append(ante, c.Items[i])
+				} else {
+					cons = append(cons, c.Items[i])
+				}
+			}
+			supA, ok := supports[ante.Key()]
+			if !ok {
+				return nil, fmt.Errorf("rules: support of antecedent %v missing from result", ante)
+			}
+			conf := float64(c.Count) / float64(supA)
+			if conf < minConf {
+				continue
+			}
+			supC, ok := supports[cons.Key()]
+			if !ok {
+				return nil, fmt.Errorf("rules: support of consequent %v missing from result", cons)
+			}
+			out = append(out, Rule{
+				Antecedent: ante,
+				Consequent: cons,
+				Support:    c.Count,
+				Confidence: conf,
+				Lift:       conf / (float64(supC) / float64(numTx)),
+			})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Confidence != out[j].Confidence {
+			return out[i].Confidence > out[j].Confidence
+		}
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Antecedent.Compare(out[j].Antecedent) < 0
+	})
+	return out, nil
+}

@@ -1,0 +1,174 @@
+package rules
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/ossm-mining/ossm/internal/apriori"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func mineTiny(t *testing.T) (*dataset.Dataset, []Rule) {
+	t.Helper()
+	d := dataset.MustFromTransactions(3, [][]dataset.Item{
+		{0, 1},
+		{0, 1},
+		{0, 1, 2},
+		{0},
+		{2},
+	})
+	res, err := apriori.Mine(d, 2, apriori.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Generate(res, d.NumTx(), 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, rs
+}
+
+func TestGenerateTiny(t *testing.T) {
+	// sup(0)=4, sup(1)=3, sup({0,1})=3.
+	// 1 ⇒ 0: conf 1.0, lift 1/(4/5)=1.25.
+	// 0 ⇒ 1: conf 0.75, lift 0.75/(3/5)=1.25.
+	_, rs := mineTiny(t)
+	if len(rs) != 2 {
+		t.Fatalf("got %d rules, want 2: %v", len(rs), rs)
+	}
+	r0 := rs[0]
+	if !r0.Antecedent.Equal(dataset.NewItemset(1)) || !r0.Consequent.Equal(dataset.NewItemset(0)) {
+		t.Errorf("best rule = %v, want 1 ⇒ 0", r0)
+	}
+	if r0.Confidence != 1.0 || math.Abs(r0.Lift-1.25) > 1e-9 || r0.Support != 3 {
+		t.Errorf("rule metrics = %+v", r0)
+	}
+	r1 := rs[1]
+	if math.Abs(r1.Confidence-0.75) > 1e-9 || math.Abs(r1.Lift-1.25) > 1e-9 {
+		t.Errorf("second rule metrics = %+v", r1)
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	d := dataset.MustFromTransactions(2, [][]dataset.Item{{0, 1}})
+	res, err := apriori.Mine(d, 1, apriori.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Generate(res, d.NumTx(), -0.1); err == nil {
+		t.Error("negative minConf accepted")
+	}
+	if _, err := Generate(res, d.NumTx(), 1.5); err == nil {
+		t.Error("minConf > 1 accepted")
+	}
+	if _, err := Generate(res, 0, 0.5); err == nil {
+		t.Error("numTx 0 accepted")
+	}
+}
+
+func randomDataset(r *rand.Rand) *dataset.Dataset {
+	k := 2 + r.Intn(5)
+	n := 2 + r.Intn(30)
+	b := dataset.NewBuilder(k)
+	for i := 0; i < n; i++ {
+		sz := r.Intn(k + 1)
+		tx := make([]dataset.Item, sz)
+		for j := range tx {
+			tx[j] = dataset.Item(r.Intn(k))
+		}
+		if err := b.Append(tx); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestRuleMetricsProperty(t *testing.T) {
+	// Every generated rule satisfies its own definition against the raw
+	// dataset: support, confidence and lift recomputed from scratch.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		res, err := apriori.Mine(d, minCount, apriori.Options{})
+		if err != nil {
+			return false
+		}
+		minConf := r.Float64()
+		rs, err := Generate(res, d.NumTx(), minConf)
+		if err != nil {
+			return false
+		}
+		for _, rule := range rs {
+			union := rule.Antecedent.Union(rule.Consequent)
+			supU := int64(d.Support(union))
+			supA := int64(d.Support(rule.Antecedent))
+			supC := int64(d.Support(rule.Consequent))
+			if rule.Support != supU {
+				return false
+			}
+			conf := float64(supU) / float64(supA)
+			if math.Abs(rule.Confidence-conf) > 1e-9 || conf < minConf {
+				return false
+			}
+			lift := conf / (float64(supC) / float64(d.NumTx()))
+			if math.Abs(rule.Lift-lift) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRulesComplete(t *testing.T) {
+	// At minConf 0 every antecedent/consequent split of every frequent
+	// itemset of size ≥ 2 appears exactly once.
+	prop := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		d := randomDataset(r)
+		minCount := int64(1 + r.Intn(d.NumTx()))
+		res, err := apriori.Mine(d, minCount, apriori.Options{})
+		if err != nil {
+			return false
+		}
+		rs, err := Generate(res, d.NumTx(), 0)
+		if err != nil {
+			return false
+		}
+		want := 0
+		for _, c := range res.All() {
+			if n := len(c.Items); n >= 2 {
+				want += (1 << n) - 2
+			}
+		}
+		return len(rs) == want
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	r := Rule{
+		Antecedent: dataset.NewItemset(1),
+		Consequent: dataset.NewItemset(2),
+		Support:    10, Confidence: 0.5, Lift: 2,
+	}
+	if got := r.String(); got != "{1} => {2} (sup=10 conf=0.500 lift=2.00)" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestRulesSortedByConfidence(t *testing.T) {
+	_, rs := mineTiny(t)
+	for i := 1; i < len(rs); i++ {
+		if rs[i].Confidence > rs[i-1].Confidence {
+			t.Error("rules not sorted by descending confidence")
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package ossm
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"github.com/ossm-mining/ossm/internal/core"
+)
+
+// Index persistence. The OSSM is a compile-time structure (paper
+// Section 3): build it once, save it next to the data, and reload it for
+// every later mining session at any support threshold.
+//
+// Format: "OSSMIDX1", little-endian uint64 transaction count, then the
+// serialized segment support map.
+
+var indexMagic = [8]byte{'O', 'S', 'S', 'M', 'I', 'D', 'X', '1'}
+
+// Save writes the index to path.
+func (ix *Index) Save(path string) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
+	bw := bufio.NewWriter(f)
+	if _, err := bw.Write(indexMagic[:]); err != nil {
+		return err
+	}
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(ix.numTx))
+	if _, err := bw.Write(n[:]); err != nil {
+		return err
+	}
+	if err := core.WriteMap(bw, ix.m); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadIndex reads an index previously written by Save. The loaded index
+// answers UpperBound and Pruner exactly as the original; the page
+// assignment and build timing are not persisted.
+func LoadIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("ossm: reading index magic: %w", err)
+	}
+	if magic != indexMagic {
+		return nil, fmt.Errorf("ossm: %s is not an OSSM index file", path)
+	}
+	var n [8]byte
+	if _, err := io.ReadFull(br, n[:]); err != nil {
+		return nil, fmt.Errorf("ossm: reading index header: %w", err)
+	}
+	m, err := core.ReadMap(br)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{m: m, numTx: int(binary.LittleEndian.Uint64(n[:]))}, nil
+}

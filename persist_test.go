@@ -1,0 +1,60 @@
+package ossm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestIndexSaveLoad(t *testing.T) {
+	d, err := GenerateQuest(DefaultQuest(1000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, BuildOptions{Pages: 20, Segments: 6, Algorithm: RandomGreedy, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "index.ossm")
+	if err := ix.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadIndex(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumSegments() != ix.NumSegments() || loaded.SizeBytes() != ix.SizeBytes() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d",
+			loaded.NumSegments(), loaded.SizeBytes(), ix.NumSegments(), ix.SizeBytes())
+	}
+	// Mining with the loaded index matches mining with the original.
+	a, err := MineApriori(d, 0.02, ix)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := MineApriori(d, 0.02, loaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("loaded index mines differently")
+	}
+	// Relative-threshold pruners agree too (numTx round-trips).
+	if ix.Pruner(0.02).MinCount != loaded.Pruner(0.02).MinCount {
+		t.Error("numTx did not round-trip")
+	}
+}
+
+func TestLoadIndexErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadIndex(filepath.Join(dir, "missing.ossm")); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := filepath.Join(dir, "bad.ossm")
+	if err := os.WriteFile(bad, []byte("definitely not an index"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(bad); err == nil {
+		t.Error("garbage file accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package ossm
+
+import (
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// Recipe automation: the paper's Figure 7 asks the user four questions;
+// two of them ("is the data skewed?", "is m very large?") are measurable
+// from the data, so AutoScenario answers them automatically.
+
+// Heterogeneity reports the occurrence-weighted variability of item
+// supports across the index's segments (0 = uniform; larger = more
+// exploitable skew). See also SkewSignal.
+func (ix *Index) Heterogeneity() float64 { return ix.m.Heterogeneity() }
+
+// SkewSignal reports measured heterogeneity relative to pure sampling
+// noise at this segmentation: ≈1 means the data looks uniform; well
+// above 1 means genuine skew.
+func (ix *Index) SkewSignal() float64 { return ix.m.SkewSignal() }
+
+// AutoScenarioOptions tunes AutoScenario's measurable thresholds.
+type AutoScenarioOptions struct {
+	// LargeSegmentBudget declares that the application can afford many
+	// segments (the one recipe input that is a policy, not a
+	// measurement).
+	LargeSegmentBudget bool
+	// SegmentationCostCritical declares that compile-time cost matters.
+	SegmentationCostCritical bool
+	// SkewThreshold is the SkewSignal above which data counts as skewed
+	// (0 ⇒ 1.1; uniform data measures ≈ 0.99 at any probe size, while
+	// seasonal, drifting and alarm workloads measure ≥ 1.12).
+	SkewThreshold float64
+	// ManyPages is the page count above which m counts as "very large"
+	// (0 ⇒ 5000, the territory of the paper's Figure 5(b)).
+	ManyPages int
+	// ProbeSegments is the size of the throwaway contiguous OSSM used to
+	// measure skew (0 ⇒ 8; small probes maximize per-segment mass and
+	// thus the signal-to-noise ratio).
+	ProbeSegments int
+}
+
+// AutoScenario measures d and fills the recipe's Scenario: skew from a
+// cheap contiguous probe OSSM, page volume from the dataset size. The
+// two policy inputs are taken from opts. Feed the result to Recommend.
+func AutoScenario(d *Dataset, opts AutoScenarioOptions) (Scenario, error) {
+	if opts.SkewThreshold == 0 {
+		opts.SkewThreshold = 1.1
+	}
+	if opts.ManyPages == 0 {
+		opts.ManyPages = 5000
+	}
+	if opts.ProbeSegments == 0 {
+		opts.ProbeSegments = 8
+	}
+	pages := (d.NumTx() + 99) / 100
+	if pages < 1 {
+		pages = 1
+	}
+	probePages := opts.ProbeSegments * 4
+	if probePages > d.NumTx() {
+		probePages = d.NumTx()
+	}
+	if probePages < 1 {
+		probePages = 1
+	}
+	rows := dataset.PageCounts(d, dataset.PaginateN(d, probePages))
+	seg, err := core.Segment(rows, core.Options{
+		Algorithm:      core.AlgRandom,
+		TargetSegments: opts.ProbeSegments,
+	})
+	if err != nil {
+		return Scenario{}, err
+	}
+	return Scenario{
+		LargeSegmentBudget:       opts.LargeSegmentBudget,
+		SkewedData:               seg.Map.SkewSignal() >= opts.SkewThreshold,
+		SegmentationCostCritical: opts.SegmentationCostCritical,
+		VeryManyPages:            pages >= opts.ManyPages,
+	}, nil
+}

@@ -1,0 +1,74 @@
+package ossm
+
+import "testing"
+
+func TestAutoScenarioDetectsSkew(t *testing.T) {
+	seasonal, err := GenerateSkewed(DefaultSkewed(4000, 17))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := AutoScenario(seasonal, AutoScenarioOptions{LargeSegmentBudget: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.SkewedData {
+		t.Error("seasonal data not detected as skewed")
+	}
+	if s.VeryManyPages {
+		t.Error("4000 tx flagged as very many pages")
+	}
+	// Recipe: big budget + skew ⇒ Random.
+	if rec := Recommend(s); rec.Algorithm != Random {
+		t.Errorf("recipe = %v, want Random", rec.Algorithm)
+	}
+
+	// A drift-free uniform dataset must not register as skewed.
+	uniform, err := GenerateQuest(DefaultQuest(4000, 18))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := AutoScenario(uniform, AutoScenarioOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.SkewedData {
+		t.Error("stationary Quest data detected as skewed")
+	}
+}
+
+func TestAutoScenarioPageVolume(t *testing.T) {
+	d, err := GenerateQuest(DefaultQuest(3000, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := AutoScenario(d, AutoScenarioOptions{
+		SegmentationCostCritical: true,
+		ManyPages:                10, // 3000 tx → 30 pages ≥ 10
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.VeryManyPages {
+		t.Error("page volume threshold not applied")
+	}
+	if rec := Recommend(s); rec.Algorithm != RandomRC {
+		t.Errorf("recipe = %v, want Random-RC", rec.Algorithm)
+	}
+}
+
+func TestIndexSkewAccessors(t *testing.T) {
+	seasonal, err := GenerateSkewed(DefaultSkewed(3000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(seasonal, BuildOptions{Pages: 30, Segments: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Heterogeneity() <= 0 {
+		t.Error("seasonal index reports no heterogeneity")
+	}
+	if ix.SkewSignal() <= 1 {
+		t.Errorf("seasonal SkewSignal = %g, want > 1", ix.SkewSignal())
+	}
+}

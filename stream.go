@@ -1,0 +1,84 @@
+package ossm
+
+import (
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/episodes"
+	"github.com/ossm-mining/ossm/internal/mining"
+)
+
+// Streaming maintenance, condensed representations, serial episodes and
+// constraint composition — the extension surface of the library.
+
+// Appender maintains an OSSM incrementally as transactions stream in
+// (the online setting of the SSM precursor work). Use NewAppender, Add
+// transactions, and Snapshot a queryable Map at any moment.
+type Appender = core.Appender
+
+// AppenderOptions configures NewAppender.
+type AppenderOptions = core.AppenderOptions
+
+// NewAppender creates an empty streaming OSSM maintainer.
+func NewAppender(numItems int, opts AppenderOptions) (*Appender, error) {
+	return core.NewAppender(numItems, opts)
+}
+
+// SerialEpisode is an ordered tuple of event types (A → B → A …).
+type SerialEpisode = episodes.SerialEpisode
+
+// SerialResult carries the frequent serial episodes of a sequence.
+type SerialResult = episodes.SerialResult
+
+// MineSerialEpisodes discovers all frequent serial episodes of s — the
+// order-sensitive counterpart of MineEpisodes, with the same optional
+// OSSM pruning over the window dataset.
+func MineSerialEpisodes(s *Sequence, opts EpisodeOptions) (*SerialResult, error) {
+	return episodes.MineSerial(s, opts)
+}
+
+// MinimalOptions configures MineMinimalEpisodes.
+type MinimalOptions = episodes.MinimalOptions
+
+// MinimalResult carries frequent serial episodes with their minimal
+// occurrences (MINEPI semantics).
+type MinimalResult = episodes.MinimalResult
+
+// Interval is a closed time interval of a minimal occurrence.
+type Interval = episodes.Interval
+
+// EpisodeRule is a serial-episode prefix rule with its confidence.
+type EpisodeRule = episodes.EpisodeRule
+
+// MineMinimalEpisodes discovers all serial episodes with at least
+// MinCount minimal occurrences of width ≤ MaxWidth (MINEPI), with the
+// same optional OSSM pruning as the window-based miners. Episode rules
+// follow from the result's Rules method.
+func MineMinimalEpisodes(s *Sequence, opts MinimalOptions) (*MinimalResult, error) {
+	return episodes.MineMinimal(s, opts)
+}
+
+// ClosedItemsets filters a mining result down to its closed frequent
+// itemsets (no frequent proper superset of equal support) — a lossless
+// condensation.
+func ClosedItemsets(r *Result) []Counted { return mining.Closed(r) }
+
+// MaximalItemsets filters a mining result down to its maximal frequent
+// itemsets (no frequent proper superset at all).
+func MaximalItemsets(r *Result) []Counted { return mining.Maximal(r) }
+
+// DatasetStats summarizes a dataset's shape.
+type DatasetStats = dataset.Stats
+
+// StatsOf computes the dataset summary in one scan.
+func StatsOf(d *Dataset) DatasetStats { return d.Stats() }
+
+// And combines candidate filters conjunctively (OSSM pruners,
+// anti-monotone constraints, …); nil members are dropped.
+func And(fs ...Filter) Filter { return core.And(fs...) }
+
+// ExcludeItems builds the anti-monotone constraint "contains none of the
+// banned items".
+func ExcludeItems(banned ...Item) Filter { return core.ExcludeItems(banned...) }
+
+// MaxItems builds the anti-monotone constraint |X| ≤ n.
+func MaxItems(n int) Filter { return core.MaxItems(n) }

@@ -1,0 +1,138 @@
+package ossm
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAppenderFacade(t *testing.T) {
+	a, err := NewAppender(100, AppenderOptions{PageSize: 10, MaxSegments: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := GenerateQuest(QuestConfig{
+		NumTx: 300, NumItems: 100, AvgTxLen: 6, AvgPatLen: 3,
+		NumPatterns: 20, Correlation: 0.5, CorruptMean: 0.4, CorruptSD: 0.1, Seed: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < d.NumTx(); i++ {
+		if err := a.Add(d.Tx(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m, err := a.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumSegments() > 5 {
+		t.Errorf("snapshot has %d segments, want ≤ 5", m.NumSegments())
+	}
+	// The streaming map is sound against the batch data.
+	for it := Item(0); it < 100; it += 9 {
+		x := NewItemset(it, (it+7)%100)
+		if m.UpperBound(x) < int64(d.Support(x)) {
+			t.Fatalf("unsound streaming bound for %v", x)
+		}
+	}
+}
+
+func TestSerialEpisodesFacade(t *testing.T) {
+	s, err := SequenceFromTypes(2, []Item{0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineSerialEpisodes(s, EpisodeOptions{Width: 2, MinFrequency: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := res.Support(SerialEpisode{0, 1}); !ok {
+		t.Error("0 → 1 missing from an alternating log")
+	}
+}
+
+func TestClosedMaximalFacade(t *testing.T) {
+	d, err := FromTransactions(3, [][]Item{
+		{0, 1}, {0, 1}, {0, 1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineApriori(d, 0.3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	closed := ClosedItemsets(res)
+	maximal := MaximalItemsets(res)
+	if len(closed) != 2 { // {0,1} and {0,1,2}
+		t.Errorf("closed = %v", closed)
+	}
+	if len(maximal) != 1 || !maximal[0].Items.Equal(NewItemset(0, 1, 2)) {
+		t.Errorf("maximal = %v", maximal)
+	}
+}
+
+func TestConstraintsFacade(t *testing.T) {
+	d, err := GenerateQuest(DefaultQuest(1000, 13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, BuildOptions{Pages: 20, Segments: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := And(ix.Pruner(0.02), ExcludeItems(0, 1, 2), MaxItems(2))
+	res, err := MineAprioriFiltered(d, 0.02, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.All() {
+		if len(c.Items) < 2 {
+			continue
+		}
+		if len(c.Items) > 2 {
+			t.Errorf("constraint violated: %v too long", c.Items)
+		}
+		for _, banned := range []Item{0, 1, 2} {
+			if c.Items.Contains(banned) {
+				t.Errorf("constraint violated: %v contains %d", c.Items, banned)
+			}
+		}
+	}
+}
+
+func TestStatsFacade(t *testing.T) {
+	d, err := FromTransactions(3, [][]Item{{0, 1}, {2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := StatsOf(d)
+	if s.NumTx != 2 || s.TotalItems != 3 {
+		t.Errorf("stats = %+v", s)
+	}
+	if !strings.Contains(s.String(), "transactions=2") {
+		t.Errorf("String = %q", s.String())
+	}
+}
+
+func TestMinimalEpisodesFacade(t *testing.T) {
+	s, err := SequenceFromTypes(2, []Item{0, 1, 0, 1, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := MineMinimalEpisodes(s, MinimalOptions{MaxWidth: 2, MinCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sup, ok := res.Support(SerialEpisode{0, 1}); !ok || sup != 3 {
+		t.Errorf("mo-count(0→1) = %d,%v; want 3", sup, ok)
+	}
+	rules, err := res.Rules(0.8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rules) == 0 {
+		t.Error("no episode rules from a perfectly alternating log")
+	}
+}

@@ -2,7 +2,7 @@ GO ?= go
 
 .PHONY: all build vet test race fuzz bench examples experiments clean
 
-all: build vet test
+all: build test
 
 build:
 	$(GO) build ./...
@@ -10,7 +10,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test:
+test: vet
 	$(GO) test ./...
 
 race:

@@ -342,7 +342,7 @@ func BenchmarkMineApriori(b *testing.B) {
 	b.Run("with-ossm", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			pruner := &core.Pruner{Map: m, MinCount: minCount}
-			if _, err := apriori.Mine(d, minCount, apriori.Options{Pruner: pruner}); err != nil {
+			if _, err := apriori.Mine(d, minCount, apriori.Options{Options: mining.Options{Pruner: pruner}}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -417,7 +417,7 @@ func BenchmarkParallelCounting(b *testing.B) {
 	for _, workers := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := apriori.Mine(d, minCount, apriori.Options{Workers: workers}); err != nil {
+				if _, err := apriori.Mine(d, minCount, apriori.Options{Options: mining.Options{Workers: workers}}); err != nil {
 					b.Fatal(err)
 				}
 			}

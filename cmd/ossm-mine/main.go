@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	ossm "github.com/ossm-mining/ossm"
@@ -28,7 +29,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var (
 		in         = fs.String("in", "", "input dataset path (required)")
 		support    = fs.Float64("support", 0.01, "support threshold (fraction)")
-		miner      = fs.String("miner", "apriori", "apriori | dhp | partition | fpgrowth | depthproject | eclat")
+		miner      = fs.String("miner", "apriori", strings.Join(ossm.Miners(), " | "))
 		useOSSM    = fs.Bool("ossm", false, "build and use an OSSM")
 		segments   = fs.Int("segments", 40, "OSSM segment budget n_user")
 		algName    = fs.String("alg", "random-greedy", "segmentation algorithm: random | rc | greedy | random-rc | random-greedy")
@@ -77,31 +78,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 			ix.NumSegments(), float64(ix.SizeBytes())/1024, ix.SegmentationTime().Round(time.Microsecond))
 	}
 
-	start := time.Now()
-	var res *ossm.Result
-	switch *miner {
-	case "apriori":
-		var f ossm.Filter
-		if ix != nil {
+	var f ossm.Filter
+	if ix != nil {
+		if *miner == "fpgrowth" {
+			fmt.Fprintln(stderr, "note: FP-growth generates no candidates; the OSSM is unused")
+		} else {
 			f = ix.Pruner(*support)
 		}
-		res, err = ossm.MineAprioriParallel(d, *support, f, *workers)
-	case "dhp":
-		res, err = ossm.MineDHP(d, *support, ix)
-	case "partition":
-		res, err = ossm.MinePartition(d, *support, *parts, ix)
-	case "fpgrowth":
-		if ix != nil {
-			fmt.Fprintln(stderr, "note: FP-growth generates no candidates; the OSSM is unused")
-		}
-		res, err = ossm.MineFPGrowth(d, *support)
-	case "depthproject":
-		res, err = ossm.MineDepthProject(d, *support, ix)
-	case "eclat":
-		res, err = ossm.MineEclat(d, *support, ix)
-	default:
-		return fail(stderr, fmt.Errorf("unknown miner %q", *miner))
 	}
+	start := time.Now()
+	res, err := ossm.Mine(*miner, d, *support, ossm.MineOptions{
+		Filter:  f,
+		Workers: *workers,
+		Params:  map[string]int{"partitions": *parts},
+	})
 	if err != nil {
 		return fail(stderr, err)
 	}

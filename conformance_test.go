@@ -1,0 +1,105 @@
+package ossm
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// conformanceDataset builds a seeded random dataset dense enough that
+// every miner has multi-item frequent sets to agree (or disagree) on.
+func conformanceDataset(seed int64, numItems, numTx int, p float64) *Dataset {
+	r := rand.New(rand.NewSource(seed))
+	b := NewDatasetBuilder(numItems)
+	for i := 0; i < numTx; i++ {
+		var tx []Item
+		for it := 0; it < numItems; it++ {
+			if r.Float64() < p {
+				tx = append(tx, Item(it))
+			}
+		}
+		if err := b.Append(tx); err != nil {
+			panic(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestMinerRegistryComplete pins the set of algorithms reachable through
+// the registry; a miner whose init() registration is dropped disappears
+// from every dispatch path at once, so catch it here.
+func TestMinerRegistryComplete(t *testing.T) {
+	want := []string{"apriori", "depthproject", "dhp", "eclat", "fpgrowth", "partition"}
+	got := Miners()
+	sort.Strings(got)
+	if len(got) != len(want) {
+		t.Fatalf("Miners() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Miners() = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestMinerConformance drives every registered miner through the registry
+// on small seeded random datasets and asserts they all produce the same
+// frequent itemsets with the same counts — with and without an OSSM
+// pruner, serial and with a worker pool.
+func TestMinerConformance(t *testing.T) {
+	cases := []struct {
+		seed       int64
+		numItems   int
+		numTx      int
+		p          float64
+		minSupport float64
+	}{
+		{seed: 1, numItems: 12, numTx: 200, p: 0.3, minSupport: 0.08},
+		{seed: 2, numItems: 8, numTx: 120, p: 0.5, minSupport: 0.2},
+		{seed: 3, numItems: 20, numTx: 300, p: 0.15, minSupport: 0.03},
+	}
+	for _, tc := range cases {
+		d := conformanceDataset(tc.seed, tc.numItems, tc.numTx, tc.p)
+		ix, err := Build(d, BuildOptions{Segments: 10, Seed: tc.seed})
+		if err != nil {
+			t.Fatalf("seed %d: Build: %v", tc.seed, err)
+		}
+		baseline, err := Mine("apriori", d, tc.minSupport, MineOptions{})
+		if err != nil {
+			t.Fatalf("seed %d: baseline apriori: %v", tc.seed, err)
+		}
+		if baseline.NumFrequent() == 0 {
+			t.Fatalf("seed %d: baseline found nothing; pick a denser configuration", tc.seed)
+		}
+		for _, name := range Miners() {
+			for _, workers := range []int{1, 4} {
+				for _, withOSSM := range []bool{false, true} {
+					var f Filter
+					if withOSSM {
+						f = ix.Pruner(tc.minSupport)
+					}
+					res, err := Mine(name, d, tc.minSupport, MineOptions{
+						Filter:  f,
+						Workers: workers,
+						Params:  map[string]int{"partitions": 3},
+					})
+					if err != nil {
+						t.Fatalf("seed %d: %s (workers=%d ossm=%v): %v", tc.seed, name, workers, withOSSM, err)
+					}
+					if !baseline.Equal(res) {
+						t.Errorf("seed %d: %s (workers=%d ossm=%v) disagrees with apriori: %d vs %d frequent",
+							tc.seed, name, workers, withOSSM, res.NumFrequent(), baseline.NumFrequent())
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMineUnknownMiner pins the error path of registry dispatch.
+func TestMineUnknownMiner(t *testing.T) {
+	d := conformanceDataset(7, 4, 10, 0.5)
+	if _, err := Mine("nosuch", d, 0.1, MineOptions{}); err == nil {
+		t.Fatal("Mine(\"nosuch\") succeeded, want unknown-miner error")
+	}
+}

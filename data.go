@@ -91,7 +91,7 @@ func GenerateRules(res *Result, numTx int, minConf float64) ([]Rule, error) {
 // generation — the OSSM does not apply; included as the related-work
 // baseline and cross-check oracle).
 func MineFPGrowth(d *Dataset, minSupport float64) (*Result, error) {
-	return fpgrowth.Mine(d, mining.MinCountFor(d, minSupport), fpgrowth.Options{})
+	return Mine(fpgrowth.Name, d, minSupport, MineOptions{})
 }
 
 // MinePartition mines frequent itemsets with the Partition algorithm.
@@ -99,18 +99,10 @@ func MineFPGrowth(d *Dataset, minSupport float64) (*Result, error) {
 // (Section 7 of the paper).
 func MinePartition(d *Dataset, minSupport float64, numPartitions int, ix *Index) (*Result, error) {
 	minCount := mining.MinCountFor(d, minSupport)
-	var pruner *core.Pruner
-	if ix != nil {
-		pruner = ix.PrunerAt(minCount)
-	}
-	res, err := partition.Mine(d, minCount, partition.Options{
-		NumPartitions: numPartitions,
-		Pruner:        pruner,
+	return MineAt(partition.Name, d, minCount, MineOptions{
+		Filter: indexFilter(ix, minCount),
+		Params: map[string]int{"partitions": numPartitions},
 	})
-	if err != nil {
-		return nil, err
-	}
-	return res.Result, nil
 }
 
 // MineDepthProject mines frequent itemsets depth-first (DepthProject
@@ -118,15 +110,7 @@ func MinePartition(d *Dataset, minSupport float64, numPartitions int, ix *Index)
 // before their projections are counted (Section 7 of the paper).
 func MineDepthProject(d *Dataset, minSupport float64, ix *Index) (*Result, error) {
 	minCount := mining.MinCountFor(d, minSupport)
-	var pruner *core.Pruner
-	if ix != nil {
-		pruner = ix.PrunerAt(minCount)
-	}
-	res, err := depthproject.Mine(d, minCount, depthproject.Options{Pruner: pruner})
-	if err != nil {
-		return nil, err
-	}
-	return res.Result, nil
+	return MineAt(depthproject.Name, d, minCount, MineOptions{Filter: indexFilter(ix, minCount)})
 }
 
 // MineEclat mines frequent itemsets with dEclat (diffset-based vertical
@@ -134,15 +118,7 @@ func MineDepthProject(d *Dataset, minSupport float64, ix *Index) (*Result, error
 // before their diffsets are materialized.
 func MineEclat(d *Dataset, minSupport float64, ix *Index) (*Result, error) {
 	minCount := mining.MinCountFor(d, minSupport)
-	var pruner core.Filter
-	if ix != nil {
-		pruner = ix.PrunerAt(minCount)
-	}
-	res, err := eclat.Mine(d, minCount, eclat.Options{Pruner: pruner})
-	if err != nil {
-		return nil, err
-	}
-	return res.Result, nil
+	return MineAt(eclat.Name, d, minCount, MineOptions{Filter: indexFilter(ix, minCount)})
 }
 
 // Paginate splits d into pages of txPerPage transactions.

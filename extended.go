@@ -5,7 +5,6 @@ import (
 
 	"github.com/ossm-mining/ossm/internal/apriori"
 	"github.com/ossm-mining/ossm/internal/core"
-	"github.com/ossm-mining/ossm/internal/mining"
 )
 
 // Filter is the candidate-filtering contract every miner accepts; both
@@ -69,12 +68,16 @@ func (xi *ExtendedIndex) Pruner(minSupport float64) Filter {
 // MineAprioriFiltered mines with an arbitrary candidate filter (e.g. an
 // ExtendedIndex pruner). f may be nil.
 func MineAprioriFiltered(d *Dataset, minSupport float64, f Filter) (*Result, error) {
-	return apriori.Mine(d, mining.MinCountFor(d, minSupport), apriori.Options{Pruner: f})
+	return Mine(apriori.Name, d, minSupport, MineOptions{Filter: f})
 }
 
 // MineAprioriParallel is MineAprioriFiltered with hash-tree counting
 // sharded over a goroutine pool. The result is identical to the serial
 // run.
+//
+// Deprecated: every miner now takes the pool size through
+// MineOptions.Workers; use Mine("apriori", d, minSupport,
+// MineOptions{Filter: f, Workers: workers}) instead.
 func MineAprioriParallel(d *Dataset, minSupport float64, f Filter, workers int) (*Result, error) {
-	return apriori.Mine(d, mining.MinCountFor(d, minSupport), apriori.Options{Pruner: f, Workers: workers})
+	return Mine(apriori.Name, d, minSupport, MineOptions{Filter: f, Workers: workers})
 }

@@ -1,10 +1,22 @@
 package apriori
 
 import (
+	"time"
+
+	"github.com/ossm-mining/ossm/internal/conc"
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
 	"github.com/ossm-mining/ossm/internal/mining"
 )
+
+// Name is the registry name of this miner.
+const Name = "apriori"
+
+func init() {
+	mining.Register(Name, func(d *dataset.Dataset, minCount int64, opts mining.Options) (*mining.Result, error) {
+		return Mine(d, minCount, Options{Options: opts})
+	})
+}
 
 // CountMethod selects how candidate 2-itemsets are counted.
 type CountMethod int
@@ -20,19 +32,12 @@ const (
 	CountTriangular
 )
 
-// Options configures Mine.
+// Options configures Mine. The embedded mining.Options carries the
+// engine-wide knobs (Pruner, MaxLen, Workers, Progress).
 type Options struct {
-	// Pruner applies an OSSM bound (or any core.Filter, e.g. the
-	// generalized ExtendedPruner) to candidates before counting; nil runs
-	// plain Apriori.
-	Pruner core.Filter
-	// MaxLen stops after frequent itemsets of this size (0 = unlimited).
-	MaxLen int
+	mining.Options
 	// C2Method selects the pass-2 counting structure.
 	C2Method CountMethod
-	// Workers shards hash-tree counting over a goroutine pool (0 or 1 =
-	// serial; capped at NumCPU). Results are identical to the serial run.
-	Workers int
 }
 
 // Mine runs Apriori over d at the absolute support threshold minCount.
@@ -40,9 +45,13 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	if err := mining.ValidateMinCount(minCount); err != nil {
 		return nil, err
 	}
-	res := &mining.Result{MinCount: minCount}
+	start := time.Now()
+	pool := conc.Resolve(opts.Workers)
+	res := &mining.Result{MinCount: minCount, Stats: mining.Stats{Algorithm: Name, Workers: pool}}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
 
 	// Pass 1: singleton supports in one scan.
+	passStart := time.Now()
 	counts := d.ItemCounts(0, d.NumTx())
 	var f1 []mining.Counted
 	for it, c := range counts {
@@ -50,11 +59,14 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 			f1 = append(f1, mining.Counted{Items: dataset.NewItemset(dataset.Item(it)), Count: int64(c)})
 		}
 	}
-	res.Levels = append(res.Levels, mining.LevelResult{
+	l1 := mining.LevelResult{
 		K:        1,
 		Frequent: f1,
-		Stats:    mining.PassStats{K: 1, Generated: d.NumItems(), Counted: d.NumItems(), Frequent: len(f1)},
-	})
+		Stats: mining.PassStats{K: 1, Generated: d.NumItems(), Counted: d.NumItems(),
+			Frequent: len(f1), Elapsed: time.Since(passStart)},
+	}
+	res.Levels = append(res.Levels, l1)
+	opts.Emit(l1.Stats)
 	if len(f1) == 0 || opts.MaxLen == 1 {
 		return res, nil
 	}
@@ -81,17 +93,21 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	}
 
 	// Pass 2.
+	passStart = time.Now()
 	var l2 mining.LevelResult
 	if opts.C2Method == CountTriangular {
 		l2 = passTwoTriangular(txs, f1, minCount, opts.Pruner)
 	} else {
-		l2 = passTwoHashTree(txs, f1, minCount, opts.Pruner, opts.Workers)
+		l2 = passTwoHashTree(txs, f1, minCount, opts.Pruner, pool)
 	}
+	l2.Stats.Elapsed = time.Since(passStart)
 	res.Levels = append(res.Levels, l2)
+	opts.Emit(l2.Stats)
 
 	// Passes k ≥ 3.
 	prev := l2.Frequent
 	for k := 3; len(prev) >= 2 && (opts.MaxLen == 0 || k <= opts.MaxLen); k++ {
+		passStart = time.Now()
 		gen := aprioriGen(prev)
 		stats := mining.PassStats{K: k, Generated: len(gen)}
 		var cands []*mining.Candidate
@@ -106,7 +122,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 		if len(cands) == 0 {
 			break
 		}
-		countCandidates(txs, cands, k, opts.Workers)
+		mining.CountParallel(txs, cands, k, pool)
 		var freq []mining.Counted
 		for _, c := range cands {
 			if c.Count >= minCount {
@@ -115,7 +131,9 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 		}
 		mining.SortCounted(freq)
 		stats.Frequent = len(freq)
+		stats.Elapsed = time.Since(passStart)
 		res.Levels = append(res.Levels, mining.LevelResult{K: k, Frequent: freq, Stats: stats})
+		opts.Emit(stats)
 		prev = freq
 		if len(freq) == 0 {
 			break
@@ -143,7 +161,7 @@ func passTwoHashTree(txs []dataset.Itemset, f1 []mining.Counted, minCount int64,
 	if len(cands) == 0 {
 		return mining.LevelResult{K: 2, Stats: stats}
 	}
-	countCandidates(txs, cands, 2, workers)
+	mining.CountParallel(txs, cands, 2, workers)
 	var freq []mining.Counted
 	for _, c := range cands {
 		if c.Count >= minCount {

@@ -68,7 +68,7 @@ func TestMineMinCountValidation(t *testing.T) {
 }
 
 func TestMineMaxLen(t *testing.T) {
-	res, err := Mine(tinyDataset(), 2, Options{MaxLen: 2})
+	res, err := Mine(tinyDataset(), 2, Options{Options: mining.Options{MaxLen: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +77,7 @@ func TestMineMaxLen(t *testing.T) {
 			t.Errorf("level %d produced despite MaxLen 2", l.K)
 		}
 	}
-	res1, err := Mine(tinyDataset(), 2, Options{MaxLen: 1})
+	res1, err := Mine(tinyDataset(), 2, Options{Options: mining.Options{MaxLen: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -240,7 +240,7 @@ func TestOSSMPruningIsLossless(t *testing.T) {
 			return false
 		}
 		pruner := &core.Pruner{Map: buildOSSM(r, d), MinCount: minCount}
-		pruned, err := Mine(d, minCount, Options{Pruner: pruner})
+		pruned, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: pruner}})
 		if err != nil {
 			return false
 		}
@@ -256,7 +256,7 @@ func TestStatsAccounting(t *testing.T) {
 	d := randomDataset(r)
 	minCount := int64(2)
 	pruner := &core.Pruner{Map: buildOSSM(r, d), MinCount: minCount}
-	res, err := Mine(d, minCount, Options{Pruner: pruner})
+	res, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: pruner}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -312,7 +312,7 @@ func TestOSSMPruningReducesCandidates(t *testing.T) {
 		t.Fatal(err)
 	}
 	pruner := &core.Pruner{Map: seg.Map, MinCount: minCount}
-	res, err := Mine(d, minCount, Options{Pruner: pruner})
+	res, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: pruner}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
 )
 
 // TestConstraintPushdownMatchesPostFilter: pushing an anti-monotone
@@ -30,7 +31,7 @@ func TestConstraintPushdownMatchesPostFilter(t *testing.T) {
 			core.MaxItems(maxLen),
 			&core.Pruner{Map: buildOSSM(r, d), MinCount: minCount},
 		)
-		constrained, err := Mine(d, minCount, Options{Pruner: constraint})
+		constrained, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: constraint}})
 		if err != nil {
 			return false
 		}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
 )
 
 // buildExtendedOSSM builds an ExtendedMap over a random contiguous
@@ -49,7 +50,7 @@ func TestExtendedPruningIsLossless(t *testing.T) {
 			return false
 		}
 		e := buildExtendedOSSM(r, d)
-		pruned, err := Mine(d, minCount, Options{Pruner: e.Pruner(minCount)})
+		pruned, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: e.Pruner(minCount)}})
 		if err != nil {
 			return false
 		}
@@ -83,11 +84,11 @@ func TestExtendedPrunesAtLeastAsMuch(t *testing.T) {
 		}
 		base := &core.Pruner{Map: seg.Map, MinCount: minCount}
 		ext := e.Pruner(minCount)
-		resBase, err := Mine(d, minCount, Options{Pruner: base})
+		resBase, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: base}})
 		if err != nil {
 			return false
 		}
-		resExt, err := Mine(d, minCount, Options{Pruner: ext})
+		resExt, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: ext}})
 		if err != nil {
 			return false
 		}
@@ -128,7 +129,7 @@ func TestExtendedAllTrackedNeedsNoPairCounting(t *testing.T) {
 		t.Fatal(err)
 	}
 	p := e.Pruner(minCount)
-	res, err := Mine(d, minCount, Options{Pruner: p})
+	res, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: p}})
 	if err != nil {
 		t.Fatal(err)
 	}

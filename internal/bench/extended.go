@@ -72,7 +72,7 @@ func RunExtended(cfg Config, nUser int) (*ExtendedResult, error) {
 	for rep := 0; rep < cfg.reps(); rep++ {
 		pruner := ext.Pruner(minCount)
 		start := time.Now()
-		r, err := apriori.Mine(d, minCount, apriori.Options{Pruner: pruner})
+		r, err := apriori.Mine(d, minCount, apriori.Options{Options: mining.Options{Pruner: pruner}})
 		if err != nil {
 			return nil, err
 		}

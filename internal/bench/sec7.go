@@ -37,7 +37,7 @@ func RunSec7(cfg Config, buckets, nUser int) (*Sec7Result, error) {
 	_, rows := cfg.pageRows(d)
 	minCount := mining.MinCountFor(d, cfg.Support)
 
-	var plain *dhp.Result
+	var plain *mining.Result
 	var tPlain time.Duration
 	for rep := 0; rep < cfg.reps(); rep++ {
 		start := time.Now()
@@ -60,12 +60,12 @@ func RunSec7(cfg Config, buckets, nUser int) (*Sec7Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	var withOSSM *dhp.Result
+	var withOSSM *mining.Result
 	var tOSSM time.Duration
 	for rep := 0; rep < cfg.reps(); rep++ {
 		pruner := &core.Pruner{Map: seg.Map, MinCount: minCount}
 		start := time.Now()
-		o, err := dhp.Mine(d, minCount, dhp.Options{NumBuckets: buckets, Pruner: pruner})
+		o, err := dhp.Mine(d, minCount, dhp.Options{Options: mining.Options{Pruner: pruner}, NumBuckets: buckets})
 		if err != nil {
 			return nil, err
 		}
@@ -73,7 +73,7 @@ func RunSec7(cfg Config, buckets, nUser int) (*Sec7Result, error) {
 			withOSSM, tOSSM = o, e
 		}
 	}
-	if err := verifyEqual(plain.Result, withOSSM.Result, "sec7 DHP"); err != nil {
+	if err := verifyEqual(plain, withOSSM, "sec7 DHP"); err != nil {
 		return nil, err
 	}
 	out := &Sec7Result{
@@ -81,7 +81,7 @@ func RunSec7(cfg Config, buckets, nUser int) (*Sec7Result, error) {
 		Segments:    nUser,
 		TimePlain:   tPlain,
 		TimeOSSM:    tOSSM,
-		BucketPlain: plain.DHP.BucketPruned,
+		BucketPlain: dhp.StatsOf(plain).BucketPruned,
 	}
 	if l2 := plain.Level(2); l2 != nil {
 		out.C2Plain = l2.Stats.Counted

@@ -1,0 +1,80 @@
+package conc
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestResolve(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{-5, 1}, {0, 1}, {1, 1}, {2, minI(2, runtime.NumCPU())},
+		{1 << 20, runtime.NumCPU()},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.in); got != c.want {
+			t.Errorf("Resolve(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func minI(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestForCoversAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 4} {
+		for _, n := range []int{0, 1, 7, 100} {
+			hits := make([]int32, n)
+			For(workers, n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestForChunksCoversAllDisjointly(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 7, 100} {
+			hits := make([]int32, n)
+			chunkOf := make([]int32, n)
+			For(1, n, func(i int) { chunkOf[i] = -1 })
+			ForChunks(workers, n, func(w, lo, hi int) {
+				if lo < 0 || hi > n || lo >= hi {
+					t.Errorf("workers=%d n=%d: bad chunk [%d,%d)", workers, n, lo, hi)
+				}
+				if w < 0 || w >= maxI(workers, 1) {
+					t.Errorf("workers=%d n=%d: chunk index %d out of range", workers, n, w)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+					atomic.StoreInt32(&chunkOf[i], int32(w))
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Errorf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
+				}
+			}
+			// Chunks are contiguous: the chunk index is non-decreasing.
+			for i := 1; i < n; i++ {
+				if chunkOf[i] < chunkOf[i-1] {
+					t.Errorf("workers=%d n=%d: chunk order broken at %d", workers, n, i)
+				}
+			}
+		}
+	}
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

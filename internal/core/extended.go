@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"github.com/ossm-mining/ossm/internal/dataset"
 )
@@ -177,6 +178,8 @@ type ExtendedPruner struct {
 	Ext      *ExtendedMap
 	MinCount int64
 
+	// Counters are updated atomically (miners with Workers > 1 call Allow
+	// concurrently); read them only after mining returns.
 	Checked int64
 	Pruned  int64
 	Exact   int64 // tracked pairs answered without counting
@@ -187,19 +190,19 @@ func (p *ExtendedPruner) Allow(x dataset.Itemset) bool {
 	if p == nil || p.Ext == nil {
 		return true
 	}
-	p.Checked++
+	atomic.AddInt64(&p.Checked, 1)
 	if len(x) == 2 {
 		if sup, ok := p.Ext.PairSupport(x[0], x[1]); ok {
-			p.Exact++
+			atomic.AddInt64(&p.Exact, 1)
 			if sup < p.MinCount {
-				p.Pruned++
+				atomic.AddInt64(&p.Pruned, 1)
 				return false
 			}
 			return true
 		}
 	}
 	if p.Ext.UpperBound(x) < p.MinCount {
-		p.Pruned++
+		atomic.AddInt64(&p.Pruned, 1)
 		return false
 	}
 	return true

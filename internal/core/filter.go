@@ -1,6 +1,10 @@
 package core
 
-import "github.com/ossm-mining/ossm/internal/dataset"
+import (
+	"sync/atomic"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
 
 // Filter is the candidate-filtering contract miners accept: given a
 // candidate itemset, may it still be frequent? Both *Pruner (the plain
@@ -36,17 +40,17 @@ func (p *ExtendedPruner) AllowPair(a, b dataset.Item) bool {
 	if p == nil || p.Ext == nil {
 		return true
 	}
-	p.Checked++
+	atomic.AddInt64(&p.Checked, 1)
 	if sup, ok := p.Ext.PairSupport(a, b); ok {
-		p.Exact++
+		atomic.AddInt64(&p.Exact, 1)
 		if sup < p.MinCount {
-			p.Pruned++
+			atomic.AddInt64(&p.Pruned, 1)
 			return false
 		}
 		return true
 	}
 	if p.Ext.UpperBoundPair(a, b) < p.MinCount {
-		p.Pruned++
+		atomic.AddInt64(&p.Pruned, 1)
 		return false
 	}
 	return true

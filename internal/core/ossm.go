@@ -8,6 +8,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 
 	"github.com/ossm-mining/ossm/internal/dataset"
 )
@@ -179,6 +180,9 @@ type Pruner struct {
 	Map      *Map
 	MinCount int64 // absolute support threshold (count, not fraction)
 
+	// Checked/Pruned are updated atomically: miners with Workers > 1 call
+	// Allow from several goroutines at once. Read them only after mining
+	// returns.
 	Checked int64 // candidates tested
 	Pruned  int64 // candidates rejected by the bound
 }
@@ -190,9 +194,9 @@ func (p *Pruner) Allow(x dataset.Itemset) bool {
 	if p == nil || p.Map == nil {
 		return true
 	}
-	p.Checked++
+	atomic.AddInt64(&p.Checked, 1)
 	if p.Map.UpperBound(x) < p.MinCount {
-		p.Pruned++
+		atomic.AddInt64(&p.Pruned, 1)
 		return false
 	}
 	return true
@@ -203,9 +207,9 @@ func (p *Pruner) AllowPair(a, b dataset.Item) bool {
 	if p == nil || p.Map == nil {
 		return true
 	}
-	p.Checked++
+	atomic.AddInt64(&p.Checked, 1)
 	if p.Map.UpperBoundPair(a, b) < p.MinCount {
-		p.Pruned++
+		atomic.AddInt64(&p.Pruned, 1)
 		return false
 	}
 	return true

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"runtime"
 	"sync"
 
 	"github.com/ossm-mining/ossm/internal/dataset"
@@ -11,53 +10,8 @@ import (
 // of the inputs, so fanning the O(m²·k²) cost over workers changes
 // nothing but wall-clock time: Greedy's initial pair table is computed
 // in parallel and heapified once; RC's closest-segment scans reduce
-// per-worker minima with a deterministic (cost, index) tie-break.
-
-// resolveWorkers maps the Options.Workers knob to a concrete pool size.
-func resolveWorkers(w int) int {
-	switch {
-	case w < 0:
-		return 1
-	case w == 0:
-		return 1 // serial by default; parallelism is opt-in
-	case w == 1:
-		return 1
-	}
-	if n := runtime.NumCPU(); w > n {
-		return n
-	}
-	return w
-}
-
-// parallelFor runs f(i) for i in [0, n) across workers goroutines.
-func parallelFor(workers, n int, f func(i int)) {
-	if workers <= 1 || n < 2*workers {
-		for i := 0; i < n; i++ {
-			f(i)
-		}
-		return
-	}
-	var wg sync.WaitGroup
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				f(i)
-			}
-		}(lo, hi)
-	}
-	wg.Wait()
-}
+// per-worker minima with a deterministic (cost, index) tie-break. The
+// worker pool itself comes from the shared internal/conc helpers.
 
 // closestSegment finds, among live (excluding index skip), the segment
 // with minimum sumdiff against counts, breaking ties toward the lowest

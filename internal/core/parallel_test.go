@@ -2,43 +2,13 @@ package core
 
 import (
 	"math/rand"
-	"runtime"
 	"testing"
 	"testing/quick"
 )
 
-func TestResolveWorkers(t *testing.T) {
-	cases := []struct{ in, want int }{
-		{-5, 1}, {0, 1}, {1, 1}, {2, minI(2, runtime.NumCPU())},
-		{1 << 20, runtime.NumCPU()},
-	}
-	for _, c := range cases {
-		if got := resolveWorkers(c.in); got != c.want {
-			t.Errorf("resolveWorkers(%d) = %d, want %d", c.in, got, c.want)
-		}
-	}
-}
-
-func minI(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
-}
-
-func TestParallelForCoversAll(t *testing.T) {
-	for _, workers := range []int{1, 2, 4} {
-		for _, n := range []int{0, 1, 7, 100} {
-			hits := make([]int32, n)
-			parallelFor(workers, n, func(i int) { hits[i]++ })
-			for i, h := range hits {
-				if h != 1 {
-					t.Errorf("workers=%d n=%d: index %d visited %d times", workers, n, i, h)
-				}
-			}
-		}
-	}
-}
+// The resolveWorkers/parallelFor helpers moved to internal/conc (with
+// their unit tests); what stays here is the segmentation-specific
+// parallel reduction and the determinism guarantees built on top.
 
 // TestParallelSegmentationDeterministic: every algorithm produces the
 // same segmentation regardless of the worker count.

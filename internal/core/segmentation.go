@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"github.com/ossm-mining/ossm/internal/conc"
 	"github.com/ossm-mining/ossm/internal/dataset"
 )
 
@@ -228,7 +229,7 @@ func rcMergeHook(r *rand.Rand, segs []*segment, target int, items []dataset.Item
 			live = append(live, s)
 		}
 	}
-	pool := resolveWorkers(workers)
+	pool := conc.Resolve(workers)
 	for len(live) > target {
 		i := r.Intn(len(live))
 		s1 := live[i]
@@ -286,7 +287,7 @@ func greedyMergeHook(segs []*segment, target int, items []dataset.Item, workers 
 	if n <= target {
 		return
 	}
-	pool := resolveWorkers(workers)
+	pool := conc.Resolve(workers)
 	h := make(pairHeap, 0, n*(n-1)/2)
 	for x := 0; x < n; x++ {
 		for y := x + 1; y < n; y++ {
@@ -294,7 +295,7 @@ func greedyMergeHook(segs []*segment, target int, items []dataset.Item, workers 
 			h = append(h, pairEntry{a: i, b: j, verA: segs[i].ver, verB: segs[j].ver})
 		}
 	}
-	parallelFor(pool, len(h), func(e int) {
+	conc.For(pool, len(h), func(e int) {
 		h[e].cost = SumDiffPair(segs[h[e].a].counts, segs[h[e].b].counts, items)
 	})
 	heap.Init(&h)
@@ -323,7 +324,7 @@ func greedyMergeHook(segs []*segment, target int, items []dataset.Item, workers 
 			}
 			fresh = append(fresh, pairEntry{a: e.a, b: i, verA: segs[e.a].ver, verB: segs[i].ver})
 		}
-		parallelFor(pool, len(fresh), func(f int) {
+		conc.For(pool, len(fresh), func(f int) {
 			fresh[f].cost = SumDiffPair(segs[e.a].counts, segs[fresh[f].b].counts, items)
 		})
 		for _, fe := range fresh {

@@ -9,22 +9,32 @@ package depthproject
 
 import (
 	"sort"
+	"time"
 
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
 	"github.com/ossm-mining/ossm/internal/mining"
 )
 
-// Options configures Mine.
-type Options struct {
-	// Pruner applies an OSSM bound (any core.Filter) to each candidate
-	// extension before its projection is counted; nil disables pruning.
-	Pruner core.Filter
-	// MaxLen stops at itemsets of this size (0 = unlimited).
-	MaxLen int
+// Name is the registry name of this miner.
+const Name = "depthproject"
+
+func init() {
+	mining.Register(Name, func(d *dataset.Dataset, minCount int64, opts mining.Options) (*mining.Result, error) {
+		return Mine(d, minCount, Options{Options: opts})
+	})
 }
 
-// Stats counts the depth-first search work.
+// Options configures Mine. The embedded mining.Options carries the
+// engine-wide knobs; the Pruner filters each candidate extension before
+// its projection is counted. The projection DFS shares its tidlist map
+// across siblings, so Workers is accepted but the walk runs serially.
+type Options struct {
+	mining.Options
+}
+
+// Stats counts the depth-first search work; it rides on the result as
+// mining.Stats.Extra (see StatsOf).
 type Stats struct {
 	NodesExplored int // lexicographic tree nodes expanded
 	Extensions    int // candidate extensions considered
@@ -32,10 +42,13 @@ type Stats struct {
 	Projections   int // extensions whose projection was actually counted
 }
 
-// Result couples the common mining result with search statistics.
-type Result struct {
-	*mining.Result
-	Depth Stats
+// StatsOf returns the search counters attached to a result mined by this
+// package, or nil for results of other miners.
+func StatsOf(r *mining.Result) *Stats {
+	if s, ok := r.Stats.Extra.(*Stats); ok {
+		return s
+	}
+	return nil
 }
 
 // tidlist is a sorted list of transaction indices.
@@ -43,11 +56,12 @@ type tidlist []int32
 
 // Mine runs the depth-first miner over d at the absolute support
 // threshold minCount.
-func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
+func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, error) {
 	if err := mining.ValidateMinCount(minCount); err != nil {
 		return nil, err
 	}
-	res := &Result{Result: &mining.Result{MinCount: minCount}}
+	start := time.Now()
+	extra := &Stats{}
 
 	// Root level: frequent items with their tidlists (the root's
 	// "projected database" is the full dataset in vertical layout).
@@ -67,15 +81,17 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
 
 	var found []mining.Counted
 	for idx, it := range items {
-		res.Depth.NodesExplored++
+		extra.NodesExplored++
 		tl := lists[it]
 		found = append(found, mining.Counted{Items: dataset.Itemset{it}, Count: int64(len(tl))})
 		if opts.MaxLen == 1 {
 			continue
 		}
-		expand(dataset.Itemset{it}, tl, items[idx+1:], lists, minCount, opts, &res.Depth, &found)
+		expand(dataset.Itemset{it}, tl, items[idx+1:], lists, minCount, opts, extra, &found)
 	}
-	res.Result = mining.FromMap(minCount, found)
+	res := mining.FromMap(minCount, found)
+	res.Stats = mining.Stats{Algorithm: Name, Workers: 1, Elapsed: time.Since(start), Extra: extra}
+	mining.EmitLevels(opts.Options, res)
 	return res, nil
 }
 

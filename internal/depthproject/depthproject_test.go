@@ -8,6 +8,7 @@ import (
 	"github.com/ossm-mining/ossm/internal/apriori"
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
 )
 
 func randomDataset(r *rand.Rand) *dataset.Dataset {
@@ -40,7 +41,7 @@ func TestDepthProjectMatchesApriori(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return ap.Equal(dp.Result)
+		return ap.Equal(dp)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -67,11 +68,11 @@ func TestDepthProjectWithOSSMIsLossless(t *testing.T) {
 			return false
 		}
 		pruner := &core.Pruner{Map: seg.Map, MinCount: minCount}
-		withOSSM, err := Mine(d, minCount, Options{Pruner: pruner})
+		withOSSM, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: pruner}})
 		if err != nil {
 			return false
 		}
-		return plain.Result.Equal(withOSSM.Result)
+		return plain.Equal(withOSSM)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
@@ -112,19 +113,19 @@ func TestOSSMSkipsProjections(t *testing.T) {
 		t.Fatal(err)
 	}
 	pruner := &core.Pruner{Map: seg.Map, MinCount: minCount}
-	withOSSM, err := Mine(d, minCount, Options{Pruner: pruner})
+	withOSSM, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: pruner}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !plain.Result.Equal(withOSSM.Result) {
+	if !plain.Equal(withOSSM) {
 		t.Fatal("OSSM changed DepthProject's output")
 	}
-	if withOSSM.Depth.PrunedByOSSM == 0 {
+	if StatsOf(withOSSM).PrunedByOSSM == 0 {
 		t.Error("OSSM pruned no extensions on half-split data")
 	}
-	if withOSSM.Depth.Projections >= plain.Depth.Projections {
+	if StatsOf(withOSSM).Projections >= StatsOf(plain).Projections {
 		t.Errorf("projections with OSSM (%d) not below without (%d)",
-			withOSSM.Depth.Projections, plain.Depth.Projections)
+			StatsOf(withOSSM).Projections, StatsOf(plain).Projections)
 	}
 }
 
@@ -135,9 +136,9 @@ func TestStatsConsistency(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Depth.Extensions != res.Depth.PrunedByOSSM+res.Depth.Projections {
+	if StatsOf(res).Extensions != StatsOf(res).PrunedByOSSM+StatsOf(res).Projections {
 		t.Errorf("extensions %d ≠ pruned %d + projections %d",
-			res.Depth.Extensions, res.Depth.PrunedByOSSM, res.Depth.Projections)
+			StatsOf(res).Extensions, StatsOf(res).PrunedByOSSM, StatsOf(res).Projections)
 	}
 }
 
@@ -146,7 +147,7 @@ func TestMaxLen(t *testing.T) {
 		{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3},
 	})
 	for maxLen := 1; maxLen <= 4; maxLen++ {
-		res, err := Mine(d, 2, Options{MaxLen: maxLen})
+		res, err := Mine(d, 2, Options{Options: mining.Options{MaxLen: maxLen}})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -8,6 +8,7 @@ import (
 	"github.com/ossm-mining/ossm/internal/apriori"
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
 )
 
 func randomDataset(r *rand.Rand) *dataset.Dataset {
@@ -40,7 +41,7 @@ func TestDHPMatchesApriori(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return ap.Equal(dh.Result)
+		return ap.Equal(dh)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
@@ -62,7 +63,7 @@ func TestDHPWithTinyHashTable(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return ap.Equal(dh.Result)
+		return ap.Equal(dh)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
@@ -91,11 +92,11 @@ func TestDHPWithOSSMIsLossless(t *testing.T) {
 			return false
 		}
 		pruner := &core.Pruner{Map: seg.Map, MinCount: minCount}
-		withOSSM, err := Mine(d, minCount, Options{Pruner: pruner})
+		withOSSM, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: pruner}})
 		if err != nil {
 			return false
 		}
-		return plain.Result.Equal(withOSSM.Result)
+		return plain.Equal(withOSSM)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
@@ -120,8 +121,8 @@ func TestBucketPruningHappens(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.DHP.BucketPruned != 1 {
-		t.Errorf("BucketPruned = %d, want 1 (the never-co-occurring pair)", res.DHP.BucketPruned)
+	if StatsOf(res).BucketPruned != 1 {
+		t.Errorf("BucketPruned = %d, want 1 (the never-co-occurring pair)", StatsOf(res).BucketPruned)
 	}
 	if l2 := res.Level(2); l2 != nil && len(l2.Frequent) != 0 {
 		t.Errorf("unexpected frequent pairs: %v", l2.Frequent)
@@ -167,11 +168,11 @@ func TestOSSMReducesC2BeforeBuckets(t *testing.T) {
 		t.Fatal(err)
 	}
 	pruner := &core.Pruner{Map: seg.Map, MinCount: minCount}
-	withOSSM, err := Mine(d, minCount, Options{NumBuckets: buckets, Pruner: pruner})
+	withOSSM, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: pruner}, NumBuckets: buckets})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !plain.Result.Equal(withOSSM.Result) {
+	if !plain.Equal(withOSSM) {
 		t.Fatal("OSSM changed DHP's output")
 	}
 	c2plain := plain.Level(2).Stats.Counted
@@ -195,7 +196,7 @@ func TestTrimmingStats(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.DHP.DroppedTx == 0 {
+	if StatsOf(res).DroppedTx == 0 {
 		t.Error("expected the 2-item transactions to be dropped for pass 3")
 	}
 	if got, ok := res.Support(dataset.NewItemset(0, 1, 2)); !ok || got != 2 {
@@ -217,7 +218,7 @@ func TestMaxLen(t *testing.T) {
 	d := dataset.MustFromTransactions(3, [][]dataset.Item{
 		{0, 1, 2}, {0, 1, 2}, {0, 1, 2},
 	})
-	res, err := Mine(d, 2, Options{MaxLen: 2})
+	res, err := Mine(d, 2, Options{Options: mining.Options{MaxLen: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,5 +254,101 @@ func TestH3FiltersTripleCandidates(t *testing.T) {
 	// The pair results are unaffected.
 	if got, ok := res.Support(dataset.NewItemset(0, 1)); !ok || got != 30 {
 		t.Errorf("Support({0,1}) = %d,%v; want 30", got, ok)
+	}
+}
+
+func parallelTestDataset(t *testing.T) *dataset.Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(11))
+	b := dataset.NewBuilder(24)
+	for i := 0; i < 2000; i++ {
+		var tx []dataset.Item
+		for j := 0; j < 24; j++ {
+			if r.Float64() < 0.25 {
+				tx = append(tx, dataset.Item(j))
+			}
+		}
+		if err := b.Append(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+// TestDHPParallelMatchesSerial checks Mine end to end with the Workers
+// knob set: identical frequent sets and trim counters. (On hosts with a
+// single CPU conc.Resolve clamps the pool to 1; the sharded scan itself
+// is covered regardless by TestTrimPassShardedMatchesSerial below.)
+func TestDHPParallelMatchesSerial(t *testing.T) {
+	d := parallelTestDataset(t)
+	minCount := int64(80)
+	serial, err := Mine(d, minCount, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4} {
+		par, err := Mine(d, minCount, Options{Options: mining.Options{Workers: workers}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !serial.Equal(par) {
+			t.Fatalf("workers=%d: parallel result differs from serial", workers)
+		}
+		ss, ps := StatsOf(serial), StatsOf(par)
+		if *ss != *ps {
+			t.Errorf("workers=%d: trim stats %+v differ from serial %+v", workers, *ps, *ss)
+		}
+	}
+}
+
+// TestTrimPassShardedMatchesSerial drives the pass-2 trim/count scan with
+// a pool of real goroutines (bypassing the NumCPU cap, so the sharded
+// path runs on any host) and checks candidate counts, trimmed
+// transactions, H3 and trim counters against the serial scan. Under
+// -race this also proves the shards share no mutable state.
+func TestTrimPassShardedMatchesSerial(t *testing.T) {
+	d := parallelTestDataset(t)
+	const buckets = 64
+	mkCands := func() []*mining.Candidate {
+		var cs []*mining.Candidate
+		for a := 0; a < 24; a++ {
+			for b := a + 1; b < 24; b++ {
+				cs = append(cs, &mining.Candidate{Items: dataset.NewItemset(dataset.Item(a), dataset.Item(b))})
+			}
+		}
+		return cs
+	}
+	frequentItem := make([]bool, 24)
+	for i := range frequentItem {
+		frequentItem[i] = true
+	}
+	sc := mkCands()
+	sx := &Stats{}
+	sr := trimPass(d, sc, frequentItem, buckets, 1, sx)
+	for _, pool := range []int{2, 4} {
+		pc := mkCands()
+		px := &Stats{}
+		pr := trimPass(d, pc, frequentItem, buckets, pool, px)
+		for i := range sc {
+			if sc[i].Count != pc[i].Count {
+				t.Fatalf("pool=%d: candidate %v count %d ≠ serial %d", pool, pc[i].Items, pc[i].Count, sc[i].Count)
+			}
+		}
+		if *px != *sx {
+			t.Errorf("pool=%d: trim stats %+v ≠ serial %+v", pool, *px, *sx)
+		}
+		if len(pr.txs) != len(sr.txs) {
+			t.Fatalf("pool=%d: %d trimmed txs ≠ serial %d", pool, len(pr.txs), len(sr.txs))
+		}
+		for i := range sr.txs {
+			if !pr.txs[i].Equal(sr.txs[i]) {
+				t.Fatalf("pool=%d: trimmed tx %d is %v, serial has %v", pool, i, pr.txs[i], sr.txs[i])
+			}
+		}
+		for b := range sr.h3 {
+			if pr.h3[b] != sr.h3[b] {
+				t.Fatalf("pool=%d: H3 bucket %d is %d, serial %d", pool, b, pr.h3[b], sr.h3[b])
+			}
+		}
 	}
 }

@@ -10,22 +10,34 @@ package eclat
 
 import (
 	"sort"
+	"time"
 
+	"github.com/ossm-mining/ossm/internal/conc"
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
 	"github.com/ossm-mining/ossm/internal/mining"
 )
 
-// Options configures Mine.
-type Options struct {
-	// Pruner applies an OSSM bound (any core.Filter) to candidate
-	// extensions before their diffsets are computed; nil disables it.
-	Pruner core.Filter
-	// MaxLen stops at itemsets of this size (0 = unlimited).
-	MaxLen int
+// Name is the registry name of this miner.
+const Name = "eclat"
+
+func init() {
+	mining.Register(Name, func(d *dataset.Dataset, minCount int64, opts mining.Options) (*mining.Result, error) {
+		return Mine(d, minCount, Options{Options: opts})
+	})
 }
 
-// Stats counts the search work.
+// Options configures Mine. The embedded mining.Options carries the
+// engine-wide knobs (Pruner, MaxLen, Workers, Progress). With
+// Workers > 1, root equivalence classes — one per frequent item — are
+// materialized and expanded concurrently; each root's subtree depends
+// only on the level-1 tidsets, so the fan-out shares nothing mutable.
+type Options struct {
+	mining.Options
+}
+
+// Stats counts the search work; it rides on the result as
+// mining.Stats.Extra (see StatsOf).
 type Stats struct {
 	Classes      int // equivalence classes expanded
 	Extensions   int // candidate extensions considered
@@ -33,10 +45,20 @@ type Stats struct {
 	Diffsets     int // diffsets actually materialized
 }
 
-// Result couples the common mining result with search statistics.
-type Result struct {
-	*mining.Result
-	Eclat Stats
+func (s *Stats) add(o Stats) {
+	s.Classes += o.Classes
+	s.Extensions += o.Extensions
+	s.PrunedByOSSM += o.PrunedByOSSM
+	s.Diffsets += o.Diffsets
+}
+
+// StatsOf returns the search counters attached to a result mined by this
+// package, or nil for results of other miners.
+func StatsOf(r *mining.Result) *Stats {
+	if s, ok := r.Stats.Extra.(*Stats); ok {
+		return s
+	}
+	return nil
 }
 
 type tidlist []int32
@@ -50,11 +72,15 @@ type member struct {
 }
 
 // Mine runs dEclat over d at the absolute support threshold minCount.
-func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
+func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, error) {
 	if err := mining.ValidateMinCount(minCount); err != nil {
 		return nil, err
 	}
-	res := &Result{Result: &mining.Result{MinCount: minCount}}
+	start := time.Now()
+	pool := conc.Resolve(opts.Workers)
+	extra := &Stats{}
+	res := &mining.Result{MinCount: minCount, Stats: mining.Stats{Algorithm: Name, Workers: pool, Extra: extra}}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
 
 	// Level 1: tidsets.
 	tids := make(map[dataset.Item]tidlist)
@@ -75,36 +101,57 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
 	for _, it := range items {
 		found = append(found, mining.Counted{Items: dataset.Itemset{it}, Count: int64(len(tids[it]))})
 	}
-	if opts.MaxLen == 1 {
-		res.Result = mining.FromMap(minCount, found)
-		return res, nil
+	if opts.MaxLen != 1 {
+		found = append(found, mineRoots(items, tids, minCount, opts, pool, extra)...)
 	}
+	levels := mining.FromMap(minCount, found)
+	res.Levels = levels.Levels
+	mining.EmitLevels(opts.Options, res)
+	return res, nil
+}
 
-	// Level 2 seeds each class with diffsets against the level-1 tidsets:
-	// d(xy) = t(x) − t(y), sup(xy) = sup(x) − |d(xy)|.
-	for idx, x := range items {
-		res.Eclat.Classes++
+// mineRoots materializes and expands the root equivalence class of every
+// frequent item, fanning the roots over pool goroutines. Each worker
+// writes only its root's slot of the results and stats slices (the
+// level-1 tidsets are shared read-only), and slots merge in item order,
+// so the output is identical to the serial walk. pool is taken as given
+// so tests can force shards past the host's CPU count.
+func mineRoots(items []dataset.Item, tids map[dataset.Item]tidlist, minCount int64, opts Options, pool int, extra *Stats) []mining.Counted {
+	perRoot := make([][]mining.Counted, len(items))
+	perStats := make([]Stats, len(items))
+	conc.For(pool, len(items), func(idx int) {
+		x := items[idx]
+		st := &perStats[idx]
+		st.Classes++
+		// Level 2 seeds the class with diffsets against the level-1
+		// tidsets: d(xy) = t(x) − t(y), sup(xy) = sup(x) − |d(xy)|.
 		var class []member
 		for _, y := range items[idx+1:] {
-			res.Eclat.Extensions++
+			st.Extensions++
 			if !core.AdmitPair(opts.Pruner, x, y) {
-				res.Eclat.PrunedByOSSM++
+				st.PrunedByOSSM++
 				continue
 			}
-			res.Eclat.Diffsets++
+			st.Diffsets++
 			diff := minus(tids[x], tids[y])
 			sup := int64(len(tids[x]) - len(diff))
 			if sup >= minCount {
 				class = append(class, member{item: y, sup: sup, diff: diff})
 			}
 		}
+		out := perRoot[idx]
 		for _, m := range class {
-			found = append(found, mining.Counted{Items: dataset.Itemset{x, m.item}, Count: m.sup})
+			out = append(out, mining.Counted{Items: dataset.Itemset{x, m.item}, Count: m.sup})
 		}
-		expand(dataset.Itemset{x}, class, minCount, opts, &res.Eclat, &found)
+		expand(dataset.Itemset{x}, class, minCount, opts, st, &out)
+		perRoot[idx] = out
+	})
+	var found []mining.Counted
+	for idx := range perRoot {
+		found = append(found, perRoot[idx]...)
+		extra.add(perStats[idx])
 	}
-	res.Result = mining.FromMap(minCount, found)
-	return res, nil
+	return found
 }
 
 // expand recurses into each member's subclass:

@@ -8,6 +8,7 @@ import (
 	"github.com/ossm-mining/ossm/internal/apriori"
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
 )
 
 func randomDataset(r *rand.Rand) *dataset.Dataset {
@@ -40,7 +41,7 @@ func TestEclatMatchesApriori(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return ap.Equal(ec.Result)
+		return ap.Equal(ec)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -66,13 +67,13 @@ func TestEclatWithOSSMIsLossless(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		pruned, err := Mine(d, minCount, Options{
+		pruned, err := Mine(d, minCount, Options{Options: mining.Options{
 			Pruner: &core.Pruner{Map: seg.Map, MinCount: minCount},
-		})
+		}})
 		if err != nil {
 			return false
 		}
-		return plain.Result.Equal(pruned.Result)
+		return plain.Equal(pruned)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
@@ -109,21 +110,21 @@ func TestOSSMSkipsDiffsets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pruned, err := Mine(d, minCount, Options{
+	pruned, err := Mine(d, minCount, Options{Options: mining.Options{
 		Pruner: &core.Pruner{Map: seg.Map, MinCount: minCount},
-	})
+	}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !plain.Result.Equal(pruned.Result) {
+	if !plain.Equal(pruned) {
 		t.Fatal("OSSM changed dEclat's output")
 	}
-	if pruned.Eclat.PrunedByOSSM == 0 {
+	if StatsOf(pruned).PrunedByOSSM == 0 {
 		t.Error("OSSM pruned no extensions on half-split data")
 	}
-	if pruned.Eclat.Diffsets >= plain.Eclat.Diffsets {
+	if StatsOf(pruned).Diffsets >= StatsOf(plain).Diffsets {
 		t.Errorf("diffsets with OSSM (%d) not below without (%d)",
-			pruned.Eclat.Diffsets, plain.Eclat.Diffsets)
+			StatsOf(pruned).Diffsets, StatsOf(plain).Diffsets)
 	}
 }
 
@@ -134,9 +135,10 @@ func TestEclatStatsConsistent(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Eclat.Extensions != res.Eclat.PrunedByOSSM+res.Eclat.Diffsets {
+	st := StatsOf(res)
+	if st.Extensions != st.PrunedByOSSM+st.Diffsets {
 		t.Errorf("extensions %d ≠ pruned %d + diffsets %d",
-			res.Eclat.Extensions, res.Eclat.PrunedByOSSM, res.Eclat.Diffsets)
+			st.Extensions, st.PrunedByOSSM, st.Diffsets)
 	}
 }
 
@@ -145,7 +147,7 @@ func TestEclatMaxLen(t *testing.T) {
 		{0, 1, 2, 3}, {0, 1, 2, 3}, {0, 1, 2, 3},
 	})
 	for maxLen := 1; maxLen <= 4; maxLen++ {
-		res, err := Mine(d, 2, Options{MaxLen: maxLen})
+		res, err := Mine(d, 2, Options{Options: mining.Options{MaxLen: maxLen}})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -154,11 +156,11 @@ func TestEclatMaxLen(t *testing.T) {
 				t.Errorf("MaxLen %d: produced level %d", maxLen, l.K)
 			}
 		}
-		ap, err := apriori.Mine(d, 2, apriori.Options{MaxLen: maxLen})
+		ap, err := apriori.Mine(d, 2, apriori.Options{Options: mining.Options{MaxLen: maxLen}})
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !ap.Equal(res.Result) {
+		if !ap.Equal(res) {
 			t.Errorf("MaxLen %d: disagrees with Apriori", maxLen)
 		}
 	}
@@ -189,6 +191,70 @@ func TestMinus(t *testing.T) {
 			if got[i] != c.want[i] {
 				t.Errorf("minus(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
 			}
+		}
+	}
+}
+
+// TestEclatParallelMatchesSerial checks Mine end to end with the Workers
+// knob, then drives mineRoots with real goroutine pools (bypassing the
+// NumCPU cap so the fan-out runs on any host): identical itemsets,
+// counts and search stats in index-merged order. Under -race this also
+// proves the roots share no mutable state.
+func TestEclatParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	b := dataset.NewBuilder(20)
+	for i := 0; i < 800; i++ {
+		var tx []dataset.Item
+		for j := 0; j < 20; j++ {
+			if r.Float64() < 0.3 {
+				tx = append(tx, dataset.Item(j))
+			}
+		}
+		if err := b.Append(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := b.Build()
+	minCount := int64(40)
+	serial, err := Mine(d, minCount, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Mine(d, minCount, Options{Options: mining.Options{Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Equal(par) {
+		t.Fatal("Workers=4 result differs from serial")
+	}
+
+	// Below Mine: the root fan-out itself, with forced pools.
+	tids := make(map[dataset.Item]tidlist)
+	for i := 0; i < d.NumTx(); i++ {
+		for _, it := range d.Tx(i) {
+			tids[it] = append(tids[it], int32(i))
+		}
+	}
+	var items []dataset.Item
+	for it := 0; it < 20; it++ {
+		items = append(items, dataset.Item(it))
+	}
+	sx := &Stats{}
+	sf := mineRoots(items, tids, minCount, Options{}, 1, sx)
+	for _, pool := range []int{2, 4} {
+		px := &Stats{}
+		pf := mineRoots(items, tids, minCount, Options{}, pool, px)
+		if len(pf) != len(sf) {
+			t.Fatalf("pool=%d: %d itemsets ≠ serial %d", pool, len(pf), len(sf))
+		}
+		for i := range sf {
+			if !pf[i].Items.Equal(sf[i].Items) || pf[i].Count != sf[i].Count {
+				t.Fatalf("pool=%d: entry %d is %v/%d, serial %v/%d",
+					pool, i, pf[i].Items, pf[i].Count, sf[i].Items, sf[i].Count)
+			}
+		}
+		if *px != *sx {
+			t.Errorf("pool=%d: stats %+v ≠ serial %+v", pool, *px, *sx)
 		}
 	}
 }

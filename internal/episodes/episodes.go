@@ -145,7 +145,7 @@ func Mine(s *Sequence, opts Options) (*Result, error) {
 		}
 		pruner = &core.Pruner{Map: segRes.Map, MinCount: minCount}
 	}
-	res, err := apriori.Mine(wins, minCount, apriori.Options{Pruner: pruner, MaxLen: opts.MaxLen})
+	res, err := apriori.Mine(wins, minCount, apriori.Options{Options: mining.Options{Pruner: pruner, MaxLen: opts.MaxLen}})
 	if err != nil {
 		return nil, err
 	}

@@ -9,15 +9,29 @@ package fpgrowth
 
 import (
 	"sort"
+	"time"
 
 	"github.com/ossm-mining/ossm/internal/dataset"
 	"github.com/ossm-mining/ossm/internal/mining"
 )
 
-// Options configures Mine.
+// Name is the registry name of this miner.
+const Name = "fpgrowth"
+
+func init() {
+	mining.Register(Name, func(d *dataset.Dataset, minCount int64, opts mining.Options) (*mining.Result, error) {
+		return Mine(d, minCount, Options{Options: opts})
+	})
+}
+
+// Options configures Mine. Of the embedded engine-wide knobs only MaxLen
+// and Progress apply: FP-growth generates no candidates, so there is
+// nothing for a Pruner to filter, and the recursion over shared
+// conditional trees has no independent counting pass for Workers to fan
+// out — both are accepted and ignored, keeping the registry contract
+// uniform.
 type Options struct {
-	// MaxLen stops at itemsets of this size (0 = unlimited).
-	MaxLen int
+	mining.Options
 }
 
 // fpNode is one node of an FP-tree.
@@ -130,6 +144,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	if err := mining.ValidateMinCount(minCount); err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	txs := make([]weighted, 0, d.NumTx())
 	for i := 0; i < d.NumTx(); i++ {
 		tx := d.Tx(i)
@@ -140,7 +155,10 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	tree := newTree(txs, minCount)
 	var found []mining.Counted
 	growth(tree, nil, minCount, opts.MaxLen, &found)
-	return mining.FromMap(minCount, found), nil
+	res := mining.FromMap(minCount, found)
+	res.Stats = mining.Stats{Algorithm: Name, Workers: 1, Elapsed: time.Since(start)}
+	mining.EmitLevels(opts.Options, res)
+	return res, nil
 }
 
 // growth is the recursive FP-growth step: for each frequent item of the

@@ -7,6 +7,7 @@ import (
 
 	"github.com/ossm-mining/ossm/internal/apriori"
 	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
 )
 
 func randomDataset(r *rand.Rand) *dataset.Dataset {
@@ -78,7 +79,7 @@ func TestFPGrowthMaxLen(t *testing.T) {
 	d := dataset.MustFromTransactions(3, [][]dataset.Item{
 		{0, 1, 2}, {0, 1, 2}, {0, 1, 2},
 	})
-	res, err := Mine(d, 2, Options{MaxLen: 2})
+	res, err := Mine(d, 2, Options{Options: mining.Options{MaxLen: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,9 +1,16 @@
 package mining
 
+import "strconv"
+
 // Closed and maximal itemset post-processing. The paper's introduction
 // lists closed sets (Pasquier et al., ICDT 1999) among the pattern
 // classes whose counting the OSSM accelerates; these filters derive the
 // condensed representations from a full mining result.
+//
+// Both filters work level by level: one pass over level k+1 marks, for
+// each of its itemsets, the k-subsets it subsumes; level k then keeps
+// whatever was never marked. Total work is linear in the result size
+// (times k for the subset keys), not quadratic in the level widths.
 
 // Closed returns the frequent itemsets with no frequent proper superset
 // of equal support (the closed frequent itemsets). The input result must
@@ -12,26 +19,21 @@ package mining
 func Closed(r *Result) []Counted {
 	var out []Counted
 	for li, l := range r.Levels {
-		next := map[string]int64{}
+		// A superset of equal support exists iff some (k+1)-extension
+		// within the next level matches the count: sup(superset) ≤ sup(c)
+		// forces intermediate supersets to the same support, and only
+		// frequent supersets can match (if an *infrequent* superset had
+		// equal support, c itself would be infrequent).
+		subsumed := map[string]bool{}
 		if li+1 < len(r.Levels) && r.Levels[li+1].K == l.K+1 {
-			for _, c := range r.Levels[li+1].Frequent {
-				next[c.Items.Key()] = c.Count
+			for _, s := range r.Levels[li+1].Frequent {
+				for i := range s.Items {
+					subsumed[s.Items.Without(i).Key()+supKey(s.Count)] = true
+				}
 			}
 		}
 		for _, c := range l.Frequent {
-			closed := true
-			// A superset of equal support exists iff some (k+1)-extension
-			// within the next level matches the count. Only frequent
-			// supersets can match: sup(superset) ≤ sup(c), and if an
-			// *infrequent* superset had equal support, c itself would be
-			// infrequent.
-			for key, cnt := range next {
-				if cnt == c.Count && supersetKey(c, key, r) {
-					closed = false
-					break
-				}
-			}
-			if closed {
+			if !subsumed[c.Items.Key()+supKey(c.Count)] {
 				out = append(out, c)
 			}
 		}
@@ -39,21 +41,10 @@ func Closed(r *Result) []Counted {
 	return out
 }
 
-// supersetKey reports whether the itemset behind key (a member of the
-// next level) is a superset of c. Keys are canonical, so we look the
-// itemset up in the result rather than parsing.
-func supersetKey(c Counted, key string, r *Result) bool {
-	for _, l := range r.Levels {
-		if l.K != len(c.Items)+1 {
-			continue
-		}
-		for _, s := range l.Frequent {
-			if s.Items.Key() == key {
-				return c.Items.SubsetOf(s.Items)
-			}
-		}
-	}
-	return false
+// supKey renders a support count for appending to an itemset key (keys
+// are digits and commas, so '#' keeps the pair unambiguous).
+func supKey(count int64) string {
+	return "#" + strconv.FormatInt(count, 10)
 }
 
 // Maximal returns the frequent itemsets with no frequent proper superset
@@ -62,19 +53,16 @@ func supersetKey(c Counted, key string, r *Result) bool {
 func Maximal(r *Result) []Counted {
 	var out []Counted
 	for li, l := range r.Levels {
-		var next []Counted
+		subsumed := map[string]bool{}
 		if li+1 < len(r.Levels) && r.Levels[li+1].K == l.K+1 {
-			next = r.Levels[li+1].Frequent
-		}
-		for _, c := range l.Frequent {
-			maximal := true
-			for _, s := range next {
-				if c.Items.SubsetOf(s.Items) {
-					maximal = false
-					break
+			for _, s := range r.Levels[li+1].Frequent {
+				for i := range s.Items {
+					subsumed[s.Items.Without(i).Key()] = true
 				}
 			}
-			if maximal {
+		}
+		for _, c := range l.Frequent {
+			if !subsumed[c.Items.Key()] {
 				out = append(out, c)
 			}
 		}

@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"math/rand"
 	"testing"
 
 	"github.com/ossm-mining/ossm/internal/dataset"
@@ -73,5 +74,135 @@ func TestMaximalSubsetOfClosed(t *testing.T) {
 		if !closedKeys[m.Items.Key()] {
 			t.Errorf("maximal %v not closed", m.Items)
 		}
+	}
+}
+
+// closedBrute is the definition applied literally: a set is closed iff
+// no frequent proper superset anywhere in the result has equal support.
+func closedBrute(r *Result) []Counted {
+	var out []Counted
+	all := r.All()
+	for _, c := range all {
+		absorbed := false
+		for _, s := range all {
+			if len(s.Items) > len(c.Items) && s.Count == c.Count && c.Items.SubsetOf(s.Items) {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// maximalBrute: maximal iff no frequent proper superset at all.
+func maximalBrute(r *Result) []Counted {
+	var out []Counted
+	all := r.All()
+	for _, c := range all {
+		absorbed := false
+		for _, s := range all {
+			if len(s.Items) > len(c.Items) && c.Items.SubsetOf(s.Items) {
+				absorbed = true
+				break
+			}
+		}
+		if !absorbed {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// denseResult mines all itemsets up to size 3 of a random dataset by
+// brute-force counting and returns the frequent ones as a Result. With
+// the parameters below the result holds a few thousand itemsets — the
+// scale at which the old per-candidate level rescans in Closed turned
+// quadratic.
+func denseResult(tb testing.TB) *Result {
+	tb.Helper()
+	const (
+		numItems = 22
+		numTx    = 500
+		minCount = 20
+	)
+	rng := rand.New(rand.NewSource(41))
+	txs := make([]dataset.Itemset, numTx)
+	for i := range txs {
+		var t dataset.Itemset
+		for it := dataset.Item(0); it < numItems; it++ {
+			if rng.Float64() < 0.45 {
+				t = append(t, it)
+			}
+		}
+		txs[i] = t
+	}
+	count := func(x dataset.Itemset) int64 {
+		var n int64
+		for _, t := range txs {
+			if x.SubsetOf(t) {
+				n++
+			}
+		}
+		return n
+	}
+	var found []Counted
+	add := func(x dataset.Itemset) {
+		if n := count(x); n >= minCount {
+			found = append(found, Counted{Items: x, Count: n})
+		}
+	}
+	for a := dataset.Item(0); a < numItems; a++ {
+		add(dataset.NewItemset(a))
+		for b := a + 1; b < numItems; b++ {
+			add(dataset.NewItemset(a, b))
+			for c := b + 1; c < numItems; c++ {
+				add(dataset.NewItemset(a, b, c))
+			}
+		}
+	}
+	return FromMap(minCount, found)
+}
+
+func TestClosedAndMaximalLargeResult(t *testing.T) {
+	res := denseResult(t)
+	if n := res.NumFrequent(); n < 1000 {
+		t.Fatalf("dense result has only %d itemsets; want a few thousand", n)
+	}
+
+	sameAs := func(name string, got, want []Counted) {
+		t.Helper()
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d itemsets, brute force says %d", name, len(got), len(want))
+		}
+		wantKeys := map[string]int64{}
+		for _, c := range want {
+			wantKeys[c.Items.Key()] = c.Count
+		}
+		for _, c := range got {
+			if n, ok := wantKeys[c.Items.Key()]; !ok || n != c.Count {
+				t.Fatalf("%s: unexpected %v (count %d)", name, c.Items, c.Count)
+			}
+		}
+	}
+	sameAs("Closed", Closed(res), closedBrute(res))
+	sameAs("Maximal", Maximal(res), maximalBrute(res))
+}
+
+func BenchmarkClosed(b *testing.B) {
+	res := denseResult(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Closed(res)
+	}
+}
+
+func BenchmarkMaximal(b *testing.B) {
+	res := denseResult(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Maximal(res)
 	}
 }

@@ -1,0 +1,45 @@
+package mining
+
+import (
+	"github.com/ossm-mining/ossm/internal/conc"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// CountParallel counts the candidates of one pass (all of cardinality
+// size) against txs, sharding the transactions over a worker pool. One
+// shared, read-only hash tree serves every worker; each accumulates into
+// private CountState, merged afterwards in worker order. The result is
+// identical to the serial count. workers follows conc.Resolve semantics
+// (already-resolved values pass through unchanged).
+func CountParallel(txs []dataset.Itemset, cands []*Candidate, size, workers int) {
+	workers = conc.Resolve(workers)
+	if workers <= 1 || len(txs) < 4*workers {
+		tree := NewHashTree(cands, size)
+		for tid, tx := range txs {
+			tree.CountTransaction(tx, tid, nil)
+		}
+		return
+	}
+	countSharded(txs, cands, size, workers)
+}
+
+// countSharded is the fan-out behind CountParallel; it takes the pool
+// size as given, so tests can drive shards wider than conc.Resolve
+// would allow on the host.
+func countSharded(txs []dataset.Itemset, cands []*Candidate, size, workers int) {
+	tree := NewHashTree(cands, size)
+	states := make([]*CountState, workers)
+	conc.ForChunks(workers, len(txs), func(w, lo, hi int) {
+		st := tree.NewState()
+		states[w] = st
+		for i := lo; i < hi; i++ {
+			tree.CountTransactionInto(st, txs[i], i)
+		}
+	})
+	for _, st := range states {
+		if st != nil {
+			tree.Merge(cands, st)
+		}
+	}
+}

@@ -145,25 +145,36 @@ func (t *HashTree) NewState() *CountState {
 // of the candidates themselves; the tree is not mutated, so concurrent
 // calls with distinct states are safe.
 func (t *HashTree) CountTransactionInto(st *CountState, tx dataset.Itemset, tid int) {
+	t.CountTransactionIntoFunc(st, tx, tid, nil)
+}
+
+// CountTransactionIntoFunc is CountTransactionInto with a per-match
+// callback, the state-based counterpart of CountTransaction's onMatch
+// (DHP's parallel trim pass uses it to track item participation per
+// worker).
+func (t *HashTree) CountTransactionIntoFunc(st *CountState, tx dataset.Itemset, tid int, onMatch func(*Candidate)) {
 	if len(tx) < t.size {
 		return
 	}
-	t.countInto(st, t.root, tx, 0, 0, tid)
+	t.countInto(st, t.root, tx, 0, 0, tid, onMatch)
 }
 
-func (t *HashTree) countInto(st *CountState, n *htNode, tx dataset.Itemset, depth, start, tid int) {
+func (t *HashTree) countInto(st *CountState, n *htNode, tx dataset.Itemset, depth, start, tid int, onMatch func(*Candidate)) {
 	if n.isLeaf() {
 		for _, c := range n.leaf {
 			if st.lastTID[c.id] != tid && c.Items.SubsetOf(tx) {
 				st.lastTID[c.id] = tid
 				st.counts[c.id]++
+				if onMatch != nil {
+					onMatch(c)
+				}
 			}
 		}
 		return
 	}
 	for i := start; i <= len(tx)-(t.size-depth); i++ {
 		if child := n.children[t.hash(tx[i])]; child != nil {
-			t.countInto(st, child, tx, depth+1, i+1, tid)
+			t.countInto(st, child, tx, depth+1, i+1, tid, onMatch)
 		}
 	}
 }

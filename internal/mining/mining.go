@@ -7,6 +7,7 @@ package mining
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"github.com/ossm-mining/ossm/internal/dataset"
 )
@@ -26,6 +27,11 @@ type PassStats struct {
 	Pruned    int // discarded by the OSSM bound before counting
 	Counted   int
 	Frequent  int
+	// Elapsed is the wall time of this level. Level-wise miners (Apriori,
+	// DHP) time each pass individually; depth-first miners cannot
+	// attribute time to a level and leave it zero (the run total lives in
+	// Result.Stats.Elapsed).
+	Elapsed time.Duration
 }
 
 // LevelResult carries the frequent k-itemsets of one level.
@@ -39,6 +45,9 @@ type LevelResult struct {
 type Result struct {
 	MinCount int64
 	Levels   []LevelResult
+	// Stats is the unified run-level accounting envelope (algorithm name,
+	// wall time, counting pool size, algorithm-specific extras).
+	Stats Stats
 }
 
 // All returns every frequent itemset across levels.

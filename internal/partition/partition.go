@@ -12,20 +12,32 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"time"
 
+	"github.com/ossm-mining/ossm/internal/conc"
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
 	"github.com/ossm-mining/ossm/internal/mining"
 )
 
-// Options configures Mine.
+// Name is the registry name of this miner.
+const Name = "partition"
+
+func init() {
+	mining.Register(Name, func(d *dataset.Dataset, minCount int64, opts mining.Options) (*mining.Result, error) {
+		return Mine(d, minCount, Options{Options: opts, NumPartitions: opts.Param("partitions", 0)})
+	})
+}
+
+// Options configures Mine. The embedded mining.Options carries the
+// engine-wide knobs: Pruner acts as the *global* OSSM filtering the
+// candidate set before the phase-2 counting scan, and Workers fans that
+// scan — one tidlist-intersection count per candidate — over a pool.
 type Options struct {
+	mining.Options
 	// NumPartitions splits the database; defaults to 1 when zero (which
 	// degenerates into plain vertical mining).
 	NumPartitions int
-	// Pruner applies a global OSSM (any core.Filter) to the global
-	// candidate set before the phase-2 counting scan.
-	Pruner core.Filter
 	// LocalPruner, if non-nil, supplies a filter for each partition's
 	// local mining (built, e.g., from a per-partition OSSM).
 	LocalPruner func(part int, lo, hi int) core.Filter
@@ -38,11 +50,10 @@ type Options struct {
 	// LocalPages is the page count per partition for LocalOSSM (0 ⇒ 4 ×
 	// TargetSegments, clamped to the partition size).
 	LocalPages int
-	// MaxLen stops at itemsets of this size (0 = unlimited).
-	MaxLen int
 }
 
-// Stats carries Partition-specific accounting.
+// Stats carries Partition-specific accounting; it rides on the result as
+// mining.Stats.Extra (see StatsOf).
 type Stats struct {
 	NumPartitions    int
 	LocalFrequent    int // locally frequent itemsets summed over partitions (before union)
@@ -55,14 +66,17 @@ type Stats struct {
 	CrossPruned int
 }
 
-// Result couples the common mining result with Partition's statistics.
-type Result struct {
-	*mining.Result
-	Partition Stats
+// StatsOf returns the Partition-specific counters attached to a result
+// mined by this package, or nil for results of other miners.
+func StatsOf(r *mining.Result) *Stats {
+	if s, ok := r.Stats.Extra.(*Stats); ok {
+		return s
+	}
+	return nil
 }
 
 // Mine runs Partition over d at the absolute support threshold minCount.
-func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
+func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, error) {
 	if err := mining.ValidateMinCount(minCount); err != nil {
 		return nil, err
 	}
@@ -74,7 +88,11 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
 		return nil, fmt.Errorf("partition: NumPartitions %d out of range [1, %d]", np, d.NumTx())
 	}
 	parts := dataset.PaginateN(d, np)
-	res := &Result{Result: &mining.Result{MinCount: minCount}, Partition: Stats{NumPartitions: np}}
+	start := time.Now()
+	pool := conc.Resolve(opts.Workers)
+	extra := &Stats{NumPartitions: np}
+	res := &mining.Result{MinCount: minCount, Stats: mining.Stats{Algorithm: Name, Workers: pool, Extra: extra}}
+	defer func() { res.Stats.Elapsed = time.Since(start) }()
 
 	// Phase 1: mine each partition locally. When LocalOSSM is set, the
 	// per-partition maps are kept: stacked together they form a combined
@@ -103,12 +121,12 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
 			}
 		}
 		local := mineVertical(d, p, localMin, opts.MaxLen, pruner)
-		res.Partition.LocalFrequent += len(local)
+		extra.LocalFrequent += len(local)
 		for _, x := range local {
 			candidates[x.Key()] = x
 		}
 	}
-	res.Partition.GlobalCandidates = len(candidates)
+	extra.GlobalCandidates = len(candidates)
 
 	// The combined per-partition OSSM prunes at the *global* threshold.
 	var crossPruner *core.Pruner
@@ -125,13 +143,13 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
 	var toCount []dataset.Itemset
 	for _, x := range candidates {
 		if crossPruner != nil && !crossPruner.Allow(x) {
-			res.Partition.CrossPruned++
+			extra.CrossPruned++
 			continue
 		}
 		if core.Admit(opts.Pruner, x) {
 			toCount = append(toCount, x)
 		} else {
-			res.Partition.GlobalPruned++
+			extra.GlobalPruned++
 		}
 	}
 	neededItem := make(map[dataset.Item]bool)
@@ -141,14 +159,31 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
 		}
 	}
 	tids := buildTidlists(d, 0, d.NumTx(), neededItem)
+	counts := countGlobal(tids, toCount, minCount, pool)
 	var found []mining.Counted
-	for _, x := range toCount {
-		if c := supportByIntersection(tids, x, minCount); c >= minCount {
-			found = append(found, mining.Counted{Items: x, Count: c})
+	for i, x := range toCount {
+		if counts[i] >= minCount {
+			found = append(found, mining.Counted{Items: x, Count: counts[i]})
 		}
 	}
-	res.Result = mining.FromMap(minCount, found)
+	levels := mining.FromMap(minCount, found)
+	res.Levels = levels.Levels
+	mining.EmitLevels(opts.Options, res)
 	return res, nil
+}
+
+// countGlobal runs the phase-2 exact counting scan: one
+// tidlist-intersection count per candidate, fanned over pool goroutines.
+// Candidates are independent of one another and the tidlists are shared
+// read-only, so each worker writes only its candidates' slots of the
+// counts slice. pool is taken as given so tests can force shards past
+// the host's CPU count.
+func countGlobal(tids map[dataset.Item]tidlist, toCount []dataset.Itemset, minCount int64, pool int) []int64 {
+	counts := make([]int64, len(toCount))
+	conc.For(pool, len(toCount), func(i int) {
+		counts[i] = supportByIntersection(tids, toCount[i], minCount)
+	})
+	return counts
 }
 
 // localOSSMPruner builds the Section 7 per-partition OSSM: the

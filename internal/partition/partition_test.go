@@ -8,6 +8,7 @@ import (
 	"github.com/ossm-mining/ossm/internal/apriori"
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/mining"
 )
 
 func randomDataset(r *rand.Rand) *dataset.Dataset {
@@ -41,7 +42,7 @@ func TestPartitionMatchesApriori(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return ap.Equal(pt.Result)
+		return ap.Equal(pt)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
@@ -76,11 +77,11 @@ func TestPartitionWithGlobalOSSMIsLossless(t *testing.T) {
 			return false
 		}
 		pruner := &core.Pruner{Map: seg.Map, MinCount: minCount}
-		withOSSM, err := Mine(d, minCount, Options{NumPartitions: np, Pruner: pruner})
+		withOSSM, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: pruner}, NumPartitions: np})
 		if err != nil {
 			return false
 		}
-		return plain.Result.Equal(withOSSM.Result)
+		return plain.Equal(withOSSM)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
 		t.Error(err)
@@ -118,7 +119,7 @@ func TestPartitionWithLocalOSSMIsLossless(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return plain.Result.Equal(withLocal.Result)
+		return plain.Equal(withLocal)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
@@ -158,19 +159,19 @@ func TestGlobalOSSMPrunesLocallyFrequentGlobalCandidates(t *testing.T) {
 		t.Fatal(err)
 	}
 	pruner := &core.Pruner{Map: seg.Map, MinCount: minCount}
-	res, err := Mine(d, minCount, Options{NumPartitions: 2, Pruner: pruner})
+	res, err := Mine(d, minCount, Options{Options: mining.Options{Pruner: pruner}, NumPartitions: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Partition.GlobalPruned == 0 {
-		t.Errorf("global OSSM pruned nothing; candidates=%d", res.Partition.GlobalCandidates)
+	if StatsOf(res).GlobalPruned == 0 {
+		t.Errorf("global OSSM pruned nothing; candidates=%d", StatsOf(res).GlobalCandidates)
 	}
 	// And the result still matches Apriori.
 	ap, err := apriori.Mine(d, minCount, apriori.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !ap.Equal(res.Result) {
+	if !ap.Equal(res) {
 		t.Error("pruned Partition result differs from Apriori")
 	}
 }
@@ -236,13 +237,13 @@ func TestStatsSanity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.Partition.GlobalCandidates > res.Partition.LocalFrequent {
+	if StatsOf(res).GlobalCandidates > StatsOf(res).LocalFrequent {
 		t.Errorf("distinct global candidates (%d) exceed total local frequents (%d)",
-			res.Partition.GlobalCandidates, res.Partition.LocalFrequent)
+			StatsOf(res).GlobalCandidates, StatsOf(res).LocalFrequent)
 	}
-	if res.NumFrequent() > res.Partition.GlobalCandidates {
+	if res.NumFrequent() > StatsOf(res).GlobalCandidates {
 		t.Errorf("more frequent itemsets (%d) than candidates (%d)",
-			res.NumFrequent(), res.Partition.GlobalCandidates)
+			res.NumFrequent(), StatsOf(res).GlobalCandidates)
 	}
 }
 
@@ -267,7 +268,7 @@ func TestPartitionWithAutoLocalOSSM(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return plain.Result.Equal(auto.Result)
+		return plain.Equal(auto)
 	}
 	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
@@ -308,11 +309,66 @@ func TestCrossPartitionOSSMPrunes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !plain.Result.Equal(auto.Result) {
+	if !plain.Equal(auto) {
 		t.Fatal("cross-partition pruning changed the result")
 	}
-	if auto.Partition.CrossPruned == 0 {
+	if StatsOf(auto).CrossPruned == 0 {
 		t.Errorf("combined per-partition OSSMs pruned nothing (candidates=%d)",
-			auto.Partition.GlobalCandidates)
+			StatsOf(auto).GlobalCandidates)
+	}
+}
+
+// TestPartitionParallelMatchesSerial checks Mine end to end with the
+// Workers knob, then drives countGlobal with real goroutine pools
+// (bypassing the NumCPU cap so the fan-out runs on any host): identical
+// counts slot for slot. Under -race this also proves the candidates
+// share no mutable state.
+func TestPartitionParallelMatchesSerial(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	b := dataset.NewBuilder(20)
+	for i := 0; i < 1000; i++ {
+		var tx []dataset.Item
+		for j := 0; j < 20; j++ {
+			if r.Float64() < 0.3 {
+				tx = append(tx, dataset.Item(j))
+			}
+		}
+		if err := b.Append(tx); err != nil {
+			t.Fatal(err)
+		}
+	}
+	d := b.Build()
+	minCount := int64(60)
+	serial, err := Mine(d, minCount, Options{NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Mine(d, minCount, Options{Options: mining.Options{Workers: 4}, NumPartitions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !serial.Equal(par) {
+		t.Fatal("Workers=4 result differs from serial")
+	}
+
+	// Below Mine: the phase-2 scan itself, with forced pools.
+	tids := buildTidlists(d, 0, d.NumTx(), nil)
+	var toCount []dataset.Itemset
+	for a := 0; a < 20; a++ {
+		for b2 := a + 1; b2 < 20; b2++ {
+			toCount = append(toCount, dataset.NewItemset(dataset.Item(a), dataset.Item(b2)))
+			for c := b2 + 1; c < 20; c++ {
+				toCount = append(toCount, dataset.NewItemset(dataset.Item(a), dataset.Item(b2), dataset.Item(c)))
+			}
+		}
+	}
+	want := countGlobal(tids, toCount, minCount, 1)
+	for _, pool := range []int{2, 4} {
+		got := countGlobal(tids, toCount, minCount, pool)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("pool=%d: count of %v is %d, serial %d", pool, toCount[i], got[i], want[i])
+			}
+		}
 	}
 }

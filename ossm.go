@@ -231,30 +231,27 @@ func (ix *Index) minCount(frac float64) int64 {
 	return c
 }
 
+// indexFilter derives the candidate filter an Index contributes at an
+// absolute threshold; a nil index means no pruning.
+func indexFilter(ix *Index, minCount int64) Filter {
+	if ix == nil {
+		return nil
+	}
+	return ix.PrunerAt(minCount)
+}
+
 // MineApriori mines frequent itemsets with Apriori at the given relative
 // support threshold. ix may be nil (plain Apriori, the paper's baseline).
 func MineApriori(d *Dataset, minSupport float64, ix *Index) (*Result, error) {
 	minCount := mining.MinCountFor(d, minSupport)
-	var pruner *core.Pruner
-	if ix != nil {
-		pruner = ix.PrunerAt(minCount)
-	}
-	return apriori.Mine(d, minCount, apriori.Options{Pruner: pruner})
+	return MineAt(apriori.Name, d, minCount, MineOptions{Filter: indexFilter(ix, minCount)})
 }
 
 // MineDHP mines frequent itemsets with DHP (hash filtering + transaction
 // trimming) at the given relative support threshold. ix may be nil.
 func MineDHP(d *Dataset, minSupport float64, ix *Index) (*Result, error) {
 	minCount := mining.MinCountFor(d, minSupport)
-	var pruner *core.Pruner
-	if ix != nil {
-		pruner = ix.PrunerAt(minCount)
-	}
-	res, err := dhp.Mine(d, minCount, dhp.Options{Pruner: pruner})
-	if err != nil {
-		return nil, err
-	}
-	return res.Result, nil
+	return MineAt(dhp.Name, d, minCount, MineOptions{Filter: indexFilter(ix, minCount)})
 }
 
 // MinCountFor converts a relative support threshold into an absolute

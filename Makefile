@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz bench examples experiments clean
+.PHONY: all build vet test race fuzz fuzz-smoke bench examples experiments clean
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet
+test: vet race fuzz-smoke
 	$(GO) test ./...
 
 race:
@@ -21,6 +21,16 @@ fuzz:
 	$(GO) test -run Fuzz -fuzz FuzzReadText   -fuzztime 15s ./internal/dataset
 	$(GO) test -run Fuzz -fuzz FuzzReadBinary -fuzztime 15s ./internal/dataset
 	$(GO) test -run Fuzz -fuzz FuzzReadMap    -fuzztime 15s ./internal/core
+
+# 10-second smoke of every fuzz target — part of the default test gate,
+# so a regression any of them can find fails `make test`, not just a
+# dedicated fuzzing run.
+fuzz-smoke:
+	$(GO) test -run=NONE -fuzz FuzzReadText         -fuzztime 10s ./internal/dataset
+	$(GO) test -run=NONE -fuzz FuzzReadBinary       -fuzztime 10s ./internal/dataset
+	$(GO) test -run=NONE -fuzz FuzzReadMap          -fuzztime 10s ./internal/core
+	$(GO) test -run=NONE -fuzz FuzzIndexRoundTrip   -fuzztime 10s .
+	$(GO) test -run=NONE -fuzz FuzzAppenderSnapshot -fuzztime 10s .
 
 # Scaled-down deterministic versions of every paper table/figure plus
 # micro-benchmarks (see EXPERIMENTS.md for recorded full runs).

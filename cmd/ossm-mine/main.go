@@ -12,6 +12,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 	"strings"
 	"time"
 
@@ -41,6 +44,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		top        = fs.Int("top", 10, "print the top-N frequent itemsets by support")
 		rulesConf  = fs.Float64("rules", 0, "if > 0, also generate rules at this confidence")
 		workers    = fs.Int("workers", 0, "goroutine pool for segmentation and counting (0 = serial)")
+		metrics    = fs.Bool("metrics", false, "collect and print engine telemetry (per-pass accounting, pool utilization)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the mining run to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken after mining to this file")
+		tracePath  = fs.String("trace", "", "write a runtime execution trace of the mining run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -86,24 +93,70 @@ func run(args []string, stdout, stderr io.Writer) int {
 			f = ix.Pruner(*support)
 		}
 	}
+	// Profiling hooks frame the mining run only (dataset and index loading
+	// stay outside the window, matching how the paper times the host
+	// algorithm).
+	if *cpuprofile != "" {
+		pf, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return fail(stderr, err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer tf.Close()
+		if err := trace.Start(tf); err != nil {
+			return fail(stderr, err)
+		}
+		defer trace.Stop()
+	}
+
+	var instr *ossm.Instrumentation
+	if *metrics {
+		instr = ossm.NewInstrumentation()
+	}
 	start := time.Now()
 	res, err := ossm.Mine(*miner, d, *support, ossm.MineOptions{
-		Filter:  f,
-		Workers: *workers,
-		Params:  map[string]int{"partitions": *parts},
+		Filter:     f,
+		Workers:    *workers,
+		Params:     map[string]int{"partitions": *parts},
+		Instrument: instr,
 	})
 	if err != nil {
 		return fail(stderr, err)
 	}
 	elapsed := time.Since(start)
 
+	if *memprofile != "" {
+		mf, err := os.Create(*memprofile)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer mf.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(mf); err != nil {
+			return fail(stderr, err)
+		}
+	}
+
 	fmt.Fprintf(stdout, "mining:  %d frequent itemsets in %v\n", res.NumFrequent(), elapsed.Round(time.Millisecond))
 	for _, l := range res.Levels {
 		if l.K == 1 || l.Stats.Generated == 0 {
 			continue
 		}
-		fmt.Fprintf(stdout, "  pass %d: %d generated, %d pruned by OSSM, %d counted, %d frequent\n",
-			l.K, l.Stats.Generated, l.Stats.Pruned, l.Stats.Counted, l.Stats.Frequent)
+		fmt.Fprintf(stdout, "  pass %d: %d generated, %d pruned by OSSM, %d pruned by hash, %d counted, %d frequent\n",
+			l.K, l.Stats.Generated, l.Stats.Pruned, l.Stats.PrunedHash, l.Stats.Counted, l.Stats.Frequent)
+	}
+	if *metrics {
+		res.Stats.Telemetry.Print(stdout)
 	}
 
 	all := res.All()

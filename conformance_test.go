@@ -4,6 +4,8 @@ import (
 	"math/rand"
 	"sort"
 	"testing"
+
+	"github.com/ossm-mining/ossm/internal/oracle"
 )
 
 // conformanceDataset builds a seeded random dataset dense enough that
@@ -91,6 +93,69 @@ func TestMinerConformance(t *testing.T) {
 							tc.seed, name, workers, withOSSM, res.NumFrequent(), baseline.NumFrequent())
 					}
 				}
+			}
+		}
+	}
+}
+
+// TestMinerDifferentialOracle drives every registered miner against the
+// brute-force oracle on ~50 random small datasets of varying density and
+// threshold, serial and pooled, with and without an OSSM, all
+// instrumented — any divergence from exhaustive enumeration fails, and
+// the attached telemetry must satisfy its own accounting invariants.
+func TestMinerDifferentialOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		numItems := 4 + r.Intn(7)
+		numTx := 10 + r.Intn(50)
+		density := 0.15 + 0.55*r.Float64()
+		d := conformanceDataset(int64(trial), numItems, numTx, density)
+		minCount := int64(2 + r.Intn(1+numTx/5))
+		want, err := oracle.Mine(d, minCount, 0)
+		if err != nil {
+			t.Fatalf("trial %d: oracle: %v", trial, err)
+		}
+		var f Filter
+		withOSSM := trial%2 == 0
+		if withOSSM {
+			ix, err := Build(d, BuildOptions{Segments: 1 + r.Intn(4), Seed: int64(trial)})
+			if err != nil {
+				t.Fatalf("trial %d: Build: %v", trial, err)
+			}
+			f = ix.PrunerAt(minCount)
+		}
+		workers := 1
+		if trial%3 == 0 {
+			workers = 4
+		}
+		for _, name := range Miners() {
+			instr := NewInstrumentation()
+			res, err := MineAt(name, d, minCount, MineOptions{
+				Filter:     f,
+				Workers:    workers,
+				Params:     map[string]int{"partitions": 2},
+				Instrument: instr,
+			})
+			if err != nil {
+				t.Fatalf("trial %d: %s: %v", trial, name, err)
+			}
+			if !want.Equal(res) {
+				t.Errorf("trial %d: %s (workers=%d ossm=%v minCount=%d) disagrees with oracle: %d vs %d frequent",
+					trial, name, workers, withOSSM, minCount, res.NumFrequent(), want.NumFrequent())
+			}
+			rep := res.Stats.Telemetry
+			if rep == nil {
+				t.Fatalf("trial %d: %s: instrumented run has no telemetry report", trial, name)
+			}
+			if rep.Counted > rep.Generated {
+				t.Errorf("trial %d: %s: counted %d exceeds generated %d", trial, name, rep.Counted, rep.Generated)
+			}
+			if rep.PrunedOSSM+rep.PrunedHash+rep.Counted > rep.Generated {
+				t.Errorf("trial %d: %s: pruned %d+%d + counted %d exceeds generated %d",
+					trial, name, rep.PrunedOSSM, rep.PrunedHash, rep.Counted, rep.Generated)
+			}
+			if !withOSSM && rep.PrunedOSSM != 0 {
+				t.Errorf("trial %d: %s: %d OSSM-pruned without a pruner", trial, name, rep.PrunedOSSM)
 			}
 		}
 	}

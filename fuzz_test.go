@@ -1,0 +1,190 @@
+package ossm
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// validIndexBytes builds a small real index and returns its serialized
+// form — the seed corpus anchor every mutation starts from.
+func validIndexBytes(f *testing.F) []byte {
+	f.Helper()
+	d, err := GenerateQuest(DefaultQuest(120, 3))
+	if err != nil {
+		f.Fatal(err)
+	}
+	ix, err := Build(d, BuildOptions{Pages: 8, Segments: 3, Seed: 1})
+	if err != nil {
+		f.Fatal(err)
+	}
+	p := filepath.Join(f.TempDir(), "seed.ossm")
+	if err := ix.Save(p); err != nil {
+		f.Fatal(err)
+	}
+	b, err := os.ReadFile(p)
+	if err != nil {
+		f.Fatal(err)
+	}
+	return b
+}
+
+// FuzzIndexRoundTrip: arbitrary bytes fed to LoadIndex must error
+// cleanly — never panic, never over-allocate from a corrupted header —
+// and any input that loads must survive a Save/LoadIndex round trip
+// answering the same queries.
+func FuzzIndexRoundTrip(f *testing.F) {
+	valid := validIndexBytes(f)
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add([]byte("OSSMIDX1"))
+	f.Add(valid[:len(valid)/2])
+	truncCount := append([]byte{}, valid[:10]...)
+	f.Add(truncCount)
+	huge := append([]byte{}, valid...)
+	for i := 8; i < 16; i++ {
+		huge[i] = 0xFF
+	}
+	f.Add(huge)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		p := filepath.Join(dir, "in.ossm")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		ix, err := LoadIndex(p)
+		if err != nil {
+			return // rejected cleanly — the property under test
+		}
+		// Anything accepted must round-trip exactly.
+		p2 := filepath.Join(dir, "out.ossm")
+		if err := ix.Save(p2); err != nil {
+			t.Fatalf("Save of loaded index failed: %v", err)
+		}
+		ix2, err := LoadIndex(p2)
+		if err != nil {
+			t.Fatalf("reload of saved index failed: %v", err)
+		}
+		if ix.NumSegments() != ix2.NumSegments() || ix.SizeBytes() != ix2.SizeBytes() {
+			t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+				ix.NumSegments(), ix.SizeBytes(), ix2.NumSegments(), ix2.SizeBytes())
+		}
+		m, m2 := ix.Map(), ix2.Map()
+		for it := 0; it < m.NumItems(); it++ {
+			if m.ItemSupport(Item(it)) != m2.ItemSupport(Item(it)) {
+				t.Fatalf("item %d support changed across round trip", it)
+			}
+		}
+		for a := 0; a < m.NumItems(); a++ {
+			for b := a + 1; b < m.NumItems() && b < a+4; b++ {
+				x := Itemset{Item(a), Item(b)}
+				if m.UpperBound(x) != m2.UpperBound(x) {
+					t.Fatalf("UpperBound(%v) changed across round trip", x)
+				}
+			}
+		}
+	})
+}
+
+// FuzzAppenderSnapshot: transactions decoded from arbitrary bytes,
+// streamed through an Appender, must yield a snapshot whose singleton
+// totals are lossless, whose segment count respects the budget, and
+// whose itemset bounds stay sound — matching a from-scratch count.
+func FuzzAppenderSnapshot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0, 1, 2, 0xFF, 3, 4, 0xFF})
+	f.Add([]byte{7, 7, 7, 7, 7, 7, 7, 7})
+	f.Add([]byte{0xFF, 0xFF, 0xFF})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 0xFF, 1, 2, 0xFF, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const numItems = 8
+		// Decode: each byte < 0xFF adds item b%numItems to the current
+		// transaction; 0xFF terminates it. The trailing partial transaction
+		// is flushed too.
+		var txs []Itemset
+		cur := map[Item]bool{}
+		flush := func() {
+			var tx Itemset
+			for it := Item(0); it < numItems; it++ {
+				if cur[it] {
+					tx = append(tx, it)
+				}
+			}
+			txs = append(txs, tx)
+			cur = map[Item]bool{}
+		}
+		for _, b := range data {
+			if b == 0xFF {
+				flush()
+				continue
+			}
+			cur[Item(int(b)%numItems)] = true
+		}
+		if len(cur) > 0 {
+			flush()
+		}
+
+		const maxSegments = 3
+		app, err := NewAppender(numItems, AppenderOptions{MaxSegments: maxSegments, CompactAt: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := make([]int64, numItems)
+		for _, tx := range txs {
+			if err := app.Add(tx); err != nil {
+				t.Fatalf("Add(%v): %v", tx, err)
+			}
+			for _, it := range tx {
+				exact[it]++
+			}
+		}
+		if app.NumTx() != int64(len(txs)) {
+			t.Fatalf("NumTx = %d, want %d", app.NumTx(), len(txs))
+		}
+		m, err := app.Snapshot()
+		if err != nil {
+			t.Fatalf("Snapshot: %v", err)
+		}
+		if m == nil {
+			// Documented for the empty appender — nothing may have been
+			// appended, then.
+			if app.NumTx() != 0 {
+				t.Fatalf("nil snapshot after %d transactions", app.NumTx())
+			}
+			return
+		}
+		if m.NumSegments() > maxSegments+1 {
+			t.Fatalf("snapshot has %d segments, budget %d+1", m.NumSegments(), maxSegments)
+		}
+		// Compaction is lossless on singleton totals.
+		for it := 0; it < numItems; it++ {
+			if m.ItemSupport(Item(it)) != exact[it] {
+				t.Fatalf("item %d: snapshot support %d ≠ exact %d", it, m.ItemSupport(Item(it)), exact[it])
+			}
+		}
+		// And the segment-wise bound stays sound on pairs: ubsup ≥ sup.
+		support := func(x Itemset) int64 {
+			var n int64
+			for _, tx := range txs {
+				j := 0
+				for _, it := range tx {
+					if j < len(x) && it == x[j] {
+						j++
+					}
+				}
+				if j == len(x) {
+					n++
+				}
+			}
+			return n
+		}
+		for a := Item(0); a < numItems; a++ {
+			for b := a + 1; b < numItems; b++ {
+				x := Itemset{a, b}
+				if ub, sup := m.UpperBound(x), support(x); ub < sup {
+					t.Fatalf("ubsup(%v) = %d < sup = %d", x, ub, sup)
+				}
+			}
+		}
+	})
+}

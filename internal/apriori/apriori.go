@@ -63,7 +63,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 		K:        1,
 		Frequent: f1,
 		Stats: mining.PassStats{K: 1, Generated: d.NumItems(), Counted: d.NumItems(),
-			Frequent: len(f1), Elapsed: time.Since(passStart)},
+			Frequent: len(f1), TxScanned: d.NumTx(), Elapsed: time.Since(passStart)},
 	}
 	res.Levels = append(res.Levels, l1)
 	opts.Emit(l1.Stats)
@@ -98,7 +98,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	if opts.C2Method == CountTriangular {
 		l2 = passTwoTriangular(txs, f1, minCount, opts.Pruner)
 	} else {
-		l2 = passTwoHashTree(txs, f1, minCount, opts.Pruner, pool)
+		l2 = passTwoHashTree(txs, f1, minCount, opts.Pruner, pool, opts.Instrument)
 	}
 	l2.Stats.Elapsed = time.Since(passStart)
 	res.Levels = append(res.Levels, l2)
@@ -122,7 +122,8 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 		if len(cands) == 0 {
 			break
 		}
-		mining.CountParallel(txs, cands, k, pool)
+		stats.TxScanned = len(txs)
+		mining.CountParallel(txs, cands, k, pool, opts.Instrument)
 		var freq []mining.Counted
 		for _, c := range cands {
 			if c.Count >= minCount {
@@ -144,7 +145,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 
 // passTwoHashTree generates all pairs of frequent items, filters them
 // through the OSSM, and counts the survivors with a hash tree.
-func passTwoHashTree(txs []dataset.Itemset, f1 []mining.Counted, minCount int64, pruner core.Filter, workers int) mining.LevelResult {
+func passTwoHashTree(txs []dataset.Itemset, f1 []mining.Counted, minCount int64, pruner core.Filter, workers int, instr *mining.Instrumentation) mining.LevelResult {
 	stats := mining.PassStats{K: 2, Generated: len(f1) * (len(f1) - 1) / 2}
 	var cands []*mining.Candidate
 	for i := 0; i < len(f1); i++ {
@@ -161,7 +162,8 @@ func passTwoHashTree(txs []dataset.Itemset, f1 []mining.Counted, minCount int64,
 	if len(cands) == 0 {
 		return mining.LevelResult{K: 2, Stats: stats}
 	}
-	mining.CountParallel(txs, cands, 2, workers)
+	stats.TxScanned = len(txs)
+	mining.CountParallel(txs, cands, 2, workers, instr)
 	var freq []mining.Counted
 	for _, c := range cands {
 		if c.Count >= minCount {
@@ -194,6 +196,7 @@ func passTwoTriangular(txs []dataset.Itemset, f1 []mining.Counted, minCount int6
 		}
 	}
 	stats.Counted = stats.Generated - stats.Pruned
+	stats.TxScanned = len(txs)
 	counts := make([]int64, n*n)
 	for _, tx := range txs {
 		for a := 0; a < len(tx); a++ {

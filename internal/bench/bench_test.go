@@ -143,10 +143,25 @@ func TestRunSec7(t *testing.T) {
 	if r.C2OSSM > r.C2Plain {
 		t.Errorf("|C2| with OSSM (%d) exceeds without (%d)", r.C2OSSM, r.C2Plain)
 	}
+	for name, rows := range map[string][]PassRow{"plain": r.TrajectoryPlain, "ossm": r.TrajectoryOSSM} {
+		if len(rows) == 0 {
+			t.Fatalf("%s trajectory is empty", name)
+		}
+		for _, p := range rows {
+			if p.K >= 2 && p.Bound > 0 && p.Generated > p.Bound {
+				t.Errorf("%s pass %d: generated %d exceeds candidate bound %d", name, p.K, p.Generated, p.Bound)
+			}
+			if p.Counted > p.Generated {
+				t.Errorf("%s pass %d: counted %d exceeds generated %d", name, p.K, p.Counted, p.Generated)
+			}
+		}
+	}
 	var buf bytes.Buffer
 	r.Print(&buf)
-	if !strings.Contains(buf.String(), "DHP") {
-		t.Error("Print output missing DHP")
+	for _, want := range []string{"DHP", "per-pass trajectory", "bound"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("Print output missing %q", want)
+		}
 	}
 }
 

@@ -79,6 +79,9 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i] < items[j] })
 
+	var tally mining.LevelTally
+	tally.Note(1, d.NumItems(), 0, d.NumItems())
+	tally.NoteTx(1, d.NumTx())
 	var found []mining.Counted
 	for idx, it := range items {
 		extra.NodesExplored++
@@ -87,10 +90,11 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 		if opts.MaxLen == 1 {
 			continue
 		}
-		expand(dataset.Itemset{it}, tl, items[idx+1:], lists, minCount, opts, extra, &found)
+		expand(dataset.Itemset{it}, tl, items[idx+1:], lists, minCount, opts, extra, &tally, &found)
 	}
 	res := mining.FromMap(minCount, found)
 	res.Stats = mining.Stats{Algorithm: Name, Workers: 1, Elapsed: time.Since(start), Extra: extra}
+	tally.Apply(res)
 	mining.EmitLevels(opts.Options, res)
 	return res, nil
 }
@@ -98,7 +102,8 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 // expand grows prefix (supported by tids) with each lexicographic
 // extension, depth first.
 func expand(prefix dataset.Itemset, tids tidlist, exts []dataset.Item,
-	lists map[dataset.Item]tidlist, minCount int64, opts Options, st *Stats, out *[]mining.Counted) {
+	lists map[dataset.Item]tidlist, minCount int64, opts Options, st *Stats,
+	tally *mining.LevelTally, out *[]mining.Counted) {
 
 	type child struct {
 		item dataset.Item
@@ -110,9 +115,11 @@ func expand(prefix dataset.Itemset, tids tidlist, exts []dataset.Item,
 		cand := append(append(dataset.Itemset{}, prefix...), x)
 		if !core.Admit(opts.Pruner, cand) {
 			st.PrunedByOSSM++
+			tally.Note(len(cand), 1, 1, 0)
 			continue
 		}
 		st.Projections++
+		tally.Note(len(cand), 1, 0, 1)
 		tl := intersect(tids, lists[x])
 		if int64(len(tl)) >= minCount {
 			children = append(children, child{item: x, tids: tl})
@@ -131,7 +138,7 @@ func expand(prefix dataset.Itemset, tids tidlist, exts []dataset.Item,
 		if len(rest) == 0 {
 			continue
 		}
-		expand(append(append(dataset.Itemset{}, prefix...), c.item), c.tids, rest, lists, minCount, opts, st, out)
+		expand(append(append(dataset.Itemset{}, prefix...), c.item), c.tids, rest, lists, minCount, opts, st, tally, out)
 	}
 }
 

@@ -111,7 +111,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 		K:        1,
 		Frequent: f1,
 		Stats: mining.PassStats{K: 1, Generated: d.NumItems(), Counted: d.NumItems(),
-			Frequent: len(f1), Elapsed: time.Since(passStart)},
+			Frequent: len(f1), TxScanned: d.NumTx(), Elapsed: time.Since(passStart)},
 	}
 	res.Levels = append(res.Levels, l1)
 	opts.Emit(l1.Stats)
@@ -133,6 +133,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 				continue
 			}
 			if h2[pairHash(a, b, buckets)] < minCount {
+				stats2.PrunedHash++
 				extra.BucketPruned++
 				continue
 			}
@@ -140,6 +141,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 		}
 	}
 	stats2.Counted = len(cands)
+	stats2.TxScanned = d.NumTx()
 
 	// Pass 2 counting with transaction trimming, sharded over the worker
 	// pool (see trimPass). Following the original algorithm, the pass
@@ -149,7 +151,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	for _, c := range f1 {
 		frequentItem[c.Items[0]] = true
 	}
-	trimmed := trimPass(d, cands, frequentItem, buckets, pool, extra)
+	trimmed := trimPass(d, cands, frequentItem, buckets, pool, extra, opts.Instrument)
 	var f2 []mining.Counted
 	for _, c := range cands {
 		if c.Count >= minCount {
@@ -180,6 +182,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 				continue
 			}
 			if k == 3 && trimmed.h3[tripleHash(items[0], items[1], items[2], buckets)] < minCount {
+				stats.PrunedHash++
 				extra.BucketPruned++
 				continue
 			}
@@ -189,7 +192,8 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 		if len(kc) == 0 {
 			break
 		}
-		mining.CountParallel(trimmed.txs, kc, k, pool)
+		stats.TxScanned = len(trimmed.txs)
+		mining.CountParallel(trimmed.txs, kc, k, pool, opts.Instrument)
 		var freq []mining.Counted
 		for _, c := range kc {
 			if c.Count >= minCount {
@@ -227,7 +231,7 @@ type trimResult struct {
 // counts, trimmed transactions, a partial H3 and trim counters
 // privately; shards merge in worker order, so the result is identical
 // to the serial scan.
-func trimPass(d *dataset.Dataset, cands []*mining.Candidate, frequentItem []bool, buckets, pool int, extra *Stats) trimResult {
+func trimPass(d *dataset.Dataset, cands []*mining.Candidate, frequentItem []bool, buckets, pool int, extra *Stats, instr *mining.Instrumentation) trimResult {
 	tree := mining.NewHashTree(cands, 2)
 	type shard struct {
 		state        *mining.CountState
@@ -242,6 +246,15 @@ func trimPass(d *dataset.Dataset, cands []*mining.Candidate, frequentItem []bool
 	}
 	shards := make([]shard, workers)
 	conc.ForChunks(workers, d.NumTx(), func(w, lo, hi int) {
+		chunkStart := time.Time{}
+		if instr != nil {
+			chunkStart = time.Now()
+		}
+		defer func() {
+			if instr != nil {
+				instr.ObserveWorker(time.Since(chunkStart))
+			}
+		}()
 		sh := &shards[w]
 		sh.state = tree.NewState()
 		sh.h3 = make([]int64, buckets)

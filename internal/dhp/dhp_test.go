@@ -324,11 +324,11 @@ func TestTrimPassShardedMatchesSerial(t *testing.T) {
 	}
 	sc := mkCands()
 	sx := &Stats{}
-	sr := trimPass(d, sc, frequentItem, buckets, 1, sx)
+	sr := trimPass(d, sc, frequentItem, buckets, 1, sx, nil)
 	for _, pool := range []int{2, 4} {
 		pc := mkCands()
 		px := &Stats{}
-		pr := trimPass(d, pc, frequentItem, buckets, pool, px)
+		pr := trimPass(d, pc, frequentItem, buckets, pool, px, nil)
 		for i := range sc {
 			if sc[i].Count != pc[i].Count {
 				t.Fatalf("pool=%d: candidate %v count %d ≠ serial %d", pool, pc[i].Items, pc[i].Count, sc[i].Count)

@@ -101,11 +101,15 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	for _, it := range items {
 		found = append(found, mining.Counted{Items: dataset.Itemset{it}, Count: int64(len(tids[it]))})
 	}
+	var tally mining.LevelTally
+	tally.Note(1, d.NumItems(), 0, d.NumItems())
+	tally.NoteTx(1, d.NumTx())
 	if opts.MaxLen != 1 {
-		found = append(found, mineRoots(items, tids, minCount, opts, pool, extra)...)
+		found = append(found, mineRoots(items, tids, minCount, opts, pool, extra, &tally)...)
 	}
 	levels := mining.FromMap(minCount, found)
 	res.Levels = levels.Levels
+	tally.Apply(res)
 	mining.EmitLevels(opts.Options, res)
 	return res, nil
 }
@@ -116,12 +120,18 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 // level-1 tidsets are shared read-only), and slots merge in item order,
 // so the output is identical to the serial walk. pool is taken as given
 // so tests can force shards past the host's CPU count.
-func mineRoots(items []dataset.Item, tids map[dataset.Item]tidlist, minCount int64, opts Options, pool int, extra *Stats) []mining.Counted {
+func mineRoots(items []dataset.Item, tids map[dataset.Item]tidlist, minCount int64, opts Options, pool int, extra *Stats, tally *mining.LevelTally) []mining.Counted {
 	perRoot := make([][]mining.Counted, len(items))
 	perStats := make([]Stats, len(items))
+	perTally := make([]mining.LevelTally, len(items))
 	conc.For(pool, len(items), func(idx int) {
+		start := time.Time{}
+		if opts.Instrument != nil {
+			start = time.Now()
+		}
 		x := items[idx]
 		st := &perStats[idx]
+		lt := &perTally[idx]
 		st.Classes++
 		// Level 2 seeds the class with diffsets against the level-1
 		// tidsets: d(xy) = t(x) − t(y), sup(xy) = sup(x) − |d(xy)|.
@@ -130,9 +140,11 @@ func mineRoots(items []dataset.Item, tids map[dataset.Item]tidlist, minCount int
 			st.Extensions++
 			if !core.AdmitPair(opts.Pruner, x, y) {
 				st.PrunedByOSSM++
+				lt.Note(2, 1, 1, 0)
 				continue
 			}
 			st.Diffsets++
+			lt.Note(2, 1, 0, 1)
 			diff := minus(tids[x], tids[y])
 			sup := int64(len(tids[x]) - len(diff))
 			if sup >= minCount {
@@ -143,20 +155,24 @@ func mineRoots(items []dataset.Item, tids map[dataset.Item]tidlist, minCount int
 		for _, m := range class {
 			out = append(out, mining.Counted{Items: dataset.Itemset{x, m.item}, Count: m.sup})
 		}
-		expand(dataset.Itemset{x}, class, minCount, opts, st, &out)
+		expand(dataset.Itemset{x}, class, minCount, opts, st, lt, &out)
 		perRoot[idx] = out
+		if opts.Instrument != nil {
+			opts.Instrument.ObserveWorker(time.Since(start))
+		}
 	})
 	var found []mining.Counted
 	for idx := range perRoot {
 		found = append(found, perRoot[idx]...)
 		extra.add(perStats[idx])
+		tally.Merge(&perTally[idx])
 	}
 	return found
 }
 
 // expand recurses into each member's subclass:
 // d(P·Xi·Xj) = d(P·Xj) − d(P·Xi), sup = sup(P·Xi) − |d|.
-func expand(prefix dataset.Itemset, class []member, minCount int64, opts Options, st *Stats, out *[]mining.Counted) {
+func expand(prefix dataset.Itemset, class []member, minCount int64, opts Options, st *Stats, lt *mining.LevelTally, out *[]mining.Counted) {
 	if opts.MaxLen != 0 && len(prefix)+2 > opts.MaxLen {
 		return
 	}
@@ -172,9 +188,11 @@ func expand(prefix dataset.Itemset, class []member, minCount int64, opts Options
 			cand := append(append(dataset.Itemset{}, newPrefix...), mj.item)
 			if !core.Admit(opts.Pruner, cand) {
 				st.PrunedByOSSM++
+				lt.Note(len(cand), 1, 1, 0)
 				continue
 			}
 			st.Diffsets++
+			lt.Note(len(cand), 1, 0, 1)
 			diff := minus(mj.diff, mi.diff)
 			sup := mi.sup - int64(len(diff))
 			if sup >= minCount {
@@ -188,7 +206,7 @@ func expand(prefix dataset.Itemset, class []member, minCount int64, opts Options
 			})
 		}
 		if len(sub) > 1 {
-			expand(newPrefix, sub, minCount, opts, st, out)
+			expand(newPrefix, sub, minCount, opts, st, lt, out)
 		}
 	}
 }

@@ -240,10 +240,10 @@ func TestEclatParallelMatchesSerial(t *testing.T) {
 		items = append(items, dataset.Item(it))
 	}
 	sx := &Stats{}
-	sf := mineRoots(items, tids, minCount, Options{}, 1, sx)
+	sf := mineRoots(items, tids, minCount, Options{}, 1, sx, &mining.LevelTally{})
 	for _, pool := range []int{2, 4} {
 		px := &Stats{}
-		pf := mineRoots(items, tids, minCount, Options{}, pool, px)
+		pf := mineRoots(items, tids, minCount, Options{}, pool, px, &mining.LevelTally{})
 		if len(pf) != len(sf) {
 			t.Fatalf("pool=%d: %d itemsets ≠ serial %d", pool, len(pf), len(sf))
 		}

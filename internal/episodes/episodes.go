@@ -104,6 +104,11 @@ type Options struct {
 	Pages int
 	// MaxLen bounds episode size (0 = unlimited).
 	MaxLen int
+	// Instrument, when non-nil, collects engine-wide telemetry for the
+	// inner Apriori run over the window dataset (per-pass candidate
+	// accounting, windows scanned); the frozen report lands on the result's
+	// Stats.Telemetry as for any registered miner.
+	Instrument *mining.Instrumentation
 }
 
 // Result carries the frequent parallel episodes (as itemsets of event
@@ -145,10 +150,12 @@ func Mine(s *Sequence, opts Options) (*Result, error) {
 		}
 		pruner = &core.Pruner{Map: segRes.Map, MinCount: minCount}
 	}
-	res, err := apriori.Mine(wins, minCount, apriori.Options{Options: mining.Options{Pruner: pruner, MaxLen: opts.MaxLen}})
+	engineOpts := mining.Options{Pruner: pruner, MaxLen: opts.MaxLen, Instrument: opts.Instrument}
+	res, err := apriori.Mine(wins, minCount, apriori.Options{Options: engineOpts})
 	if err != nil {
 		return nil, err
 	}
+	engineOpts.FinishRun(res)
 	out := &Result{Result: res, Windows: wins.NumTx()}
 	if pruner != nil {
 		out.Checked, out.Pruned = pruner.Checked, pruner.Pruned

@@ -153,10 +153,16 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 		}
 	}
 	tree := newTree(txs, minCount)
+	// FP-growth generates no candidates, so the per-level telemetry tallies
+	// the patterns it materializes instead (generated = counted, nothing
+	// for a pruner to discard); the one full-database scan feeds level 1.
+	var tally mining.LevelTally
+	tally.NoteTx(1, d.NumTx())
 	var found []mining.Counted
-	growth(tree, nil, minCount, opts.MaxLen, &found)
+	growth(tree, nil, minCount, opts.MaxLen, &tally, &found)
 	res := mining.FromMap(minCount, found)
 	res.Stats = mining.Stats{Algorithm: Name, Workers: 1, Elapsed: time.Since(start)}
+	tally.Apply(res)
 	mining.EmitLevels(opts.Options, res)
 	return res, nil
 }
@@ -164,11 +170,12 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 // growth is the recursive FP-growth step: for each frequent item of the
 // tree (ascending frequency), emit suffix ∪ {item} and recurse into the
 // conditional tree.
-func growth(t *fpTree, suffix dataset.Itemset, minCount int64, maxLen int, out *[]mining.Counted) {
+func growth(t *fpTree, suffix dataset.Itemset, minCount int64, maxLen int, tally *mining.LevelTally, out *[]mining.Counted) {
 	// Iterate ascending frequency = reverse of ordered.
 	for i := len(t.ordered) - 1; i >= 0; i-- {
 		it := t.ordered[i]
 		items := suffix.Union(dataset.Itemset{it})
+		tally.Note(len(items), 1, 0, 1)
 		*out = append(*out, mining.Counted{Items: items, Count: t.counts[it]})
 		if maxLen != 0 && len(items) >= maxLen {
 			continue
@@ -179,7 +186,7 @@ func growth(t *fpTree, suffix dataset.Itemset, minCount int64, maxLen int, out *
 		}
 		cond := newTree(base, minCount)
 		if len(cond.ordered) > 0 {
-			growth(cond, items, minCount, maxLen, out)
+			growth(cond, items, minCount, maxLen, tally, out)
 		}
 	}
 }

@@ -1,8 +1,9 @@
 package mining
 
 import (
-	"github.com/ossm-mining/ossm/internal/conc"
+	"time"
 
+	"github.com/ossm-mining/ossm/internal/conc"
 	"github.com/ossm-mining/ossm/internal/dataset"
 )
 
@@ -12,29 +13,47 @@ import (
 // private CountState, merged afterwards in worker order. The result is
 // identical to the serial count. workers follows conc.Resolve semantics
 // (already-resolved values pass through unchanged).
-func CountParallel(txs []dataset.Itemset, cands []*Candidate, size, workers int) {
+//
+// When instr is non-nil, each worker's busy interval is reported to it,
+// feeding the run report's pool-utilization figure; a nil instr leaves
+// the counting loop untouched.
+func CountParallel(txs []dataset.Itemset, cands []*Candidate, size, workers int, instr *Instrumentation) {
 	workers = conc.Resolve(workers)
 	if workers <= 1 || len(txs) < 4*workers {
+		start := time.Time{}
+		if instr != nil {
+			start = time.Now()
+		}
 		tree := NewHashTree(cands, size)
 		for tid, tx := range txs {
 			tree.CountTransaction(tx, tid, nil)
 		}
+		if instr != nil {
+			instr.ObserveWorker(time.Since(start))
+		}
 		return
 	}
-	countSharded(txs, cands, size, workers)
+	countSharded(txs, cands, size, workers, instr)
 }
 
 // countSharded is the fan-out behind CountParallel; it takes the pool
 // size as given, so tests can drive shards wider than conc.Resolve
 // would allow on the host.
-func countSharded(txs []dataset.Itemset, cands []*Candidate, size, workers int) {
+func countSharded(txs []dataset.Itemset, cands []*Candidate, size, workers int, instr *Instrumentation) {
 	tree := NewHashTree(cands, size)
 	states := make([]*CountState, workers)
 	conc.ForChunks(workers, len(txs), func(w, lo, hi int) {
+		start := time.Time{}
+		if instr != nil {
+			start = time.Now()
+		}
 		st := tree.NewState()
 		states[w] = st
 		for i := lo; i < hi; i++ {
 			tree.CountTransactionInto(st, txs[i], i)
+		}
+		if instr != nil {
+			instr.ObserveWorker(time.Since(start))
 		}
 	})
 	for _, st := range states {

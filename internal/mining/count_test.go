@@ -30,10 +30,10 @@ func TestCountParallelLargeInput(t *testing.T) {
 		return cs
 	}
 	serial := mkCands()
-	CountParallel(txs, serial, 2, 1)
+	CountParallel(txs, serial, 2, 1, nil)
 	for _, workers := range []int{2, 4, 16} {
 		par := mkCands()
-		countSharded(txs, par, 2, workers)
+		countSharded(txs, par, 2, workers, nil)
 		for i := range serial {
 			if serial[i].Count != par[i].Count {
 				t.Fatalf("workers=%d: candidate %v count %d ≠ serial %d",
@@ -42,7 +42,7 @@ func TestCountParallelLargeInput(t *testing.T) {
 		}
 	}
 	viaKnob := mkCands()
-	CountParallel(txs, viaKnob, 2, 4)
+	CountParallel(txs, viaKnob, 2, 4, nil)
 	for i := range serial {
 		if serial[i].Count != viaKnob[i].Count {
 			t.Fatalf("CountParallel(workers=4): candidate %v count %d ≠ serial %d",

@@ -17,6 +17,7 @@ import (
 
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
+	"github.com/ossm-mining/ossm/internal/telemetry"
 )
 
 // Options is the shared engine configuration embedded by every miner's
@@ -36,8 +37,16 @@ type Options struct {
 	// Progress, when non-nil, is invoked once per completed level with
 	// that level's statistics. Level-wise miners (Apriori, DHP) call it
 	// as each pass finishes; depth-first and partition-based miners call
-	// it per assembled level once the search completes.
+	// it per assembled level once the search completes. New consumers
+	// should prefer Instrument's structured event stream, which carries
+	// the same per-pass records plus run framing.
 	Progress func(PassStats)
+	// Instrument, when non-nil, collects engine-wide telemetry: per-pass
+	// candidate accounting and wall time, transactions scanned, and
+	// worker-pool utilization, frozen into Stats.Telemetry when the run
+	// finishes. nil (the default) disables collection at the cost of one
+	// branch per pass — the counting hot paths are untouched.
+	Instrument *Instrumentation
 	// Params carries algorithm-specific integer tunables by name, so the
 	// uniform driver signature can still reach per-miner knobs (e.g.
 	// "partitions" for Partition, "buckets" for DHP). Miners read the
@@ -54,8 +63,13 @@ func (o Options) Param(name string, def int) int {
 	return def
 }
 
-// Emit invokes the Progress hook, if any.
+// Emit reports one finished pass: it folds the pass into the Instrument
+// collector (which also emits an EventPassEnd on the structured stream)
+// and invokes the legacy Progress hook, if any.
 func (o Options) Emit(ps PassStats) {
+	if o.Instrument != nil {
+		o.Instrument.RecordPass("", ps.sample())
+	}
 	if o.Progress != nil {
 		o.Progress(ps)
 	}
@@ -75,6 +89,11 @@ type Stats struct {
 	// Extra holds algorithm-specific counters as a typed extension (e.g.
 	// *dhp.Stats, *eclat.Stats); nil for miners without extra accounting.
 	Extra any
+	// Telemetry is the uniform engine-wide observability section: the
+	// frozen report of the run's Instrumentation collector (per-pass
+	// candidate accounting, transactions scanned, pool utilization). nil
+	// when the run was not instrumented.
+	Telemetry *telemetry.Report
 }
 
 // Driver is the uniform mining entry point the registry exposes: mine d
@@ -122,23 +141,31 @@ func Names() []string {
 }
 
 // MineBy looks the named miner up and runs it, with a listing of known
-// names in the error for an unknown one.
+// names in the error for an unknown one. When the options carry an
+// Instrument collector, MineBy frames the run with start/end events and
+// attaches the frozen telemetry report to the result's Stats.
 func MineBy(name string, d *dataset.Dataset, minCount int64, opts Options) (*Result, error) {
 	drv, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("mining: unknown miner %q (registered: %v)", name, Names())
 	}
-	return drv(d, minCount, opts)
+	opts.Instrument.Emit(telemetry.Event{Kind: telemetry.EventRunStart, Algorithm: name})
+	res, err := drv(d, minCount, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.FinishRun(res)
+	return res, nil
 }
 
-// EmitLevels replays an assembled result's levels through the Progress
-// hook — the per-level notification path for miners that do not work
-// level by level (FP-growth, dEclat, DepthProject, Partition).
+// EmitLevels replays an assembled result's levels through Emit — the
+// per-level notification path for miners that do not work level by level
+// (FP-growth, dEclat, DepthProject, Partition).
 func EmitLevels(o Options, r *Result) {
-	if o.Progress == nil {
+	if o.Progress == nil && o.Instrument == nil {
 		return
 	}
 	for _, l := range r.Levels {
-		o.Progress(l.Stats)
+		o.Emit(l.Stats)
 	}
 }

@@ -25,8 +25,15 @@ type PassStats struct {
 	K         int
 	Generated int
 	Pruned    int // discarded by the OSSM bound before counting
-	Counted   int
-	Frequent  int
+	// PrunedHash counts candidates discarded by hash filtering after
+	// surviving the OSSM (DHP's bucket test); zero for other miners.
+	PrunedHash int
+	Counted    int
+	Frequent   int
+	// TxScanned is the number of transactions scanned while counting this
+	// pass (after projection/trimming); zero when the pass counts nothing
+	// or the miner cannot attribute scans to a level.
+	TxScanned int
 	// Elapsed is the wall time of this level. Level-wise miners (Apriori,
 	// DHP) time each pass individually; depth-first miners cannot
 	// attribute time to a level and leave it zero (the run total lives in

@@ -140,18 +140,23 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 
 	// Phase 2: prune with the combined per-partition OSSM and the global
 	// OSSM, then count exactly against global tidlists.
+	var tally mining.LevelTally
 	var toCount []dataset.Itemset
 	for _, x := range candidates {
 		if crossPruner != nil && !crossPruner.Allow(x) {
 			extra.CrossPruned++
+			tally.Note(len(x), 1, 1, 0)
 			continue
 		}
 		if core.Admit(opts.Pruner, x) {
 			toCount = append(toCount, x)
+			tally.Note(len(x), 1, 0, 1)
 		} else {
 			extra.GlobalPruned++
+			tally.Note(len(x), 1, 1, 0)
 		}
 	}
+	tally.NoteTx(1, d.NumTx())
 	neededItem := make(map[dataset.Item]bool)
 	for _, x := range toCount {
 		for _, it := range x {
@@ -159,7 +164,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 		}
 	}
 	tids := buildTidlists(d, 0, d.NumTx(), neededItem)
-	counts := countGlobal(tids, toCount, minCount, pool)
+	counts := countGlobal(tids, toCount, minCount, pool, opts.Instrument)
 	var found []mining.Counted
 	for i, x := range toCount {
 		if counts[i] >= minCount {
@@ -168,6 +173,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	}
 	levels := mining.FromMap(minCount, found)
 	res.Levels = levels.Levels
+	tally.Apply(res)
 	mining.EmitLevels(opts.Options, res)
 	return res, nil
 }
@@ -178,10 +184,17 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 // read-only, so each worker writes only its candidates' slots of the
 // counts slice. pool is taken as given so tests can force shards past
 // the host's CPU count.
-func countGlobal(tids map[dataset.Item]tidlist, toCount []dataset.Itemset, minCount int64, pool int) []int64 {
+func countGlobal(tids map[dataset.Item]tidlist, toCount []dataset.Itemset, minCount int64, pool int, instr *mining.Instrumentation) []int64 {
 	counts := make([]int64, len(toCount))
 	conc.For(pool, len(toCount), func(i int) {
+		start := time.Time{}
+		if instr != nil {
+			start = time.Now()
+		}
 		counts[i] = supportByIntersection(tids, toCount[i], minCount)
+		if instr != nil {
+			instr.ObserveWorker(time.Since(start))
+		}
 	})
 	return counts
 }

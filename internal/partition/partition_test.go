@@ -362,9 +362,9 @@ func TestPartitionParallelMatchesSerial(t *testing.T) {
 			}
 		}
 	}
-	want := countGlobal(tids, toCount, minCount, 1)
+	want := countGlobal(tids, toCount, minCount, 1, nil)
 	for _, pool := range []int{2, 4} {
-		got := countGlobal(tids, toCount, minCount, pool)
+		got := countGlobal(tids, toCount, minCount, pool, nil)
 		for i := range want {
 			if got[i] != want[i] {
 				t.Fatalf("pool=%d: count of %v is %d, serial %d", pool, toCount[i], got[i], want[i])

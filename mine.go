@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"github.com/ossm-mining/ossm/internal/mining"
+	"github.com/ossm-mining/ossm/internal/telemetry"
 )
 
 // Engine-layer re-exports: every miner registers itself with the shared
@@ -19,7 +20,30 @@ type (
 	// wall time, resolved worker pool, plus algorithm-specific counters
 	// in Extra.
 	Stats = mining.Stats
+	// Instrumentation is the engine-wide telemetry collector: hand one to
+	// Mine via MineOptions.Instrument and the run's per-pass candidate
+	// accounting, transactions scanned and pool utilization are frozen
+	// into the result's Stats.Telemetry.
+	Instrumentation = mining.Instrumentation
+	// Telemetry is the frozen, JSON-serializable report an instrumented
+	// run attaches to Stats.Telemetry.
+	Telemetry = telemetry.Report
+	// TelemetryPass is one per-pass row of a Telemetry report.
+	TelemetryPass = telemetry.PassReport
+	// TelemetryEvent is one record of the structured event stream
+	// (Instrumentation.SetSink): run start, per-pass end, run end.
+	TelemetryEvent = telemetry.Event
 )
+
+// NewInstrumentation returns an empty telemetry collector whose run clock
+// starts now.
+func NewInstrumentation() *Instrumentation { return mining.NewInstrumentation() }
+
+// CandidateBound is the Geerts–Goethals–Van den Bussche tight upper bound
+// on the number of candidate (k+1)-itemsets derivable from m frequent
+// k-itemsets — the reference curve telemetry consumers plot per-pass
+// candidate counts against.
+func CandidateBound(m int64, k int) int64 { return telemetry.CandidateBound(m, k) }
 
 // Miners returns the registered miner names, sorted. Every name is a
 // valid first argument to Mine.
@@ -46,15 +70,21 @@ type MineOptions struct {
 	// "partitions" for the partition miner or "buckets" for dhp. Unknown
 	// names are ignored; zero or missing values mean the default.
 	Params map[string]int
+	// Instrument, if non-nil, collects engine-wide telemetry for the run;
+	// read the frozen report from the result's Stats.Telemetry. nil (the
+	// default) disables collection with no overhead beyond one branch per
+	// pass.
+	Instrument *Instrumentation
 }
 
 func (o MineOptions) engine() mining.Options {
 	return mining.Options{
-		Pruner:   o.Filter,
-		MaxLen:   o.MaxLen,
-		Workers:  o.Workers,
-		Progress: o.Progress,
-		Params:   o.Params,
+		Pruner:     o.Filter,
+		MaxLen:     o.MaxLen,
+		Workers:    o.Workers,
+		Progress:   o.Progress,
+		Params:     o.Params,
+		Instrument: o.Instrument,
 	}
 }
 

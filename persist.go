@@ -66,9 +66,17 @@ func LoadIndex(path string) (*Index, error) {
 	if _, err := io.ReadFull(br, n[:]); err != nil {
 		return nil, fmt.Errorf("ossm: reading index header: %w", err)
 	}
+	// Validate the declared transaction count before it becomes an int:
+	// a corrupted header must not wrap negative on 32-bit hosts or smuggle
+	// an absurd count into threshold arithmetic.
+	numTx := binary.LittleEndian.Uint64(n[:])
+	const maxTx = 1 << 40
+	if numTx > maxTx {
+		return nil, fmt.Errorf("ossm: index header claims %d transactions (limit %d): corrupt file?", numTx, uint64(maxTx))
+	}
 	m, err := core.ReadMap(br)
 	if err != nil {
 		return nil, err
 	}
-	return &Index{m: m, numTx: int(binary.LittleEndian.Uint64(n[:]))}, nil
+	return &Index{m: m, numTx: int(numTx)}, nil
 }

@@ -58,3 +58,74 @@ func TestLoadIndexErrors(t *testing.T) {
 		t.Error("garbage file accepted")
 	}
 }
+
+// TestLoadIndexMalformedHeaders pins one regression per malformed-header
+// class LoadIndex must reject: every case is a corruption of a valid file
+// that a careless reader would accept (or crash on) instead of erroring.
+func TestLoadIndexMalformedHeaders(t *testing.T) {
+	d, err := GenerateQuest(DefaultQuest(200, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, BuildOptions{Pages: 10, Segments: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	good := filepath.Join(dir, "good.ossm")
+	if err := ix.Save(good); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name    string
+		corrupt func([]byte) []byte
+	}{
+		{"empty file", func(b []byte) []byte { return nil }},
+		{"truncated magic", func(b []byte) []byte { return b[:5] }},
+		{"wrong magic", func(b []byte) []byte {
+			c := append([]byte{}, b...)
+			c[0] = 'X'
+			return c
+		}},
+		{"truncated tx count", func(b []byte) []byte { return b[:11] }},
+		{"huge tx count", func(b []byte) []byte {
+			c := append([]byte{}, b...)
+			for i := 8; i < 16; i++ {
+				c[i] = 0xFF // declares ~1.8e19 transactions
+			}
+			return c
+		}},
+		{"truncated map header", func(b []byte) []byte { return b[:18] }},
+		{"truncated map payload", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"absurd cell count", func(b []byte) []byte {
+			// Overwrite the map's segment count (first field after its own
+			// magic) with an allocation-bomb value.
+			c := append([]byte{}, b...)
+			for i := 24; i < 32 && i < len(c); i++ {
+				c[i] = 0xFF
+			}
+			return c
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := filepath.Join(dir, "c.ossm")
+			if err := os.WriteFile(p, tc.corrupt(valid), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadIndex(p); err == nil {
+				t.Fatalf("%s accepted, want error", tc.name)
+			}
+		})
+	}
+	// The untouched file still loads — the corruptions above, not the
+	// harness, trip the checks.
+	if _, err := LoadIndex(good); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
+	}
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke bench examples experiments clean
+.PHONY: all build vet test race fuzz fuzz-smoke cover bench examples experiments clean
 
 all: build test
 
@@ -10,8 +10,22 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet race fuzz-smoke
+test: vet race fuzz-smoke cover
 	$(GO) test ./...
+
+# Coverage floor for the packages the serving path leans on: the facade
+# (bound queries, persistence, recipes) and the HTTP server. Fails if
+# either drops below $(COVER_FLOOR)%.
+COVER_FLOOR ?= 75
+cover:
+	@for pkg in . ./internal/server; do \
+		line=$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*%' | head -1); \
+		pct=$$(echo $$line | sed 's/coverage: //; s/%//'); \
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg"; exit 1; fi; \
+		echo "cover: $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
+		ok=$$(echo "$$pct $(COVER_FLOOR)" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "cover: $$pkg below the $(COVER_FLOOR)% floor"; exit 1; fi; \
+	done
 
 race:
 	$(GO) test -race ./...

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// durRE matches Go duration strings (possibly compound, like 1m2.5s) so
+// wall-clock times can be masked out of otherwise deterministic output.
+var durRE = regexp.MustCompile(`\b([0-9]+(\.[0-9]+)?(ns|µs|us|ms|s|m|h))+\b`)
+
+var spaceRE = regexp.MustCompile(` {2,}`)
+
+// normalize masks durations and collapses the padding around them, so a
+// run's wall time never perturbs column widths in the compared text.
+func normalize(s string) string {
+	s = durRE.ReplaceAllString(s, "<DUR>")
+	s = spaceRE.ReplaceAllString(s, " ")
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/ossm-bench -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenSec7 pins the sec7 table's text shape: all counts are
+// deterministic at a fixed seed and serial execution; only the wall
+// times vary, and normalize masks them.
+func TestGoldenSec7(t *testing.T) {
+	var out, errb bytes.Buffer
+	args := []string{
+		"-tx", "800", "-items", "100", "-pages", "8",
+		"-support", "0.01", "-segments", "6", "-seed", "2",
+		"sec7",
+	}
+	if code := run(args, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr %q", code, errb.String())
+	}
+	checkGolden(t, "sec7", normalize(out.String()))
+}

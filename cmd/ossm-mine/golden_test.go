@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	ossm "github.com/ossm-mining/ossm"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// durRE matches Go duration strings (possibly compound, like 1m2.5s) so
+// wall-clock times can be masked out of otherwise deterministic output.
+var durRE = regexp.MustCompile(`\b([0-9]+(\.[0-9]+)?(ns|µs|us|ms|s|m|h))+\b`)
+
+var spaceRE = regexp.MustCompile(` {2,}`)
+
+// utilRE matches the telemetry pool-utilization figure, which is a ratio
+// of two wall times and therefore varies run to run.
+var utilRE = regexp.MustCompile(`utilization [0-9.]+%`)
+
+// normalize masks durations and collapses the padding around them, so a
+// run's wall time never perturbs column widths in the compared text.
+func normalize(s string) string {
+	s = durRE.ReplaceAllString(s, "<DUR>")
+	s = utilRE.ReplaceAllString(s, "utilization <PCT>")
+	s = spaceRE.ReplaceAllString(s, " ")
+	lines := strings.Split(s, "\n")
+	for i, l := range lines {
+		lines[i] = strings.TrimRight(l, " ")
+	}
+	return strings.Join(lines, "\n")
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file instead when -update is set.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/ossm-mine -update` to create it)", err)
+	}
+	if got != string(want) {
+		t.Errorf("output drifted from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// mineFixture saves a deterministic dataset for the golden runs.
+func mineFixture(t *testing.T) string {
+	t.Helper()
+	d, err := ossm.GenerateSkewed(ossm.DefaultSkewed(1200, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "golden.bin")
+	if err := ossm.SaveDataset(path, d); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestGoldenOutput(t *testing.T) {
+	in := mineFixture(t)
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"apriori_ossm", []string{
+			"-in", in, "-support", "0.02", "-ossm", "-segments", "8",
+			"-alg", "random-greedy", "-seed", "1", "-top", "5",
+		}},
+		{"apriori_metrics", []string{
+			"-in", in, "-support", "0.02", "-ossm", "-segments", "8",
+			"-seed", "1", "-top", "0", "-metrics",
+		}},
+		{"eclat_plain", []string{
+			"-in", in, "-support", "0.03", "-miner", "eclat", "-top", "3",
+		}},
+		{"rules", []string{
+			"-in", in, "-support", "0.02", "-rules", "0.5", "-top", "3",
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			if code := run(tc.args, &out, &errb); code != 0 {
+				t.Fatalf("exit %d, stderr %q", code, errb.String())
+			}
+			checkGolden(t, tc.name, normalize(out.String()))
+		})
+	}
+}

@@ -1,0 +1,144 @@
+// Command ossm-serve exposes persisted OSSM indexes (and optionally
+// their datasets) as a concurrent HTTP/JSON bound-query and mining
+// service — the serving shape of the ROADMAP's north star: build or load
+// indexes once, then answer ubsup queries at any threshold from a small
+// in-memory structure, with an LRU bound cache on the hot path.
+//
+// Usage:
+//
+//	ossm-serve -addr :7717 -index retail=retail.ossm -data retail=retail.bin
+//	ossm-serve -data retail=retail.bin -build-segments 40
+//
+// Endpoints: GET /healthz, GET /v1/indexes, POST /v1/ubsup,
+// POST /v1/mine, GET /v1/metrics. See README.md for the request shapes.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"syscall"
+	"time"
+
+	ossm "github.com/ossm-mining/ossm"
+	"github.com/ossm-mining/ossm/internal/server"
+)
+
+// kvList collects repeated name=path flags.
+type kvList []struct{ name, path string }
+
+func (l *kvList) String() string {
+	var parts []string
+	for _, kv := range *l {
+		parts = append(parts, kv.name+"="+kv.path)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (l *kvList) Set(s string) error {
+	name, path, ok := strings.Cut(s, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", s)
+	}
+	*l = append(*l, struct{ name, path string }{name, path})
+	return nil
+}
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run executes the tool; factored out of main for testability. It prints
+// the bound address as soon as the listener is up, so callers using
+// ":0" can discover the port.
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("ossm-serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var indexes, datasets kvList
+	var (
+		addr     = fs.String("addr", ":7717", "listen address (host:port; :0 picks a free port)")
+		cache    = fs.Int("cache", 4096, "bound-cache capacity in entries (negative disables)")
+		timeout  = fs.Duration("timeout", 30*time.Second, "per-request deadline (negative disables)")
+		workers  = fs.Int("workers", runtime.NumCPU(), "goroutine pool for batch bound queries (0 or 1 = serial)")
+		mineSlot = fs.Int("mine-concurrency", 2, "max simultaneous mining runs")
+		buildSeg = fs.Int("build-segments", 0, "build an index (RandomGreedy, this segment budget) for datasets lacking one (0 = off)")
+	)
+	fs.Var(&indexes, "index", "name=path of a saved OSSM index (repeatable)")
+	fs.Var(&datasets, "data", "name=path of a dataset to attach for /v1/mine (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "ossm-serve: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if len(indexes) == 0 && len(datasets) == 0 {
+		fmt.Fprintln(stderr, "ossm-serve: at least one -index or -data entry is required")
+		return 2
+	}
+
+	srv := server.New(server.Config{
+		CacheSize:       *cache,
+		RequestTimeout:  *timeout,
+		Workers:         *workers,
+		MineConcurrency: *mineSlot,
+	})
+	have := make(map[string]bool)
+	for _, kv := range indexes {
+		ix, err := ossm.LoadIndex(kv.path)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := srv.AddIndex(kv.name, ix); err != nil {
+			return fail(stderr, err)
+		}
+		have[kv.name] = true
+		fmt.Fprintf(stdout, "index %q: %d segments, %d tx, %.1f KB\n",
+			kv.name, ix.NumSegments(), ix.NumTx(), float64(ix.SizeBytes())/1024)
+	}
+	for _, kv := range datasets {
+		d, err := ossm.LoadDataset(kv.path)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := srv.AddDataset(kv.name, d); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stdout, "data %q: %d transactions, %d items\n", kv.name, d.NumTx(), d.NumItems())
+		if *buildSeg > 0 && !have[kv.name] {
+			ix, err := ossm.Build(d, ossm.BuildOptions{Segments: *buildSeg, Algorithm: ossm.RandomGreedy})
+			if err != nil {
+				return fail(stderr, err)
+			}
+			if err := srv.AddIndex(kv.name, ix); err != nil {
+				return fail(stderr, err)
+			}
+			fmt.Fprintf(stdout, "index %q: built %d segments in %v\n",
+				kv.name, ix.NumSegments(), ix.SegmentationTime().Round(time.Millisecond))
+		}
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stdout, "ossm-serve: listening on %s\n", ln.Addr())
+	if err := srv.Serve(ctx, ln); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintln(stdout, "ossm-serve: shut down cleanly")
+	return 0
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "ossm-serve: %v\n", err)
+	return 1
+}

@@ -1,0 +1,182 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	ossm "github.com/ossm-mining/ossm"
+)
+
+// syncBuffer is a goroutine-safe bytes.Buffer for capturing run's output
+// while it serves in the background.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// writeFixtures saves a dataset and an index over it, returning both paths.
+func writeFixtures(t *testing.T) (dataPath, indexPath string) {
+	t.Helper()
+	d, err := ossm.GenerateSkewed(ossm.DefaultSkewed(600, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	dataPath = filepath.Join(dir, "d.bin")
+	if err := ossm.SaveDataset(dataPath, d); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ossm.Build(d, ossm.BuildOptions{Segments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexPath = filepath.Join(dir, "d.ossm")
+	if err := ix.Save(indexPath); err != nil {
+		t.Fatal(err)
+	}
+	return dataPath, indexPath
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// startServe launches run in the background on an ephemeral port and
+// waits for the listen line; cancel and wait for the exit code via the
+// returned helpers.
+func startServe(t *testing.T, args []string) (base string, out *syncBuffer, shutdown func() int) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out = &syncBuffer{}
+	var errb syncBuffer
+	done := make(chan int, 1)
+	go func() { done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out, &errb) }()
+
+	var addr string
+	for i := 0; i < 100; i++ {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if addr == "" {
+		cancel()
+		t.Fatalf("server never printed its address; stdout=%q stderr=%q", out.String(), errb.String())
+	}
+	return "http://" + addr, out, func() int {
+		cancel()
+		select {
+		case code := <-done:
+			return code
+		case <-time.After(10 * time.Second):
+			t.Fatal("run did not exit after cancel")
+			return -1
+		}
+	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	dataPath, indexPath := writeFixtures(t)
+	base, out, shutdown := startServe(t, []string{
+		"-index", "retail=" + indexPath,
+		"-data", "retail=" + dataPath,
+	})
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	r, err := http.Post(base+"/v1/ubsup", "application/json",
+		strings.NewReader(`{"index":"retail","itemset":[1,2]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ub map[string]any
+	if err := json.NewDecoder(r.Body).Decode(&ub); err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusOK || ub["bound"] == nil {
+		t.Fatalf("ubsup = %d %v", r.StatusCode, ub)
+	}
+
+	if code := shutdown(); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if !strings.Contains(out.String(), "shut down cleanly") {
+		t.Errorf("no clean-shutdown line in %q", out.String())
+	}
+}
+
+func TestServeBuildSegments(t *testing.T) {
+	dataPath, _ := writeFixtures(t)
+	base, out, shutdown := startServe(t, []string{
+		"-data", "retail=" + dataPath,
+		"-build-segments", "4",
+	})
+	defer shutdown()
+
+	resp, err := http.Get(base + "/v1/indexes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	row := body["indexes"].([]any)[0].(map[string]any)
+	if row["has_index"] != true || int(row["segments"].(float64)) != 4 {
+		t.Fatalf("built index missing: %v", row)
+	}
+	if !strings.Contains(out.String(), "built 4 segments") {
+		t.Errorf("no build line in %q", out.String())
+	}
+}
+
+func TestServeFlagErrors(t *testing.T) {
+	ctx := context.Background()
+	var out, errb bytes.Buffer
+	cases := []struct {
+		name string
+		args []string
+		code int
+	}{
+		{"no entries", nil, 2},
+		{"bad kv", []string{"-index", "retail"}, 2},
+		{"positional junk", []string{"-index", "a=b", "extra"}, 2},
+		{"missing index file", []string{"-index", "a=/nonexistent/x.ossm"}, 1},
+		{"missing data file", []string{"-data", "a=/nonexistent/x.bin"}, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code := run(ctx, tc.args, &out, &errb); code != tc.code {
+				t.Errorf("exit = %d, want %d (stderr %q)", code, tc.code, errb.String())
+			}
+		})
+	}
+}

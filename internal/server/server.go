@@ -1,0 +1,587 @@
+// Package server is the serving layer over the OSSM library: an
+// HTTP/JSON service that loads persisted indexes into a registry and
+// answers itemset bound queries (the workload of Liberty et al.'s
+// frequency-sketch serving setting) and full mining runs from them.
+//
+// The hot path is POST /v1/ubsup: canonicalize the itemset, consult the
+// LRU bound cache (keyed on index name, index version and canonical
+// itemset), and fall back to the index's segment min-scan on a miss.
+// Swapping an index — e.g. with a streaming Appender snapshot — bumps its
+// registry version, so every cached bound for the old index becomes
+// unreachable at once; stale answers are structurally impossible.
+//
+// Every request runs under a context deadline; mining runs additionally
+// pass through a bounded admission semaphore, and batch bound queries fan
+// out over an internal/conc pool.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"time"
+
+	ossm "github.com/ossm-mining/ossm"
+	"github.com/ossm-mining/ossm/internal/conc"
+	"github.com/ossm-mining/ossm/internal/telemetry"
+)
+
+// Config tunes a Server. The zero value serves with a 4096-entry bound
+// cache, a 30-second request deadline, serial batch evaluation and at
+// most two concurrent mining runs.
+type Config struct {
+	// CacheSize is the bound-cache capacity in entries (0 ⇒ 4096;
+	// negative disables caching).
+	CacheSize int
+	// RequestTimeout is the per-request context deadline (0 ⇒ 30s;
+	// negative disables the deadline).
+	RequestTimeout time.Duration
+	// Workers fans batch ubsup evaluation over a goroutine pool
+	// (conc.Resolve semantics: 0, 1 or negative = serial, larger values
+	// capped at NumCPU).
+	Workers int
+	// MineConcurrency bounds simultaneous /v1/mine runs; excess requests
+	// wait for a slot until their deadline (0 ⇒ 2).
+	MineConcurrency int
+	// MaxBatch caps the itemsets of one ubsup request (0 ⇒ 4096).
+	MaxBatch int
+	// MaxBodyBytes caps request bodies (0 ⇒ 1 MiB).
+	MaxBodyBytes int64
+}
+
+func (c Config) withDefaults() Config {
+	if c.CacheSize == 0 {
+		c.CacheSize = 4096
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MineConcurrency <= 0 {
+		c.MineConcurrency = 2
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 4096
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 1 << 20
+	}
+	return c
+}
+
+// Server answers bound and mining queries over a registry of OSSM
+// indexes. Create one with New, register entries, and expose Handler on
+// an http.Server (or call Serve for the managed lifecycle).
+type Server struct {
+	cfg     Config
+	reg     *Registry
+	cache   *boundCache
+	workers int           // resolved batch pool size
+	mineSem chan struct{} // admission semaphore for mining runs
+	start   time.Time
+
+	// Service counters, built from the telemetry layer's atomic
+	// primitives (the same Counter/Timer types the mining collector
+	// aggregates).
+	requests  telemetry.Counter
+	errs      telemetry.Counter
+	queries   telemetry.Counter // itemset bounds answered
+	mines     telemetry.Counter // mining runs completed
+	timeouts  telemetry.Counter // requests that hit their deadline
+	queryWall telemetry.Timer
+	mineWall  telemetry.Timer
+	// Cumulative candidate accounting folded from every mining run's
+	// telemetry report.
+	mineGenerated telemetry.Counter
+	minePruned    telemetry.Counter
+	mineCounted   telemetry.Counter
+}
+
+// New returns a Server over an empty registry.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:     cfg,
+		reg:     NewRegistry(),
+		cache:   newBoundCache(cfg.CacheSize),
+		workers: conc.Resolve(cfg.Workers),
+		mineSem: make(chan struct{}, cfg.MineConcurrency),
+		start:   time.Now(),
+	}
+}
+
+// Registry exposes the server's entry registry (AddIndex, AddDataset,
+// Swap) for loaders and streaming refreshers.
+func (s *Server) Registry() *Registry { return s.reg }
+
+// AddIndex registers a named index.
+func (s *Server) AddIndex(name string, ix *ossm.Index) error { return s.reg.AddIndex(name, ix) }
+
+// AddDataset attaches a mining dataset to the named entry.
+func (s *Server) AddDataset(name string, d *ossm.Dataset) error { return s.reg.AddDataset(name, d) }
+
+// Swap replaces a named index (bumping its version, which invalidates
+// every bound cached against the old index).
+func (s *Server) Swap(name string, ix *ossm.Index) error { return s.reg.Swap(name, ix) }
+
+// BoundResult is one answered bound.
+type BoundResult struct {
+	Itemset ossm.Itemset `json:"itemset"`
+	Bound   int64        `json:"bound"`
+	Cached  bool         `json:"cached"`
+}
+
+// errBadItemset marks client-side itemset validation failures.
+var errBadItemset = errors.New("bad itemset")
+
+// Bound answers one ubsup query against the named index, through the
+// cache unless noCache is set. Items are canonicalized (sorted,
+// de-duplicated) before lookup so permutations share a cache line.
+func (s *Server) Bound(name string, items []ossm.Item, noCache bool) (BoundResult, error) {
+	ix, version, ok := s.reg.Lookup(name)
+	if !ok {
+		return BoundResult{}, fmt.Errorf("unknown index %q", name)
+	}
+	return s.bound(ix, name, version, items, noCache)
+}
+
+func (s *Server) bound(ix *ossm.Index, name string, version uint64, items []ossm.Item, noCache bool) (BoundResult, error) {
+	set := ossm.NewItemset(items...)
+	if len(set) == 0 {
+		return BoundResult{}, fmt.Errorf("%w: the empty itemset has no OSSM bound", errBadItemset)
+	}
+	if max := set[len(set)-1]; int(max) >= ix.NumItems() {
+		return BoundResult{}, fmt.Errorf("%w: item %d outside the index domain of %d items", errBadItemset, max, ix.NumItems())
+	}
+	s.queries.Inc()
+	var key []byte
+	if !noCache {
+		key = appendCacheKey(make([]byte, 0, 64), name, version, set)
+		if b, ok := s.cache.get(key); ok {
+			return BoundResult{Itemset: set, Bound: b, Cached: true}, nil
+		}
+	}
+	start := time.Now()
+	b := ix.UpperBound(set)
+	s.queryWall.Observe(time.Since(start))
+	if !noCache {
+		s.cache.put(key, b)
+	}
+	return BoundResult{Itemset: set, Bound: b}, nil
+}
+
+// Handler returns the service's HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
+	mux.HandleFunc("POST /v1/ubsup", s.handleUbsup)
+	mux.HandleFunc("POST /v1/mine", s.handleMine)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s.middleware(mux)
+}
+
+// middleware counts requests, caps body size and installs the
+// per-request deadline.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.requests.Inc()
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		if s.cfg.RequestTimeout > 0 {
+			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	if code >= 400 {
+		s.errs.Inc()
+	}
+	if code == http.StatusGatewayTimeout {
+		s.timeouts.Inc()
+	}
+	s.writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// expired reports whether the request deadline has already passed, and
+// answers 504 if so.
+func (s *Server) expired(w http.ResponseWriter, r *http.Request) bool {
+	if err := r.Context().Err(); err != nil {
+		s.writeErr(w, http.StatusGatewayTimeout, "request deadline exceeded: %v", err)
+		return true
+	}
+	return false
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+type indexesResponse struct {
+	Indexes []IndexInfo `json:"indexes"`
+}
+
+func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, indexesResponse{Indexes: s.reg.Info()})
+}
+
+// UbsupRequest is the body of POST /v1/ubsup: one itemset or a batch
+// (exactly one of the two fields).
+type UbsupRequest struct {
+	Index    string        `json:"index"`
+	Itemset  []ossm.Item   `json:"itemset,omitempty"`
+	Itemsets [][]ossm.Item `json:"itemsets,omitempty"`
+	NoCache  bool          `json:"no_cache,omitempty"`
+}
+
+// UbsupResponse answers a ubsup request. Bounds holds one result per
+// requested itemset in request order; Bound duplicates the single result
+// for single-itemset requests.
+type UbsupResponse struct {
+	Index     string        `json:"index"`
+	Version   uint64        `json:"version"`
+	NumTx     int           `json:"num_tx"`
+	Bound     *int64        `json:"bound,omitempty"`
+	Bounds    []BoundResult `json:"bounds"`
+	CacheHits int           `json:"cache_hits"`
+}
+
+func (s *Server) handleUbsup(w http.ResponseWriter, r *http.Request) {
+	if s.expired(w, r) {
+		return
+	}
+	var req UbsupRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	single := req.Itemset != nil
+	if single == (len(req.Itemsets) > 0) {
+		s.writeErr(w, http.StatusBadRequest, "exactly one of itemset and itemsets must be set")
+		return
+	}
+	batch := req.Itemsets
+	if single {
+		batch = [][]ossm.Item{req.Itemset}
+	}
+	if len(batch) > s.cfg.MaxBatch {
+		s.writeErr(w, http.StatusBadRequest, "batch of %d itemsets exceeds the limit of %d", len(batch), s.cfg.MaxBatch)
+		return
+	}
+	ix, version, ok := s.reg.Lookup(req.Index)
+	if !ok {
+		s.writeErr(w, http.StatusNotFound, "unknown index %q", req.Index)
+		return
+	}
+	results := make([]BoundResult, len(batch))
+	errs := make([]error, len(batch))
+	conc.For(s.workers, len(batch), func(i int) {
+		results[i], errs[i] = s.bound(ix, req.Index, version, batch[i], req.NoCache)
+	})
+	for _, err := range errs {
+		if err != nil {
+			s.writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+	}
+	if s.expired(w, r) {
+		return
+	}
+	resp := UbsupResponse{Index: req.Index, Version: version, NumTx: ix.NumTx(), Bounds: results}
+	for _, b := range results {
+		if b.Cached {
+			resp.CacheHits++
+		}
+	}
+	if single {
+		resp.Bound = &results[0].Bound
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// MineRequest is the body of POST /v1/mine: a full mining run over the
+// named entry's dataset, pruned by its index unless UseOSSM is false.
+type MineRequest struct {
+	Index string `json:"index"`
+	// Miner is a registry name from ossm.Miners() ("" ⇒ "apriori").
+	Miner string `json:"miner,omitempty"`
+	// Support is the relative threshold; MinCount the absolute one
+	// (exactly one must be positive).
+	Support  float64 `json:"support,omitempty"`
+	MinCount int64   `json:"min_count,omitempty"`
+	// UseOSSM prunes candidates with the entry's index (nil ⇒ true when
+	// the entry has an index).
+	UseOSSM *bool          `json:"use_ossm,omitempty"`
+	MaxLen  int            `json:"max_len,omitempty"`
+	Workers int            `json:"workers,omitempty"`
+	Params  map[string]int `json:"params,omitempty"`
+	// Top caps the itemsets echoed back, by descending support (0 ⇒ 20,
+	// negative ⇒ none).
+	Top int `json:"top,omitempty"`
+}
+
+// MineLevel summarizes one level of a mining run.
+type MineLevel struct {
+	K         int `json:"k"`
+	Frequent  int `json:"frequent"`
+	Generated int `json:"generated,omitempty"`
+	Pruned    int `json:"pruned_ossm,omitempty"`
+	Counted   int `json:"counted,omitempty"`
+}
+
+// MineItemset is one reported frequent itemset.
+type MineItemset struct {
+	Itemset ossm.Itemset `json:"itemset"`
+	Support int64        `json:"support"`
+}
+
+// MineResponse reports a completed mining run with its telemetry.
+type MineResponse struct {
+	Index       string          `json:"index"`
+	Miner       string          `json:"miner"`
+	MinCount    int64           `json:"min_count"`
+	NumFrequent int             `json:"num_frequent"`
+	Pruned      bool            `json:"pruned"`
+	Levels      []MineLevel     `json:"levels"`
+	Top         []MineItemset   `json:"top,omitempty"`
+	Telemetry   *ossm.Telemetry `json:"telemetry"`
+}
+
+func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
+	ctx := r.Context()
+	if s.expired(w, r) {
+		return
+	}
+	var req MineRequest
+	if err := decodeJSON(r, &req); err != nil {
+		s.writeErr(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Miner == "" {
+		req.Miner = "apriori"
+	}
+	if !minerKnown(req.Miner) {
+		s.writeErr(w, http.StatusBadRequest, "unknown miner %q (have: %v)", req.Miner, ossm.Miners())
+		return
+	}
+	if (req.Support > 0) == (req.MinCount > 0) {
+		s.writeErr(w, http.StatusBadRequest, "exactly one of support and min_count must be positive")
+		return
+	}
+	d, hasData := s.reg.Dataset(req.Index)
+	ix, _, hasIndex := s.reg.Lookup(req.Index)
+	if !hasData && !hasIndex {
+		s.writeErr(w, http.StatusNotFound, "unknown index %q", req.Index)
+		return
+	}
+	if !hasData {
+		s.writeErr(w, http.StatusBadRequest, "index %q has no dataset attached; mining needs the transactions", req.Index)
+		return
+	}
+	minCount := req.MinCount
+	if minCount == 0 {
+		minCount = ossm.MinCountFor(d, req.Support)
+	}
+	useOSSM := hasIndex
+	if req.UseOSSM != nil {
+		useOSSM = *req.UseOSSM && hasIndex
+	}
+	var filter ossm.Filter
+	if useOSSM {
+		filter = ix.PrunerAt(minCount)
+	}
+
+	// Admission control: at most MineConcurrency runs at once; waiters
+	// give up at their deadline.
+	select {
+	case s.mineSem <- struct{}{}:
+		defer func() { <-s.mineSem }()
+	case <-ctx.Done():
+		s.writeErr(w, http.StatusGatewayTimeout, "timed out waiting for a mining slot")
+		return
+	}
+
+	instr := ossm.NewInstrumentation()
+	type mineOut struct {
+		res *ossm.Result
+		err error
+	}
+	ch := make(chan mineOut, 1)
+	start := time.Now()
+	go func() {
+		res, err := ossm.MineAt(req.Miner, d, minCount, ossm.MineOptions{
+			Filter:     filter,
+			MaxLen:     req.MaxLen,
+			Workers:    req.Workers,
+			Params:     req.Params,
+			Instrument: instr,
+		})
+		ch <- mineOut{res, err}
+	}()
+	var out mineOut
+	select {
+	case out = <-ch:
+	case <-ctx.Done():
+		// The run finishes in the background; its result is dropped.
+		s.writeErr(w, http.StatusGatewayTimeout, "mining exceeded the request deadline")
+		return
+	}
+	if out.err != nil {
+		s.writeErr(w, http.StatusInternalServerError, "mining: %v", out.err)
+		return
+	}
+	s.mines.Inc()
+	s.mineWall.Observe(time.Since(start))
+	if rep := out.res.Stats.Telemetry; rep != nil {
+		s.mineGenerated.Add(rep.Generated)
+		s.minePruned.Add(rep.PrunedOSSM + rep.PrunedHash)
+		s.mineCounted.Add(rep.Counted)
+	}
+
+	resp := MineResponse{
+		Index:       req.Index,
+		Miner:       req.Miner,
+		MinCount:    minCount,
+		NumFrequent: out.res.NumFrequent(),
+		Pruned:      useOSSM,
+		Telemetry:   out.res.Stats.Telemetry,
+	}
+	for _, l := range out.res.Levels {
+		resp.Levels = append(resp.Levels, MineLevel{
+			K: l.K, Frequent: len(l.Frequent),
+			Generated: l.Stats.Generated, Pruned: l.Stats.Pruned, Counted: l.Stats.Counted,
+		})
+	}
+	top := req.Top
+	if top == 0 {
+		top = 20
+	}
+	if top > 0 {
+		all := out.res.All()
+		sort.Slice(all, func(i, j int) bool {
+			if all[i].Count != all[j].Count {
+				return all[i].Count > all[j].Count
+			}
+			return all[i].Items.Compare(all[j].Items) < 0
+		})
+		if top > len(all) {
+			top = len(all)
+		}
+		for _, c := range all[:top] {
+			resp.Top = append(resp.Top, MineItemset{Itemset: c.Items, Support: c.Count})
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
+// Metrics is the GET /v1/metrics report: service counters (built on the
+// telemetry layer's atomic primitives), cache effectiveness, cumulative
+// mining candidate accounting and the registry's entries.
+type Metrics struct {
+	UptimeNS      time.Duration `json:"uptime_ns"`
+	Requests      int64         `json:"requests"`
+	Errors        int64         `json:"errors"`
+	Timeouts      int64         `json:"timeouts"`
+	BoundQueries  int64         `json:"bound_queries"`
+	QueryWallNS   time.Duration `json:"query_wall_ns"`
+	MineRuns      int64         `json:"mine_runs"`
+	MineWallNS    time.Duration `json:"mine_wall_ns"`
+	MineGenerated int64         `json:"mine_generated"`
+	MinePruned    int64         `json:"mine_pruned"`
+	MineCounted   int64         `json:"mine_counted"`
+	Workers       int           `json:"workers"`
+	MineSlots     int           `json:"mine_slots"`
+	Cache         CacheStats    `json:"cache"`
+	Indexes       []IndexInfo   `json:"indexes"`
+}
+
+// MetricsSnapshot assembles the current metrics report.
+func (s *Server) MetricsSnapshot() Metrics {
+	return Metrics{
+		UptimeNS:      time.Since(s.start),
+		Requests:      s.requests.Load(),
+		Errors:        s.errs.Load(),
+		Timeouts:      s.timeouts.Load(),
+		BoundQueries:  s.queries.Load(),
+		QueryWallNS:   s.queryWall.Total(),
+		MineRuns:      s.mines.Load(),
+		MineWallNS:    s.mineWall.Total(),
+		MineGenerated: s.mineGenerated.Load(),
+		MinePruned:    s.minePruned.Load(),
+		MineCounted:   s.mineCounted.Load(),
+		Workers:       s.workers,
+		MineSlots:     s.cfg.MineConcurrency,
+		Cache:         s.cache.stats(),
+		Indexes:       s.reg.Info(),
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+}
+
+// Serve runs the service on ln until ctx is canceled, then shuts down
+// gracefully (draining in-flight requests for up to 5 seconds). It
+// returns nil after a clean shutdown.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	hs := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		return hs.Shutdown(sctx)
+	}
+}
+
+// decodeJSON strictly decodes one JSON object from the request body.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if dec.More() {
+		return fmt.Errorf("trailing data after the JSON body")
+	}
+	return nil
+}
+
+func minerKnown(name string) bool {
+	for _, m := range ossm.Miners() {
+		if m == name {
+			return true
+		}
+	}
+	return false
+}

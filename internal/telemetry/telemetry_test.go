@@ -135,12 +135,12 @@ func TestCandidateBound(t *testing.T) {
 		want int64
 	}{
 		{0, 2, 0},
-		{1, 1, 0},              // C(1,1) ⇒ C(1,2) = 0
-		{5, 1, 10},             // 5 frequent items ⇒ C(5,2) pairs
-		{10, 2, 10},            // C(5,2) ⇒ C(5,3) = 10
-		{6, 2, 4},              // C(4,2) ⇒ C(4,3) = 4
-		{7, 2, 4},              // C(4,2)+C(1,1) ⇒ C(4,3)+C(1,2) = 4+0
-		{20, 3, 15},            // C(6,3) ⇒ C(6,4)
+		{1, 1, 0},                  // C(1,1) ⇒ C(1,2) = 0
+		{5, 1, 10},                 // 5 frequent items ⇒ C(5,2) pairs
+		{10, 2, 10},                // C(5,2) ⇒ C(5,3) = 10
+		{6, 2, 4},                  // C(4,2) ⇒ C(4,3) = 4
+		{7, 2, 4},                  // C(4,2)+C(1,1) ⇒ C(4,3)+C(1,2) = 4+0
+		{20, 3, 15},                // C(6,3) ⇒ C(6,4)
 		{1000000, 1, 499999500000}, // C(10^6, 2)
 	}
 	for _, tc := range cases {

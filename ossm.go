@@ -198,6 +198,14 @@ func Build(d *Dataset, opts BuildOptions) (*Index, error) {
 // Map exposes the underlying segment support map.
 func (ix *Index) Map() *Map { return ix.m }
 
+// NumTx returns the number of transactions the index was built over (the
+// denominator of relative support thresholds).
+func (ix *Index) NumTx() int { return ix.numTx }
+
+// NumItems returns the size of the item domain the index covers; itemsets
+// with items at or beyond this bound are outside the index's domain.
+func (ix *Index) NumItems() int { return ix.m.NumItems() }
+
 // UpperBound returns the OSSM upper bound on sup(x).
 func (ix *Index) UpperBound(x Itemset) int64 { return ix.m.UpperBound(x) }
 

@@ -3,6 +3,7 @@ package ossm
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -19,6 +20,43 @@ import (
 
 var indexMagic = [8]byte{'O', 'S', 'S', 'M', 'I', 'D', 'X', '1'}
 
+// ErrNotIndex reports that a stream does not start with the OSSM index
+// magic. LoadIndex and ReadIndex wrap it; match with errors.Is.
+var ErrNotIndex = errors.New("ossm: not an OSSM index file")
+
+// countingWriter tracks bytes written for WriteTo's contract.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// WriteTo serializes the index to w in the Save file format, implementing
+// io.WriterTo. Save is WriteTo plus file handling; serving systems use
+// WriteTo directly to ship indexes over sockets or into object stores.
+func (ix *Index) WriteTo(w io.Writer) (int64, error) {
+	cw := &countingWriter{w: w}
+	bw := bufio.NewWriter(cw)
+	if _, err := bw.Write(indexMagic[:]); err != nil {
+		return cw.n, err
+	}
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(ix.numTx))
+	if _, err := bw.Write(n[:]); err != nil {
+		return cw.n, err
+	}
+	if err := core.WriteMap(bw, ix.m); err != nil {
+		return cw.n, err
+	}
+	err := bw.Flush()
+	return cw.n, err
+}
+
 // Save writes the index to path.
 func (ix *Index) Save(path string) (err error) {
 	f, err := os.Create(path)
@@ -30,37 +68,22 @@ func (ix *Index) Save(path string) (err error) {
 			err = cerr
 		}
 	}()
-	bw := bufio.NewWriter(f)
-	if _, err := bw.Write(indexMagic[:]); err != nil {
-		return err
-	}
-	var n [8]byte
-	binary.LittleEndian.PutUint64(n[:], uint64(ix.numTx))
-	if _, err := bw.Write(n[:]); err != nil {
-		return err
-	}
-	if err := core.WriteMap(bw, ix.m); err != nil {
-		return err
-	}
-	return bw.Flush()
+	_, err = ix.WriteTo(f)
+	return err
 }
 
-// LoadIndex reads an index previously written by Save. The loaded index
-// answers UpperBound and Pruner exactly as the original; the page
-// assignment and build timing are not persisted.
-func LoadIndex(path string) (*Index, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	br := bufio.NewReader(f)
+// ReadIndex reads an index in the Save file format from r — the stream
+// counterpart of LoadIndex. The loaded index answers UpperBound and
+// Pruner exactly as the original; the page assignment and build timing
+// are not persisted.
+func ReadIndex(r io.Reader) (*Index, error) {
+	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, fmt.Errorf("ossm: reading index magic: %w", err)
 	}
 	if magic != indexMagic {
-		return nil, fmt.Errorf("ossm: %s is not an OSSM index file", path)
+		return nil, ErrNotIndex
 	}
 	var n [8]byte
 	if _, err := io.ReadFull(br, n[:]); err != nil {
@@ -79,4 +102,21 @@ func LoadIndex(path string) (*Index, error) {
 		return nil, err
 	}
 	return &Index{m: m, numTx: int(numTx)}, nil
+}
+
+// LoadIndex reads an index previously written by Save.
+func LoadIndex(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	ix, err := ReadIndex(f)
+	if err != nil {
+		if errors.Is(err, ErrNotIndex) {
+			return nil, fmt.Errorf("%w: %s", ErrNotIndex, path)
+		}
+		return nil, err
+	}
+	return ix, nil
 }

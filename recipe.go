@@ -1,6 +1,8 @@
 package ossm
 
 import (
+	"fmt"
+
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
 )
@@ -44,6 +46,9 @@ type AutoScenarioOptions struct {
 // cheap contiguous probe OSSM, page volume from the dataset size. The
 // two policy inputs are taken from opts. Feed the result to Recommend.
 func AutoScenario(d *Dataset, opts AutoScenarioOptions) (Scenario, error) {
+	if d.NumTx() == 0 {
+		return Scenario{}, fmt.Errorf("ossm: cannot measure an empty dataset")
+	}
 	if opts.SkewThreshold == 0 {
 		opts.SkewThreshold = 1.1
 	}

@@ -1,0 +1,133 @@
+package ossm
+
+import (
+	"strings"
+	"testing"
+)
+
+// emptyDataset returns a dataset with a domain but no transactions.
+func emptyDataset(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := FromTransactions(4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// singleItemDataset returns transactions drawn from a one-item domain.
+func singleItemDataset(t *testing.T, numTx int) *Dataset {
+	t.Helper()
+	txs := make([][]Item, numTx)
+	for i := range txs {
+		txs[i] = []Item{0}
+	}
+	d, err := FromTransactions(1, txs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestAutoScenarioEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		data    func(t *testing.T) *Dataset
+		opts    AutoScenarioOptions
+		wantErr string
+	}{
+		{"empty dataset", emptyDataset, AutoScenarioOptions{}, "empty dataset"},
+		{"single transaction", func(t *testing.T) *Dataset { return singleItemDataset(t, 1) }, AutoScenarioOptions{}, ""},
+		{"single-item domain", func(t *testing.T) *Dataset { return singleItemDataset(t, 50) }, AutoScenarioOptions{}, ""},
+		{"probe larger than data", func(t *testing.T) *Dataset { return singleItemDataset(t, 3) },
+			AutoScenarioOptions{ProbeSegments: 64}, ""},
+		{"policy bits pass through", func(t *testing.T) *Dataset { return singleItemDataset(t, 10) },
+			AutoScenarioOptions{LargeSegmentBudget: true, SegmentationCostCritical: true}, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := AutoScenario(tc.data(t), tc.opts)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.LargeSegmentBudget != tc.opts.LargeSegmentBudget ||
+				s.SegmentationCostCritical != tc.opts.SegmentationCostCritical {
+				t.Fatalf("policy inputs not passed through: %+v", s)
+			}
+			// A tiny or single-item dataset can't register as skewed or
+			// paginated at scale; the measured bits must come back false.
+			if s.SkewedData || s.VeryManyPages {
+				t.Fatalf("degenerate data measured as large/skewed: %+v", s)
+			}
+			// The scenario must feed Recommend without surprises.
+			rec := Recommend(s)
+			if rec.Algorithm < Random || rec.Algorithm > RandomGreedy {
+				t.Fatalf("Recommend returned unknown algorithm %v", rec.Algorithm)
+			}
+		})
+	}
+}
+
+// TestBuildBudgetEdgeCases drives the facade Build through the n_user
+// budget boundaries: default, minimum, equal to the page count, and an
+// over-ask that the segmenter clamps.
+func TestBuildBudgetEdgeCases(t *testing.T) {
+	d, err := GenerateSkewed(DefaultSkewed(500, 9)) // 500 tx → 5 default pages
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name         string
+		opts         BuildOptions
+		wantSegments int
+	}{
+		{"default budget capped at pages", BuildOptions{}, 5},
+		{"single segment", BuildOptions{Segments: 1}, 1},
+		{"equal to pages", BuildOptions{Segments: 5}, 5},
+		{"more than pages", BuildOptions{Segments: 64}, 5},
+		{"explicit pages override", BuildOptions{Segments: 3, Pages: 10}, 3},
+		{"pages above numTx capped", BuildOptions{Segments: 2, Pages: 10_000}, 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ix, err := Build(d, tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ix.NumSegments() != tc.wantSegments {
+				t.Fatalf("segments = %d, want %d", ix.NumSegments(), tc.wantSegments)
+			}
+			// Whatever the budget, the bound for a singleton is its exact
+			// support: the segment rows partition the counts.
+			set := NewItemset(0)
+			if got, want := ix.UpperBound(set), ix.Map().ItemSupport(0); got != want {
+				t.Fatalf("singleton bound %d != support %d", got, want)
+			}
+		})
+	}
+
+	if _, err := Build(emptyDataset(t), BuildOptions{}); err == nil {
+		t.Fatal("Build accepted an empty dataset")
+	}
+}
+
+// TestBuildSingleItemDataset: a one-item domain is degenerate but legal;
+// bounds must equal exact supports at every budget.
+func TestBuildSingleItemDataset(t *testing.T) {
+	d := singleItemDataset(t, 120)
+	for _, segs := range []int{1, 2} {
+		ix, err := Build(d, BuildOptions{Segments: segs})
+		if err != nil {
+			t.Fatalf("segments %d: %v", segs, err)
+		}
+		if got := ix.UpperBound(NewItemset(0)); got != 120 {
+			t.Fatalf("segments %d: bound %d, want 120", segs, got)
+		}
+	}
+}

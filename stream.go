@@ -1,6 +1,8 @@
 package ossm
 
 import (
+	"fmt"
+
 	"github.com/ossm-mining/ossm/internal/core"
 	"github.com/ossm-mining/ossm/internal/dataset"
 	"github.com/ossm-mining/ossm/internal/episodes"
@@ -21,6 +23,23 @@ type AppenderOptions = core.AppenderOptions
 // NewAppender creates an empty streaming OSSM maintainer.
 func NewAppender(numItems int, opts AppenderOptions) (*Appender, error) {
 	return core.NewAppender(numItems, opts)
+}
+
+// SnapshotIndex freezes the appender's current state into a servable
+// Index — the bridge between streaming ingestion and the query side:
+// snapshot periodically and swap the result into a serving registry
+// (ossm-serve) to refresh bounds without interrupting readers. It returns
+// an error when nothing has been appended yet (an Index must cover at
+// least one segment).
+func SnapshotIndex(a *Appender) (*Index, error) {
+	m, err := a.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	if m == nil {
+		return nil, fmt.Errorf("ossm: cannot snapshot an empty appender into an index")
+	}
+	return &Index{m: m, numTx: int(a.NumTx())}, nil
 }
 
 // SerialEpisode is an ordered tuple of event types (A → B → A …).

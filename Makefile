@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke cover bench examples experiments clean
+.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke cover bench examples experiments clean
 
 all: build test
 
@@ -10,15 +10,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet race fuzz-smoke cover
+test: vet race fuzz-smoke obs-smoke cover
 	$(GO) test ./...
 
+# End-to-end sweep of the observability surface through the real CLI:
+# access log, span tree, Prometheus exposition, pprof mount.
+obs-smoke:
+	$(GO) test -run 'TestObsSmoke|TestObservabilityEndToEnd|TestPrometheusGolden' ./cmd/ossm-serve ./internal/server
+
 # Coverage floor for the packages the serving path leans on: the facade
-# (bound queries, persistence, recipes) and the HTTP server. Fails if
-# either drops below $(COVER_FLOOR)%.
+# (bound queries, persistence, recipes), the HTTP server and the
+# observability layer. Fails if any drops below $(COVER_FLOOR)%.
 COVER_FLOOR ?= 75
 cover:
-	@for pkg in . ./internal/server; do \
+	@for pkg in . ./internal/server ./internal/obs; do \
 		line=$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*%' | head -1); \
 		pct=$$(echo $$line | sed 's/coverage: //; s/%//'); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg"; exit 1; fi; \

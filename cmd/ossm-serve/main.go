@@ -10,7 +10,9 @@
 //	ossm-serve -data retail=retail.bin -build-segments 40
 //
 // Endpoints: GET /healthz, GET /v1/indexes, POST /v1/ubsup,
-// POST /v1/mine, GET /v1/metrics. See README.md for the request shapes.
+// POST /v1/mine, GET /v1/metrics (JSON) and GET /metrics (Prometheus
+// text), GET /v1/traces, and /debug/pprof/ behind -pprof. See README.md
+// for the request shapes and the observability surface.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -27,6 +30,7 @@ import (
 	"time"
 
 	ossm "github.com/ossm-mining/ossm"
+	"github.com/ossm-mining/ossm/internal/obs"
 	"github.com/ossm-mining/ossm/internal/server"
 )
 
@@ -70,6 +74,9 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		workers  = fs.Int("workers", runtime.NumCPU(), "goroutine pool for batch bound queries (0 or 1 = serial)")
 		mineSlot = fs.Int("mine-concurrency", 2, "max simultaneous mining runs")
 		buildSeg = fs.Int("build-segments", 0, "build an index (RandomGreedy, this segment budget) for datasets lacking one (0 = off)")
+		logLevel = fs.String("log-level", "info", "structured-log threshold: debug, info, warn or error")
+		traceBuf = fs.Int("trace-buffer", 2048, "finished-span ring capacity behind GET /v1/traces (negative disables tracing)")
+		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	fs.Var(&indexes, "index", "name=path of a saved OSSM index (repeatable)")
 	fs.Var(&datasets, "data", "name=path of a dataset to attach for /v1/mine (repeatable)")
@@ -84,22 +91,72 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "ossm-serve: at least one -index or -data entry is required")
 		return 2
 	}
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintf(stderr, "ossm-serve: %v\n", err)
+		return 2
+	}
+	logger := obs.NewLogger(stderr, level)
 
 	srv := server.New(server.Config{
 		CacheSize:       *cache,
 		RequestTimeout:  *timeout,
 		Workers:         *workers,
 		MineConcurrency: *mineSlot,
+		Logger:          logger,
+		TraceBuffer:     *traceBuf,
+		EnablePprof:     *pprofOn,
 	})
+	if err := loadEntries(srv, indexes, datasets, *buildSeg, stdout); err != nil {
+		logger.Error("startup failed", slog.String("error", err.Error()))
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Error("startup failed", slog.String("error", err.Error()))
+		return 1
+	}
+	fmt.Fprintf(stdout, "ossm-serve: listening on %s\n", ln.Addr())
+	logger.Info("listening", slog.String("addr", ln.Addr().String()))
+	if err := srv.Serve(ctx, ln); err != nil {
+		logger.Error("serve failed", slog.String("error", err.Error()))
+		return 1
+	}
+	fmt.Fprintln(stdout, "ossm-serve: shut down cleanly")
+	return 0
+}
+
+// loadEntries populates the server's registry from the -index and -data
+// flags (building indexes for bare datasets when buildSeg > 0). On any
+// failure it releases every entry it registered before returning the
+// error, so a failed startup never leaves the registry half-populated —
+// a supervisor restarting the process, or a host embedding run, sees
+// either a complete registry or an empty one.
+func loadEntries(srv *server.Server, indexes, datasets kvList, buildSeg int, stdout io.Writer) (err error) {
+	var added []string
+	defer func() {
+		if err != nil {
+			for _, name := range added {
+				srv.Registry().Remove(name)
+			}
+		}
+	}()
 	have := make(map[string]bool)
+	note := func(name string) {
+		if !have[name] {
+			added = append(added, name)
+		}
+	}
 	for _, kv := range indexes {
 		ix, err := ossm.LoadIndex(kv.path)
 		if err != nil {
-			return fail(stderr, err)
+			return err
 		}
 		if err := srv.AddIndex(kv.name, ix); err != nil {
-			return fail(stderr, err)
+			return err
 		}
+		note(kv.name)
 		have[kv.name] = true
 		fmt.Fprintf(stdout, "index %q: %d segments, %d tx, %.1f KB\n",
 			kv.name, ix.NumSegments(), ix.NumTx(), float64(ix.SizeBytes())/1024)
@@ -107,38 +164,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	for _, kv := range datasets {
 		d, err := ossm.LoadDataset(kv.path)
 		if err != nil {
-			return fail(stderr, err)
+			return err
 		}
 		if err := srv.AddDataset(kv.name, d); err != nil {
-			return fail(stderr, err)
+			return err
 		}
+		note(kv.name)
 		fmt.Fprintf(stdout, "data %q: %d transactions, %d items\n", kv.name, d.NumTx(), d.NumItems())
-		if *buildSeg > 0 && !have[kv.name] {
-			ix, err := ossm.Build(d, ossm.BuildOptions{Segments: *buildSeg, Algorithm: ossm.RandomGreedy})
+		if buildSeg > 0 && !have[kv.name] {
+			ix, err := ossm.Build(d, ossm.BuildOptions{Segments: buildSeg, Algorithm: ossm.RandomGreedy})
 			if err != nil {
-				return fail(stderr, err)
+				return err
 			}
 			if err := srv.AddIndex(kv.name, ix); err != nil {
-				return fail(stderr, err)
+				return err
 			}
 			fmt.Fprintf(stdout, "index %q: built %d segments in %v\n",
 				kv.name, ix.NumSegments(), ix.SegmentationTime().Round(time.Millisecond))
 		}
 	}
-
-	ln, err := net.Listen("tcp", *addr)
-	if err != nil {
-		return fail(stderr, err)
-	}
-	fmt.Fprintf(stdout, "ossm-serve: listening on %s\n", ln.Addr())
-	if err := srv.Serve(ctx, ln); err != nil {
-		return fail(stderr, err)
-	}
-	fmt.Fprintln(stdout, "ossm-serve: shut down cleanly")
-	return 0
-}
-
-func fail(stderr io.Writer, err error) int {
-	fmt.Fprintf(stderr, "ossm-serve: %v\n", err)
-	return 1
+	return nil
 }

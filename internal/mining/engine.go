@@ -47,6 +47,12 @@ type Options struct {
 	// finishes. nil (the default) disables collection at the cost of one
 	// branch per pass — the counting hot paths are untouched.
 	Instrument *Instrumentation
+	// RequestID tags the run's telemetry report with the serving-layer
+	// request that triggered it, so one slow /v1/mine call can be
+	// followed from access log to per-pass counters. Empty (the
+	// default) leaves the report untagged; without an Instrument
+	// collector the tag has nowhere to land and is ignored.
+	RequestID string
 	// Params carries algorithm-specific integer tunables by name, so the
 	// uniform driver signature can still reach per-miner knobs (e.g.
 	// "partitions" for Partition, "buckets" for DHP). Miners read the

@@ -46,6 +46,7 @@ func (o Options) FinishRun(res *Result) {
 	if o.Instrument == nil || res == nil {
 		return
 	}
+	o.Instrument.SetRequestID(o.RequestID)
 	o.Instrument.SetPool(res.Stats.Workers)
 	o.Instrument.Emit(telemetry.Event{
 		Kind:      telemetry.EventRunEnd,

@@ -1,0 +1,59 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"testing"
+)
+
+func TestParseLevel(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":     slog.LevelDebug,
+		"info":      slog.LevelInfo,
+		"":          slog.LevelInfo,
+		"WARN":      slog.LevelWarn,
+		" warning ": slog.LevelWarn,
+		"error":     slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestNewLoggerEmitsJSON(t *testing.T) {
+	var b bytes.Buffer
+	lg := NewLogger(&b, slog.LevelInfo)
+	lg.Debug("hidden")
+	lg.Info("http_request", "request_id", "abc123", "status", 200)
+	var rec map[string]any
+	if err := json.Unmarshal(b.Bytes(), &rec); err != nil {
+		t.Fatalf("log line is not JSON: %q (%v)", b.String(), err)
+	}
+	if rec["msg"] != "http_request" || rec["request_id"] != "abc123" || rec["status"] != float64(200) {
+		t.Errorf("record = %v", rec)
+	}
+	if rec["level"] != "INFO" {
+		t.Errorf("level = %v", rec["level"])
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	lg := NopLogger()
+	// Must be callable at every level without output or panic.
+	lg.Debug("a")
+	lg.Info("b", "k", 1)
+	lg.Warn("c")
+	lg.Error("d")
+	lg2 := lg.With("k", "v").WithGroup("g")
+	lg2.Info("e")
+	if lg.Enabled(nil, slog.LevelError) {
+		t.Error("nop logger reports enabled")
+	}
+}

@@ -1,0 +1,52 @@
+// Package obs is the serving stack's observability layer, built entirely
+// on the standard library: lightweight tracing with an in-memory ring
+// exporter, a Prometheus-text-exposition metrics registry, and structured
+// log/slog helpers.
+//
+// The package deliberately mirrors the contracts of internal/telemetry —
+// every mutating method is safe for concurrent use and tolerates a nil
+// receiver, so instrumented call sites pay one predictable branch when
+// observability is switched off. Where internal/telemetry answers "what
+// happened inside one mining run", obs answers the serving questions
+// around it: which request triggered the run, where its wall time went
+// (admission, cache probe, ubsup prune, per-pass counting), and how the
+// service behaves as a time series under scrape.
+package obs
+
+import (
+	"context"
+	"encoding/hex"
+	"math/rand/v2"
+)
+
+// randHex returns n random bytes as a lower-case hex string. IDs only
+// need to be unique within one process's trace ring, so the fast
+// non-cryptographic generator is the right trade.
+func randHex(n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		v := rand.Uint64()
+		for j := 0; j < 8 && i+j < n; j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// NewRequestID mints a fresh request identifier (16 hex characters),
+// the value the serving middleware assigns when a client did not send
+// its own X-Request-Id.
+func NewRequestID() string { return randHex(8) }
+
+type requestIDKey struct{}
+
+// WithRequestID stamps a request identifier into the context.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, id)
+}
+
+// RequestIDFrom returns the request identifier carried by ctx, or "".
+func RequestIDFrom(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntimeMetrics adds the Go runtime gauges and counters every
+// scrape target is expected to expose: goroutine count, heap shape, and
+// garbage-collection totals. runtime.ReadMemStats stops the world, so
+// the snapshot is taken once per scrape via PreCollect and every family
+// reads from it.
+func RegisterRuntimeMetrics(r *Registry) {
+	var mu sync.Mutex
+	var ms runtime.MemStats
+	r.PreCollect(func() {
+		mu.Lock()
+		defer mu.Unlock()
+		runtime.ReadMemStats(&ms)
+	})
+	read := func(f func(*runtime.MemStats) float64) func() float64 {
+		return func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return f(&ms)
+		}
+	}
+	r.GaugeFunc("go_goroutines", "Number of goroutines that currently exist.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.HeapAlloc) }))
+	r.GaugeFunc("go_memstats_heap_sys_bytes", "Bytes of heap memory obtained from the OS.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.HeapSys) }))
+	r.GaugeFunc("go_memstats_heap_objects", "Number of currently allocated heap objects.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.HeapObjects) }))
+	r.CounterFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated for heap objects.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.TotalAlloc) }))
+	r.CounterFunc("go_gc_cycles_total", "Completed garbage-collection cycles.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.NumGC) }))
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		read(func(m *runtime.MemStats) float64 { return float64(m.PauseTotalNs) / 1e9 }))
+}

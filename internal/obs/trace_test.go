@@ -1,0 +1,156 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeAndContextPropagation(t *testing.T) {
+	tr := NewTracer(64)
+	ctx, root := tr.Start(context.Background(), "root")
+	if SpanFromContext(ctx) != root {
+		t.Fatal("context does not carry the started span")
+	}
+	if root.TraceID() == "" || root.SpanID() == "" {
+		t.Fatal("missing ids")
+	}
+	cctx, child := tr.Start(ctx, "child")
+	if child.TraceID() != root.TraceID() {
+		t.Errorf("child trace %s != root trace %s", child.TraceID(), root.TraceID())
+	}
+	_, grand := tr.Start(cctx, "grandchild")
+	grand.SetAttr("k", 7)
+	grand.End()
+	child.End()
+	time.Sleep(time.Millisecond)
+	root.SetAttr("route", "/v1/mine")
+	root.End()
+
+	trees := tr.Traces(0)
+	if len(trees) != 1 {
+		t.Fatalf("got %d roots, want 1", len(trees))
+	}
+	rt := trees[0]
+	if rt.Name != "root" || rt.Attrs["route"] != "/v1/mine" {
+		t.Errorf("root = %+v", rt.SpanRecord)
+	}
+	if len(rt.Children) != 1 || rt.Children[0].Name != "child" {
+		t.Fatalf("children = %+v", rt.Children)
+	}
+	gc := rt.Children[0].Children
+	if len(gc) != 1 || gc[0].Name != "grandchild" || gc[0].Attrs["k"] != 7 {
+		t.Fatalf("grandchildren = %+v", gc)
+	}
+	// The root's duration covers every child's span window.
+	for _, c := range rt.Children {
+		if c.Start.Before(rt.Start) || c.Start.Add(c.Duration).After(rt.Start.Add(rt.Duration)) {
+			t.Errorf("child window [%v +%v] outside root [%v +%v]", c.Start, c.Duration, rt.Start, rt.Duration)
+		}
+	}
+}
+
+func TestTracerMinDurationFilter(t *testing.T) {
+	tr := NewTracer(16)
+	_, fast := tr.Start(context.Background(), "fast")
+	fast.End()
+	_, slow := tr.StartAt(context.Background(), "slow", time.Now().Add(-50*time.Millisecond))
+	slow.End()
+	all := tr.Traces(0)
+	if len(all) != 2 {
+		t.Fatalf("unfiltered roots = %d, want 2", len(all))
+	}
+	slowOnly := tr.Traces(10 * time.Millisecond)
+	if len(slowOnly) != 1 || slowOnly[0].Name != "slow" {
+		t.Fatalf("filtered roots = %+v", slowOnly)
+	}
+}
+
+func TestTracerRingBounded(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 0; i < 30; i++ {
+		_, s := tr.Start(context.Background(), "s")
+		s.End()
+	}
+	capn, held, total, dropped := tr.Stats()
+	if capn != 8 || held != 8 {
+		t.Errorf("cap/held = %d/%d, want 8/8", capn, held)
+	}
+	if total != 30 || dropped != 22 {
+		t.Errorf("total/dropped = %d/%d, want 30/22", total, dropped)
+	}
+	if got := len(tr.Snapshot()); got != 8 {
+		t.Errorf("snapshot holds %d, want 8", got)
+	}
+	// An orphan (parent evicted) still surfaces as a root.
+	if roots := tr.Traces(0); len(roots) != 8 {
+		t.Errorf("roots = %d, want 8", len(roots))
+	}
+}
+
+func TestNilTracerAndSpanAreSafe(t *testing.T) {
+	var tr *Tracer
+	ctx, s := tr.Start(context.Background(), "x")
+	if s != nil {
+		t.Fatal("nil tracer produced a span")
+	}
+	if SpanFromContext(ctx) != nil {
+		t.Fatal("nil tracer modified the context")
+	}
+	s.SetAttr("a", 1) // must not panic
+	s.End()
+	if s.TraceID() != "" || s.SpanID() != "" {
+		t.Error("nil span has ids")
+	}
+	if tr.Len() != 0 || tr.Snapshot() != nil || tr.Traces(0) != nil {
+		t.Error("nil tracer holds spans")
+	}
+	if NewTracer(0) != nil || NewTracer(-1) != nil {
+		t.Error("non-positive capacity should disable tracing")
+	}
+}
+
+func TestDetach(t *testing.T) {
+	tr := NewTracer(4)
+	ctx, root := tr.Start(context.Background(), "root")
+	ctx = WithRequestID(ctx, "req-1")
+	d := Detach(ctx)
+	if SpanFromContext(d) != nil {
+		t.Error("Detach left a span in the context")
+	}
+	if RequestIDFrom(d) != "req-1" {
+		t.Error("Detach dropped the request id")
+	}
+	// Spans started under a detached context become new roots.
+	_, s := tr.Start(d, "orphan")
+	if s.TraceID() == root.TraceID() {
+		t.Error("detached child inherited the trace")
+	}
+	if same := Detach(d); same != d {
+		t.Error("Detach of a span-free context should be a no-op")
+	}
+}
+
+func TestDoubleEndAndLateAttrs(t *testing.T) {
+	tr := NewTracer(4)
+	_, s := tr.Start(context.Background(), "once")
+	s.End()
+	s.SetAttr("late", true)
+	s.End()
+	if tr.Len() != 1 {
+		t.Fatalf("recorded %d spans, want 1", tr.Len())
+	}
+	if rec := tr.Snapshot()[0]; rec.Attrs != nil {
+		t.Errorf("late attr recorded: %v", rec.Attrs)
+	}
+}
+
+func TestRequestIDs(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if len(a) != 16 || a == b {
+		t.Errorf("ids = %q, %q", a, b)
+	}
+	if RequestIDFrom(context.Background()) != "" {
+		t.Error("empty context carries a request id")
+	}
+}

@@ -1,0 +1,257 @@
+package server
+
+// The serving-side observability wiring: one obsState per Server holds
+// the tracer (span ring behind GET /v1/traces), the Prometheus metrics
+// registry (text exposition behind GET /metrics), and the structured
+// access logger. The middleware in this file is the single entry point
+// every request passes through — it mints the request ID, opens the root
+// span, and emits the access-log line — so handlers only add the child
+// spans of their own phases (admission, cache probe, ubsup scan,
+// per-pass counting).
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"github.com/ossm-mining/ossm/internal/obs"
+)
+
+// obsState bundles the server's observability instruments.
+type obsState struct {
+	tracer  *obs.Tracer
+	metrics *obs.Registry
+	logger  *slog.Logger
+
+	httpRequests *obs.CounterVec   // ossm_http_requests_total{route,status}
+	httpLatency  *obs.HistogramVec // ossm_http_request_duration_seconds{route}
+	mineRuns     *obs.CounterVec   // ossm_mine_runs_total{miner}
+	minePasses   *obs.CounterVec   // ossm_mine_passes_total{miner}
+	mineCand     *obs.CounterVec   // ossm_mine_candidates_total{stage}
+	mineWaiting  atomic.Int64      // requests parked on the admission semaphore
+}
+
+// initObs builds the server's instruments and registers every scrape
+// family: HTTP latency and counts by route/status, bound-cache
+// effectiveness, admission-queue depth, per-miner run/pass counts,
+// cumulative candidate accounting, and the Go runtime block.
+func (s *Server) initObs() {
+	o := &s.obs
+	o.tracer = obs.NewTracer(s.cfg.TraceBuffer)
+	o.logger = s.cfg.Logger
+	if o.logger == nil {
+		o.logger = obs.NopLogger()
+	}
+	r := obs.NewRegistry()
+	o.metrics = r
+
+	o.httpRequests = r.CounterVec("ossm_http_requests_total",
+		"HTTP requests served, by route and status code.", "route", "status")
+	o.httpLatency = r.HistogramVec("ossm_http_request_duration_seconds",
+		"HTTP request latency in seconds, by route.", obs.DefBuckets, "route")
+	o.mineRuns = r.CounterVec("ossm_mine_runs_total",
+		"Completed mining runs, by miner.", "miner")
+	o.minePasses = r.CounterVec("ossm_mine_passes_total",
+		"Counting passes executed by completed mining runs, by miner.", "miner")
+	o.mineCand = r.CounterVec("ossm_mine_candidates_total",
+		"Cumulative candidate accounting of completed mining runs, by stage (generated, pruned, counted).", "stage")
+
+	r.CounterFunc("ossm_cache_hits_total", "Bound-cache hits.",
+		func() float64 { return float64(s.cache.hits.Load()) })
+	r.CounterFunc("ossm_cache_misses_total", "Bound-cache misses.",
+		func() float64 { return float64(s.cache.misses.Load()) })
+	r.CounterFunc("ossm_cache_evictions_total", "Bound-cache LRU evictions.",
+		func() float64 { return float64(s.cache.evictions.Load()) })
+	r.GaugeFunc("ossm_cache_entries", "Bounds currently cached.",
+		func() float64 { return float64(s.cache.len()) })
+	r.CounterFunc("ossm_bound_queries_total", "Itemset bound queries answered.",
+		func() float64 { return float64(s.queries.Load()) })
+	r.GaugeFunc("ossm_mine_inflight", "Mining runs currently holding an admission slot.",
+		func() float64 { return float64(len(s.mineSem)) })
+	r.GaugeFunc("ossm_mine_waiting", "Requests waiting for a mining admission slot.",
+		func() float64 { return float64(o.mineWaiting.Load()) })
+	r.GaugeFunc("ossm_mine_slots", "Configured admission-slot capacity for mining runs.",
+		func() float64 { return float64(s.cfg.MineConcurrency) })
+	r.GaugeFunc("ossm_indexes", "Entries in the serving registry.",
+		func() float64 { return float64(len(s.reg.Info())) })
+	r.GaugeFunc("ossm_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.start).Seconds() })
+	obs.RegisterRuntimeMetrics(r)
+}
+
+// statusWriter captures the response status and body size for the access
+// log and the latency metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// routeLabel maps a request path onto the bounded label set the metrics
+// use — unknown paths collapse into "other" so scrape cardinality cannot
+// be driven by clients.
+func routeLabel(path string) string {
+	switch path {
+	case "/healthz", "/v1/indexes", "/v1/ubsup", "/v1/mine", "/v1/metrics", "/metrics", "/v1/traces":
+		return path
+	}
+	if strings.HasPrefix(path, "/debug/pprof/") {
+		return "/debug/pprof"
+	}
+	return "other"
+}
+
+// middleware is the per-request observability envelope: request counting
+// and body capping as before, plus the request ID (minted or taken from
+// the client's X-Request-Id and echoed back), the root span, the
+// route/status metrics and the structured access-log line.
+func (s *Server) middleware(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.requests.Inc()
+		route := routeLabel(r.URL.Path)
+
+		reqID := r.Header.Get("X-Request-Id")
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		w.Header().Set("X-Request-Id", reqID)
+
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		ctx, span := s.obs.tracer.Start(ctx, r.Method+" "+route)
+		span.SetAttr("request_id", reqID)
+		if s.cfg.RequestTimeout > 0 {
+			tctx, cancel := context.WithTimeout(ctx, s.cfg.RequestTimeout)
+			defer cancel()
+			ctx = tctx
+		}
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		span.SetAttr("status", status)
+		span.End()
+		s.obs.httpRequests.With(route, strconv.Itoa(status)).Inc()
+		s.obs.httpLatency.With(route).Observe(elapsed.Seconds())
+		s.obs.logger.LogAttrs(ctx, slog.LevelInfo, "http_request",
+			slog.String("request_id", reqID),
+			slog.String("trace_id", span.TraceID()),
+			slog.String("method", r.Method),
+			slog.String("route", route),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", status),
+			slog.Int64("bytes", sw.bytes),
+			slog.Duration("duration", elapsed),
+		)
+	})
+}
+
+// mountPprof adds the net/http/pprof handlers under /debug/pprof/ —
+// opt-in via Config.EnablePprof, since profiles expose internals no
+// public endpoint should.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// TracesResponse is the GET /v1/traces report: the span trees currently
+// held in the ring, oldest first, plus the ring's shape.
+type TracesResponse struct {
+	Count    int              `json:"count"`
+	Capacity int              `json:"capacity"`
+	Spans    int              `json:"spans"`
+	Dropped  int64            `json:"dropped"`
+	Traces   []*obs.TraceNode `json:"traces"`
+}
+
+// handleTraces serves the trace ring as JSON span trees. ?min_ms=N keeps
+// only traces whose root lasted at least N milliseconds — the slow-query
+// view.
+func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	var minRoot time.Duration
+	if q := r.URL.Query().Get("min_ms"); q != "" {
+		ms, err := strconv.ParseFloat(q, 64)
+		if err != nil || ms < 0 {
+			s.writeErr(w, http.StatusBadRequest, "bad min_ms %q", q)
+			return
+		}
+		minRoot = time.Duration(ms * float64(time.Millisecond))
+	}
+	traces := s.obs.tracer.Traces(minRoot)
+	capn, held, _, dropped := s.obs.tracer.Stats()
+	s.writeJSON(w, http.StatusOK, TracesResponse{
+		Count:    len(traces),
+		Capacity: capn,
+		Spans:    held,
+		Dropped:  dropped,
+		Traces:   traces,
+	})
+}
+
+// handleMetrics is the single content-negotiated metrics handler behind
+// both GET /metrics and GET /v1/metrics: Prometheus text exposition for
+// scrapers, the JSON snapshot for the pre-existing API consumers. An
+// explicit ?format=json|prometheus wins, then the Accept header, then
+// the path's own convention (/metrics scrapes, /v1/metrics is JSON).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if metricsFormat(r) == "json" {
+		s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.obs.metrics.WritePrometheus(w)
+}
+
+func metricsFormat(r *http.Request) string {
+	switch r.URL.Query().Get("format") {
+	case "json":
+		return "json"
+	case "prometheus", "text":
+		return "prometheus"
+	}
+	accept := r.Header.Get("Accept")
+	if strings.Contains(accept, "application/json") {
+		return "json"
+	}
+	if strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics") {
+		return "prometheus"
+	}
+	if r.URL.Path == "/v1/metrics" {
+		return "json"
+	}
+	return "prometheus"
+}

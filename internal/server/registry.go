@@ -95,6 +95,19 @@ func (r *Registry) Swap(name string, ix *ossm.Index) error {
 	return nil
 }
 
+// Remove deletes the named entry — index, dataset and version history —
+// reporting whether it existed. Startup loaders use it to release
+// partially-registered entries when a later load step fails; bounds
+// cached against the removed index become unreachable because lookups
+// for the name now miss.
+func (r *Registry) Remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	_, ok := r.entries[name]
+	delete(r.entries, name)
+	return ok
+}
+
 // Lookup returns the named index and its current version atomically.
 func (r *Registry) Lookup(name string) (ix *ossm.Index, version uint64, ok bool) {
 	r.mu.RLock()

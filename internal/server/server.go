@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"sort"
@@ -27,6 +28,7 @@ import (
 
 	ossm "github.com/ossm-mining/ossm"
 	"github.com/ossm-mining/ossm/internal/conc"
+	"github.com/ossm-mining/ossm/internal/obs"
 	"github.com/ossm-mining/ossm/internal/telemetry"
 )
 
@@ -51,6 +53,14 @@ type Config struct {
 	MaxBatch int
 	// MaxBodyBytes caps request bodies (0 ⇒ 1 MiB).
 	MaxBodyBytes int64
+	// Logger receives the structured JSON access log and service errors
+	// (nil discards them).
+	Logger *slog.Logger
+	// TraceBuffer is the finished-span ring capacity behind GET
+	// /v1/traces (0 ⇒ 2048; negative disables tracing).
+	TraceBuffer int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 func (c Config) withDefaults() Config {
@@ -69,6 +79,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 1 << 20
 	}
+	if c.TraceBuffer == 0 {
+		c.TraceBuffer = 2048
+	}
 	return c
 }
 
@@ -82,6 +95,10 @@ type Server struct {
 	workers int           // resolved batch pool size
 	mineSem chan struct{} // admission semaphore for mining runs
 	start   time.Time
+
+	// obs holds the serving observability layer: tracer, Prometheus
+	// metrics registry and access logger (see obs.go).
+	obs obsState
 
 	// Service counters, built from the telemetry layer's atomic
 	// primitives (the same Counter/Timer types the mining collector
@@ -103,7 +120,7 @@ type Server struct {
 // New returns a Server over an empty registry.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:     cfg,
 		reg:     NewRegistry(),
 		cache:   newBoundCache(cfg.CacheSize),
@@ -111,6 +128,8 @@ func New(cfg Config) *Server {
 		mineSem: make(chan struct{}, cfg.MineConcurrency),
 		start:   time.Now(),
 	}
+	s.initObs()
+	return s
 }
 
 // Registry exposes the server's entry registry (AddIndex, AddDataset,
@@ -145,10 +164,10 @@ func (s *Server) Bound(name string, items []ossm.Item, noCache bool) (BoundResul
 	if !ok {
 		return BoundResult{}, fmt.Errorf("unknown index %q", name)
 	}
-	return s.bound(ix, name, version, items, noCache)
+	return s.bound(context.Background(), ix, name, version, items, noCache)
 }
 
-func (s *Server) bound(ix *ossm.Index, name string, version uint64, items []ossm.Item, noCache bool) (BoundResult, error) {
+func (s *Server) bound(ctx context.Context, ix *ossm.Index, name string, version uint64, items []ossm.Item, noCache bool) (BoundResult, error) {
 	set := ossm.NewItemset(items...)
 	if len(set) == 0 {
 		return BoundResult{}, fmt.Errorf("%w: the empty itemset has no OSSM bound", errBadItemset)
@@ -160,13 +179,22 @@ func (s *Server) bound(ix *ossm.Index, name string, version uint64, items []ossm
 	var key []byte
 	if !noCache {
 		key = appendCacheKey(make([]byte, 0, 64), name, version, set)
-		if b, ok := s.cache.get(key); ok {
+		_, probe := s.obs.tracer.Start(ctx, "cache-probe")
+		b, ok := s.cache.get(key)
+		probe.SetAttr("hit", ok)
+		probe.End()
+		if ok {
 			return BoundResult{Itemset: set, Bound: b, Cached: true}, nil
 		}
 	}
+	// The miss path is the paper's ubsup scan: a min over the itemset's
+	// segment rows (eq. 1).
+	_, scan := s.obs.tracer.Start(ctx, "ubsup-scan")
 	start := time.Now()
 	b := ix.UpperBound(set)
 	s.queryWall.Observe(time.Since(start))
+	scan.SetAttr("bound", b)
+	scan.End()
 	if !noCache {
 		s.cache.put(key, b)
 	}
@@ -180,26 +208,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
 	mux.HandleFunc("POST /v1/ubsup", s.handleUbsup)
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
-	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
-	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	// Both metrics paths share the one content-negotiating handler:
+	// /metrics is the scrape convention, /v1/metrics the JSON API
+	// spelling, and either serves either representation on request.
+	for _, pattern := range []string{"GET /v1/metrics", "GET /metrics"} {
+		mux.HandleFunc(pattern, s.handleMetrics)
+	}
+	if s.cfg.EnablePprof {
+		mountPprof(mux)
+	}
 	return s.middleware(mux)
-}
-
-// middleware counts requests, caps body size and installs the
-// per-request deadline.
-func (s *Server) middleware(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		s.requests.Inc()
-		if r.Body != nil {
-			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
-		}
-		if s.cfg.RequestTimeout > 0 {
-			ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
-			defer cancel()
-			r = r.WithContext(ctx)
-		}
-		next.ServeHTTP(w, r)
-	})
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, code int, v any) {
@@ -294,10 +313,17 @@ func (s *Server) handleUbsup(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusNotFound, "unknown index %q", req.Index)
 		return
 	}
+	// Large batches opt their per-item work out of span creation: the
+	// root span still times the request, and thousands of identical
+	// children would only churn the trace ring.
+	spanCtx := r.Context()
+	if len(batch) > 16 {
+		spanCtx = obs.Detach(spanCtx)
+	}
 	results := make([]BoundResult, len(batch))
 	errs := make([]error, len(batch))
 	conc.For(s.workers, len(batch), func(i int) {
-		results[i], errs[i] = s.bound(ix, req.Index, version, batch[i], req.NoCache)
+		results[i], errs[i] = s.bound(spanCtx, ix, req.Index, version, batch[i], req.NoCache)
 	})
 	for _, err := range errs {
 		if err != nil {
@@ -413,16 +439,43 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Admission control: at most MineConcurrency runs at once; waiters
-	// give up at their deadline.
+	// give up at their deadline. The admission span times the wait, so
+	// queueing delay is separable from mining wall time in the trace.
+	s.obs.mineWaiting.Add(1)
+	_, admit := s.obs.tracer.Start(ctx, "admission")
 	select {
 	case s.mineSem <- struct{}{}:
+		s.obs.mineWaiting.Add(-1)
+		admit.SetAttr("admitted", true)
+		admit.End()
 		defer func() { <-s.mineSem }()
 	case <-ctx.Done():
+		s.obs.mineWaiting.Add(-1)
+		admit.SetAttr("admitted", false)
+		admit.End()
 		s.writeErr(w, http.StatusGatewayTimeout, "timed out waiting for a mining slot")
 		return
 	}
 
 	instr := ossm.NewInstrumentation()
+	runCtx, run := s.obs.tracer.Start(ctx, "mine-run")
+	run.SetAttr("miner", req.Miner)
+	run.SetAttr("min_count", minCount)
+	// Each EventPassEnd carries the pass's wall time, so the per-pass
+	// spans are synthesized retroactively: started Wall ago, ended now.
+	// The sink runs on the mining goroutine; the tracer ring is
+	// concurrency-safe.
+	instr.SetSink(func(e ossm.TelemetryEvent) {
+		if e.Kind != telemetry.EventPassEnd {
+			return
+		}
+		_, span := s.obs.tracer.StartAt(runCtx, fmt.Sprintf("pass-%d", e.Pass.K), time.Now().Add(-e.Pass.Wall))
+		span.SetAttr("generated", e.Pass.Generated)
+		span.SetAttr("pruned_ossm", e.Pass.PrunedOSSM)
+		span.SetAttr("counted", e.Pass.Counted)
+		span.SetAttr("frequent", e.Pass.Frequent)
+		span.End()
+	})
 	type mineOut struct {
 		res *ossm.Result
 		err error
@@ -436,6 +489,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 			Workers:    req.Workers,
 			Params:     req.Params,
 			Instrument: instr,
+			RequestID:  obs.RequestIDFrom(ctx),
 		})
 		ch <- mineOut{res, err}
 	}()
@@ -444,20 +498,32 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	case out = <-ch:
 	case <-ctx.Done():
 		// The run finishes in the background; its result is dropped.
+		run.SetAttr("outcome", "deadline")
+		run.End()
 		s.writeErr(w, http.StatusGatewayTimeout, "mining exceeded the request deadline")
 		return
 	}
 	if out.err != nil {
+		run.SetAttr("outcome", "error")
+		run.End()
 		s.writeErr(w, http.StatusInternalServerError, "mining: %v", out.err)
 		return
 	}
 	s.mines.Inc()
 	s.mineWall.Observe(time.Since(start))
+	s.obs.mineRuns.With(req.Miner).Inc()
 	if rep := out.res.Stats.Telemetry; rep != nil {
 		s.mineGenerated.Add(rep.Generated)
 		s.minePruned.Add(rep.PrunedOSSM + rep.PrunedHash)
 		s.mineCounted.Add(rep.Counted)
+		s.obs.minePasses.With(req.Miner).Add(int64(len(rep.Passes)))
+		s.obs.mineCand.With("generated").Add(rep.Generated)
+		s.obs.mineCand.With("pruned").Add(rep.PrunedOSSM + rep.PrunedHash)
+		s.obs.mineCand.With("counted").Add(rep.Counted)
 	}
+	run.SetAttr("outcome", "ok")
+	run.SetAttr("frequent", out.res.NumFrequent())
+	run.End()
 
 	resp := MineResponse{
 		Index:       req.Index,
@@ -535,10 +601,6 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Cache:         s.cache.stats(),
 		Indexes:       s.reg.Info(),
 	}
-}
-
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 }
 
 // Serve runs the service on ln until ctx is canceled, then shuts down

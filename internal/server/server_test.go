@@ -375,7 +375,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	postJSON(t, ts.Client(), ts.URL+"/v1/mine", `{"index":"retail","support":0.1}`)
 	postJSON(t, ts.Client(), ts.URL+"/v1/ubsup", `{"index":"nope","itemset":[1]}`)
 
-	for _, path := range []string{"/v1/metrics", "/metrics"} {
+	// Both paths serve the JSON snapshot on request: /v1/metrics by its
+	// path convention, /metrics via the explicit format override.
+	for _, path := range []string{"/v1/metrics", "/metrics?format=json"} {
 		code, m := getJSON(t, ts.URL+path)
 		if code != http.StatusOK {
 			t.Fatalf("%s = %d", path, code)
@@ -402,6 +404,45 @@ func TestMetricsEndpoint(t *testing.T) {
 		if len(m["indexes"].([]any)) != 1 {
 			t.Errorf("indexes = %v", m["indexes"])
 		}
+	}
+
+	// The scrape path defaults to Prometheus text exposition, and the
+	// traffic above must be visible in it.
+	resp, err := ts.Client().Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("scrape content type = %q", ct)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE ossm_http_requests_total counter",
+		"ossm_bound_queries_total 2",
+		`ossm_mine_runs_total{miner="apriori"} 1`,
+		"ossm_cache_hits_total 1",
+		"# TYPE ossm_http_request_duration_seconds histogram",
+		"go_goroutines",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// An Accept header negotiates JSON from the scrape path too.
+	req, _ := http.NewRequest("GET", ts.URL+"/metrics", nil)
+	req.Header.Set("Accept", "application/json")
+	resp, err = ts.Client().Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("negotiated content type = %q", ct)
 	}
 }
 

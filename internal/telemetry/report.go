@@ -34,6 +34,11 @@ func (p PassReport) PruneRate() float64 {
 // result's Stats envelope. Totals include both the per-pass counters and
 // any run-level (unattributed) accounting.
 type Report struct {
+	// RequestID is the serving-layer request that triggered the run
+	// (SetRequestID), correlating the report with access logs and
+	// traces; empty for runs outside the serving path.
+	RequestID string `json:"request_id,omitempty"`
+
 	Passes []PassReport `json:"passes,omitempty"`
 
 	Generated  int64 `json:"generated"`

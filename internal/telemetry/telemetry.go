@@ -161,6 +161,11 @@ type Collector struct {
 
 	sink   atomic.Pointer[func(Event)]
 	events Counter
+
+	// reqID tags the run with the serving-layer request that triggered
+	// it, so a frozen report can be correlated with access logs and
+	// traces.
+	reqID atomic.Pointer[string]
 }
 
 // New returns an empty Collector; the run clock starts now.
@@ -180,6 +185,26 @@ func (c *Collector) SetSink(fn func(Event)) {
 		return
 	}
 	c.sink.Store(&fn)
+}
+
+// SetRequestID tags the run with the originating request's identifier;
+// Snapshot copies it into the frozen report. Empty ids are ignored.
+func (c *Collector) SetRequestID(id string) {
+	if c == nil || id == "" {
+		return
+	}
+	c.reqID.Store(&id)
+}
+
+// RequestID returns the tag set by SetRequestID, or "".
+func (c *Collector) RequestID() string {
+	if c == nil {
+		return ""
+	}
+	if p := c.reqID.Load(); p != nil {
+		return *p
+	}
+	return ""
 }
 
 // Emit delivers one event to the sink, if any.
@@ -294,6 +319,7 @@ func (c *Collector) Snapshot() *Report {
 	c.mu.Unlock()
 
 	r := &Report{
+		RequestID:  c.RequestID(),
 		Elapsed:    elapsed,
 		Generated:  c.generated.Load(),
 		PrunedOSSM: c.prunedOSSM.Load(),

@@ -23,6 +23,10 @@ func TestNilCollectorSafe(t *testing.T) {
 	c.AddTxScanned(10)
 	c.ObserveWorker(time.Millisecond)
 	c.SetPool(4)
+	c.SetRequestID("abc")
+	if id := c.RequestID(); id != "" {
+		t.Fatalf("nil collector carries request id %q", id)
+	}
 	if r := c.Snapshot(); r != nil {
 		t.Fatalf("nil collector snapshot = %+v", r)
 	}
@@ -73,6 +77,27 @@ func TestCollectorAccumulatesPasses(t *testing.T) {
 
 // TestCollectorConcurrent hammers one collector from many goroutines; run
 // under -race this is the race-cleanliness gate for the counter layer.
+// TestRequestIDPropagation pins the serving-layer correlation contract:
+// the id set on the collector surfaces verbatim in the frozen report,
+// and the empty id never overwrites a set one.
+func TestRequestIDPropagation(t *testing.T) {
+	c := New()
+	if c.RequestID() != "" {
+		t.Fatal("fresh collector carries a request id")
+	}
+	if r := c.Snapshot(); r.RequestID != "" {
+		t.Fatalf("untagged snapshot has request id %q", r.RequestID)
+	}
+	c.SetRequestID("req-42")
+	c.SetRequestID("") // ignored: empty ids never clear a tag
+	if id := c.RequestID(); id != "req-42" {
+		t.Fatalf("RequestID = %q, want req-42", id)
+	}
+	if r := c.Snapshot(); r.RequestID != "req-42" {
+		t.Fatalf("snapshot request id = %q, want req-42", r.RequestID)
+	}
+}
+
 func TestCollectorConcurrent(t *testing.T) {
 	c := New()
 	var seen Counter

@@ -75,6 +75,11 @@ type MineOptions struct {
 	// default) disables collection with no overhead beyond one branch per
 	// pass.
 	Instrument *Instrumentation
+	// RequestID tags the instrumented run's telemetry report with the
+	// originating serving-layer request (ossm-serve's X-Request-Id), so
+	// reports can be correlated with access logs and traces. Ignored
+	// without an Instrument collector.
+	RequestID string
 }
 
 func (o MineOptions) engine() mining.Options {
@@ -85,6 +90,7 @@ func (o MineOptions) engine() mining.Options {
 		Progress:   o.Progress,
 		Params:     o.Params,
 		Instrument: o.Instrument,
+		RequestID:  o.RequestID,
 	}
 }
 

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke cover bench examples experiments clean
+.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke cover bench bench-kernels examples experiments clean
 
 all: build test
 
@@ -48,6 +48,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz FuzzReadText         -fuzztime 10s ./internal/dataset
 	$(GO) test -run=NONE -fuzz FuzzReadBinary       -fuzztime 10s ./internal/dataset
 	$(GO) test -run=NONE -fuzz FuzzReadMap          -fuzztime 10s ./internal/core
+	$(GO) test -run=NONE -fuzz FuzzBoundKernels     -fuzztime 10s ./internal/core
 	$(GO) test -run=NONE -fuzz FuzzIndexRoundTrip   -fuzztime 10s .
 	$(GO) test -run=NONE -fuzz FuzzAppenderSnapshot -fuzztime 10s .
 
@@ -55,6 +56,13 @@ fuzz-smoke:
 # micro-benchmarks (see EXPERIMENTS.md for recorded full runs).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Bound-kernel microbenchmark (DESIGN.md §7): ns per generation for the
+# scalar bound, the per-candidate decision kernel and the batch kernel,
+# with early-exit/abandon rates, across segment counts. Emits BENCH_5.json.
+bench-kernels:
+	$(GO) run ./cmd/ossm-bench -json kernels > BENCH_5.json
+	@cat BENCH_5.json
 
 examples:
 	$(GO) run ./examples/quickstart

@@ -9,7 +9,7 @@
 //	ossm-bench [flags] <experiment>
 //
 // Experiments: fig4, fig5a, fig5b, fig6, sec7, skew, hosts, episodes,
-// memory, c2method, extended, all.
+// memory, c2method, extended, minseg, kernels, all.
 package main
 
 import (
@@ -68,7 +68,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cfg.Seed = *seed
 
 	if fs.NArg() != 1 {
-		fmt.Fprintln(stderr, "usage: ossm-bench [flags] <fig4|fig5a|fig5b|fig6|sec7|skew|hosts|episodes|memory|c2method|extended|minseg|all>")
+		fmt.Fprintln(stderr, "usage: ossm-bench [flags] <fig4|fig5a|fig5b|fig6|sec7|skew|hosts|episodes|memory|c2method|extended|minseg|kernels|all>")
 		return 2
 	}
 	what := fs.Arg(0)
@@ -156,6 +156,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 				return err
 			}
 			return emit(name, r)
+		case "kernels":
+			r, err := bench.RunKernels(cfg, parseInts(*sweep))
+			if err != nil {
+				return err
+			}
+			return emit(name, r)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -163,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	names := []string{what}
 	if what == "all" {
-		names = []string{"fig4", "fig5a", "fig5b", "fig6", "sec7", "skew", "hosts", "episodes", "memory", "c2method", "extended", "minseg"}
+		names = []string{"fig4", "fig5a", "fig5b", "fig6", "sec7", "skew", "hosts", "episodes", "memory", "c2method", "extended", "minseg", "kernels"}
 	}
 	for i, name := range names {
 		if i > 0 {

@@ -104,20 +104,26 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	res.Levels = append(res.Levels, l2)
 	opts.Emit(l2.Stats)
 
-	// Passes k ≥ 3.
+	// Passes k ≥ 3. The whole generation is pushed through the batch bound
+	// kernel at once (core.AdmitBatch), reusing one decision buffer across
+	// passes.
 	prev := l2.Frequent
+	var decBuf []bool
 	for k := 3; len(prev) >= 2 && (opts.MaxLen == 0 || k <= opts.MaxLen); k++ {
 		passStart = time.Now()
 		gen := aprioriGen(prev)
 		stats := mining.PassStats{K: k, Generated: len(gen)}
+		kd := mining.KernelDeltaFor(opts.Pruner)
+		decBuf = core.AdmitBatch(opts.Pruner, gen, decBuf)
 		var cands []*mining.Candidate
-		for _, items := range gen {
-			if core.Admit(opts.Pruner, items) {
+		for gi, items := range gen {
+			if decBuf[gi] {
 				cands = append(cands, &mining.Candidate{Items: items})
 			} else {
 				stats.Pruned++
 			}
 		}
+		kd.Note(&stats)
 		stats.Counted = len(cands)
 		if len(cands) == 0 {
 			break
@@ -144,20 +150,26 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 }
 
 // passTwoHashTree generates all pairs of frequent items, filters them
-// through the OSSM, and counts the survivors with a hash tree.
+// through the pair-specialized batch bound kernel, and counts the
+// survivors with a hash tree.
 func passTwoHashTree(txs []dataset.Itemset, f1 []mining.Counted, minCount int64, pruner core.Filter, workers int, instr *mining.Instrumentation) mining.LevelResult {
 	stats := mining.PassStats{K: 2, Generated: len(f1) * (len(f1) - 1) / 2}
+	items := frequentItems(f1)
+	kd := mining.KernelDeltaFor(pruner)
+	dec := core.AdmitPairsAmong(pruner, items, nil)
 	var cands []*mining.Candidate
-	for i := 0; i < len(f1); i++ {
-		for j := i + 1; j < len(f1); j++ {
-			a, b := f1[i].Items[0], f1[j].Items[0]
-			if core.AdmitPair(pruner, a, b) {
-				cands = append(cands, &mining.Candidate{Items: dataset.Itemset{a, b}})
+	idx := 0
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			if dec[idx] {
+				cands = append(cands, &mining.Candidate{Items: dataset.Itemset{items[i], items[j]}})
 			} else {
 				stats.Pruned++
 			}
+			idx++
 		}
 	}
+	kd.Note(&stats)
 	stats.Counted = len(cands)
 	if len(cands) == 0 {
 		return mining.LevelResult{K: 2, Stats: stats}
@@ -185,16 +197,22 @@ func passTwoTriangular(txs []dataset.Itemset, f1 []mining.Counted, minCount int6
 		rank[c.Items[0]] = i
 	}
 	// allowed[i*n+j] (i<j) marks pairs that survived the OSSM.
+	items := frequentItems(f1)
+	kd := mining.KernelDeltaFor(pruner)
+	dec := core.AdmitPairsAmong(pruner, items, nil)
 	allowed := make([]bool, n*n)
+	idx := 0
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if core.AdmitPair(pruner, f1[i].Items[0], f1[j].Items[0]) {
+			if dec[idx] {
 				allowed[i*n+j] = true
 			} else {
 				stats.Pruned++
 			}
+			idx++
 		}
 	}
+	kd.Note(&stats)
 	stats.Counted = stats.Generated - stats.Pruned
 	stats.TxScanned = len(txs)
 	counts := make([]int64, n*n)
@@ -227,6 +245,15 @@ func passTwoTriangular(txs []dataset.Itemset, f1 []mining.Counted, minCount int6
 	mining.SortCounted(freq)
 	stats.Frequent = len(freq)
 	return mining.LevelResult{K: 2, Frequent: freq, Stats: stats}
+}
+
+// frequentItems extracts the singleton items of a frequent-1 level.
+func frequentItems(f1 []mining.Counted) []dataset.Item {
+	items := make([]dataset.Item, len(f1))
+	for i, c := range f1 {
+		items[i] = c.Items[0]
+	}
+	return items
 }
 
 // aprioriGen implements candidate generation: join F_{k-1} with itself on

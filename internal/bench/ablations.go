@@ -262,10 +262,14 @@ func (r *EpisodeResult) Print(w io.Writer) {
 		100*float64(r.Pruned)/float64(maxI64(r.Checked, 1)))
 }
 
-// MemoryRow is one line of ablation A5.
+// MemoryRow is one line of ablation A5. CellBytes is the paper's
+// accounting unit (the 4-byte support cells alone); SizeBytes is the true
+// resident footprint of the flat store, including the transposed view,
+// the totals and the kernel suffix remainders.
 type MemoryRow struct {
 	Segments  int
 	SizeBytes int
+	CellBytes int
 }
 
 // MemoryResult is ablation A5: OSSM footprint versus segment budget
@@ -295,7 +299,11 @@ func RunMemory(cfg Config, segments []int) (*MemoryResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		out.Rows = append(out.Rows, MemoryRow{Segments: seg.Map.NumSegments(), SizeBytes: seg.Map.SizeBytes()})
+		out.Rows = append(out.Rows, MemoryRow{
+			Segments:  seg.Map.NumSegments(),
+			SizeBytes: seg.Map.SizeBytes(),
+			CellBytes: seg.Map.CellBytes(),
+		})
 	}
 	return out, nil
 }
@@ -303,9 +311,10 @@ func RunMemory(cfg Config, segments []int) (*MemoryResult, error) {
 // Print renders the table.
 func (r *MemoryResult) Print(w io.Writer) {
 	fmt.Fprintf(w, "Ablation A5 — OSSM footprint (%d items)\n", r.NumItems)
-	fmt.Fprintf(w, "%-10s %-12s\n", "segments", "size")
+	fmt.Fprintf(w, "%-10s %-12s %-12s\n", "segments", "cells", "resident")
 	for _, row := range r.Rows {
-		fmt.Fprintf(w, "%-10d %.2f MB\n", row.Segments, float64(row.SizeBytes)/1e6)
+		fmt.Fprintf(w, "%-10d %.2f MB      %.2f MB\n", row.Segments,
+			float64(row.CellBytes)/1e6, float64(row.SizeBytes)/1e6)
 	}
 }
 

@@ -235,13 +235,48 @@ func TestRunMemory(t *testing.T) {
 	if len(r.Rows) != 2 {
 		t.Fatalf("rows = %d, want 2", len(r.Rows))
 	}
-	if r.Rows[0].SizeBytes != 4*cfg.NumItems*r.Rows[0].Segments {
+	if r.Rows[0].CellBytes != 4*cfg.NumItems*r.Rows[0].Segments {
+		t.Errorf("cell accounting wrong: %d", r.Rows[0].CellBytes)
+	}
+	if r.Rows[0].SizeBytes != 16*cfg.NumItems*(r.Rows[0].Segments+1) {
 		t.Errorf("size accounting wrong: %d", r.Rows[0].SizeBytes)
 	}
 	var buf bytes.Buffer
 	r.Print(&buf)
 	if !strings.Contains(buf.String(), "MB") {
 		t.Error("Print output missing size unit")
+	}
+}
+
+func TestRunKernels(t *testing.T) {
+	cfg := tinyConfig()
+	r, err := RunKernels(cfg, []int{4, 24})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 4 { // 2 segment counts × {pair, triple}
+		t.Fatalf("points = %d, want 4", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.ScalarNsOp <= 0 || p.AtLeastNsOp <= 0 || p.BatchNsOp <= 0 {
+			t.Errorf("%s n=%d: missing timings %+v", p.Kind, p.Segments, p)
+		}
+		if p.BatchSpeedup <= 0 {
+			t.Errorf("%s n=%d: non-positive speedup", p.Kind, p.Segments)
+		}
+		if p.EarlyExitRate < 0 || p.EarlyExitRate > 1 || p.AbandonRate < 0 || p.AbandonRate > 1 {
+			t.Errorf("%s n=%d: shortcut rates out of range", p.Kind, p.Segments)
+		}
+		// Multi-block maps must show the shortcut machinery firing; the
+		// skewed fixture decides most candidates before the final block.
+		if p.Segments > 16 && p.EarlyExitRate+p.AbandonRate == 0 {
+			t.Errorf("%s n=%d: no early decisions on a multi-block map", p.Kind, p.Segments)
+		}
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	if !strings.Contains(buf.String(), "speedup") {
+		t.Error("Print output missing header")
 	}
 }
 

@@ -1,0 +1,180 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+	"time"
+
+	"github.com/ossm-mining/ossm/internal/core"
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// KernelPoint measures one (candidate shape, segment count) cell of the
+// bound-kernel microbenchmark. Every ns/op figure times one whole
+// generation of KernelCands candidates, so the three kernels are
+// directly comparable: the scalar baseline is a full UpperBound walk
+// per candidate, AtLeast the per-candidate decision kernel, Batch the
+// row-amortized batch kernel.
+type KernelPoint struct {
+	Kind          string  `json:"kind"` // "pair" or "triple"
+	Segments      int     `json:"segments"`
+	Candidates    int     `json:"candidates"`
+	MinSup        int64   `json:"minsup"`
+	ScalarNsOp    float64 `json:"scalar_ns_per_op"`
+	AtLeastNsOp   float64 `json:"atleast_ns_per_op"`
+	BatchNsOp     float64 `json:"batch_ns_per_op"`
+	BatchSpeedup  float64 `json:"batch_speedup_vs_scalar"`
+	EarlyExitRate float64 `json:"early_exit_rate"`
+	AbandonRate   float64 `json:"abandon_rate"`
+}
+
+// KernelsResult is the bound-kernel microbenchmark (DESIGN.md §7): the
+// decision and batch kernels against the scalar bound across segment
+// counts, on the candidate-2 wall (pairs) and the first post-wall
+// generation (triples). Every run re-verifies the equivalence guarantee
+// before timing: each kernel's decisions must be bit-identical to the
+// scalar bound's.
+type KernelsResult struct {
+	Points []KernelPoint `json:"points"`
+}
+
+// KernelCands is the generation size each measurement decides per op.
+const KernelCands = 1024
+
+// kernelSegDefaults spans one block (16), a typical serving index (256)
+// and a deep segmentation (4096).
+var kernelSegDefaults = []int{16, 256, 4096}
+
+// kernelMap builds a skewed synthetic support matrix: item i is drawn
+// from [0, 200≫(i mod 8)), a power-ish popularity law that disperses
+// candidate bounds the way real frequency counting does.
+func kernelMap(r *rand.Rand, segs, items int) (*core.Map, error) {
+	rows := make([][]uint32, segs)
+	for s := range rows {
+		rows[s] = make([]uint32, items)
+		for i := range rows[s] {
+			rows[s][i] = uint32(r.Intn(1 + 200>>(i%8)))
+		}
+	}
+	return core.NewMap(rows)
+}
+
+// kernelCands draws a generation of distinct-item candidates of the
+// requested width.
+func kernelCands(r *rand.Rand, width, items, n int) []dataset.Itemset {
+	cands := make([]dataset.Itemset, n)
+	for i := range cands {
+		for {
+			picks := make([]dataset.Item, width)
+			for j := range picks {
+				picks[j] = dataset.Item(r.Intn(items))
+			}
+			cands[i] = dataset.NewItemset(picks...)
+			if len(cands[i]) == width {
+				break
+			}
+		}
+	}
+	return cands
+}
+
+// timeKernel reports ns per call of f, adaptively repeating until the
+// measurement is long enough to be stable.
+func timeKernel(f func()) float64 {
+	f() // warm caches and scratch pools
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < 25*time.Millisecond || iters < 3 {
+		f()
+		iters++
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+}
+
+// RunKernels measures the bound kernels across segCounts (nil ⇒ 16,
+// 256, 4096), verifying kernel/scalar decision equivalence on every
+// cell before timing it.
+func RunKernels(cfg Config, segCounts []int) (*KernelsResult, error) {
+	if len(segCounts) == 0 {
+		segCounts = kernelSegDefaults
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	out := &KernelsResult{}
+	for _, segs := range segCounts {
+		m, err := kernelMap(r, segs, cfg.NumItems)
+		if err != nil {
+			return nil, err
+		}
+		for _, kind := range []struct {
+			name  string
+			width int
+		}{{"pair", 2}, {"triple", 3}} {
+			cands := kernelCands(r, kind.width, cfg.NumItems, KernelCands)
+			bounds := m.UpperBoundBatch(cands, nil)
+			sorted := append([]int64{}, bounds...)
+			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+			minsup := sorted[len(sorted)/2] // discriminative: ~half admit
+			if minsup < 1 {
+				minsup = 1
+			}
+
+			// Equivalence check first: the timings below are only
+			// meaningful if every kernel answers exactly like the scalar
+			// bound.
+			dec := make([]bool, len(cands))
+			st := m.BoundBatch(cands, minsup, dec)
+			for i, x := range cands {
+				want := m.UpperBound(x) >= minsup
+				if dec[i] != want {
+					return nil, fmt.Errorf("bench: BoundBatch disagrees with UpperBound on %v at %d segments", x, segs)
+				}
+				if m.BoundAtLeast(x, minsup) != want {
+					return nil, fmt.Errorf("bench: BoundAtLeast disagrees with UpperBound on %v at %d segments", x, segs)
+				}
+			}
+
+			scalarNs := timeKernel(func() {
+				for _, x := range cands {
+					if m.UpperBound(x) >= minsup {
+						_ = x
+					}
+				}
+			})
+			atLeastNs := timeKernel(func() {
+				for _, x := range cands {
+					_ = m.BoundAtLeast(x, minsup)
+				}
+			})
+			batchNs := timeKernel(func() {
+				m.BoundBatch(cands, minsup, dec)
+			})
+			out.Points = append(out.Points, KernelPoint{
+				Kind:          kind.name,
+				Segments:      segs,
+				Candidates:    len(cands),
+				MinSup:        minsup,
+				ScalarNsOp:    scalarNs,
+				AtLeastNsOp:   atLeastNs,
+				BatchNsOp:     batchNs,
+				BatchSpeedup:  scalarNs / batchNs,
+				EarlyExitRate: float64(st.EarlyExit) / float64(len(cands)),
+				AbandonRate:   float64(st.Abandoned) / float64(len(cands)),
+			})
+		}
+	}
+	return out, nil
+}
+
+// Print renders the microbenchmark as a table.
+func (r *KernelsResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "Bound kernels: ns per generation (scalar UpperBound vs decision kernels)")
+	fmt.Fprintf(w, "%-7s %9s %10s %12s %12s %12s %8s %7s %7s\n",
+		"kind", "segments", "cands", "scalar", "atleast", "batch", "speedup", "exit%", "abdn%")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%-7s %9d %10d %12.0f %12.0f %12.0f %7.2fx %6.1f%% %6.1f%%\n",
+			p.Kind, p.Segments, p.Candidates, p.ScalarNsOp, p.AtLeastNsOp, p.BatchNsOp,
+			p.BatchSpeedup, 100*p.EarlyExitRate, 100*p.AbandonRate)
+	}
+}

@@ -90,10 +90,13 @@ func BuildExtended(d *dataset.Dataset, pages []dataset.Page, assign [][]int, tra
 // Tracked returns the tracked item list (shared; do not mutate).
 func (e *ExtendedMap) Tracked() []dataset.Item { return e.tracked }
 
-// SizeBytes includes the pair matrix on top of the singleton matrix.
+// SizeBytes includes the pair matrix on top of the base map: the 4-byte
+// pair cells plus the per-segment row slice headers that the ragged
+// [][]uint32 representation carries.
 func (e *ExtendedMap) SizeBytes() int {
 	n := len(e.tracked)
-	return e.Map.SizeBytes() + 4*e.NumSegments()*n*(n-1)/2
+	const sliceHeader = 24
+	return e.Map.SizeBytes() + e.NumSegments()*(4*n*(n-1)/2+sliceHeader)
 }
 
 // PairSupport returns the exact support of a tracked pair and true, or
@@ -140,7 +143,7 @@ func (e *ExtendedMap) UpperBound(x dataset.Itemset) int64 {
 	n := len(e.tracked)
 	var total int64
 	for s := 0; s < e.NumSegments(); s++ {
-		row := e.Map.segCounts[s]
+		row := e.Map.SegmentRow(s)
 		cap32 := row[x[0]]
 		for _, it := range x[1:] {
 			if c := row[it]; c < cap32 {

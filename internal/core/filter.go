@@ -34,6 +34,191 @@ func AdmitPair(f Filter, a, b dataset.Item) bool {
 	return f.AllowPair(a, b)
 }
 
+// BatchFilter is the optional batch contract a Filter may additionally
+// satisfy: whole candidate generations are decided in one call, letting
+// the implementation amortize its per-segment work across candidates
+// (see Map.BoundBatch and friends). Decisions must be bit-identical to
+// calling Allow/AllowPair per candidate.
+type BatchFilter interface {
+	Filter
+	// AllowBatch writes decisions[i] = Allow(cands[i]).
+	AllowBatch(cands []dataset.Itemset, decisions []bool)
+	// AllowPairsAmong writes, for every i < j, the decision for the pair
+	// {items[i], items[j]} at decisions[PairIndex(i, j, len(items))].
+	AllowPairsAmong(items []dataset.Item, decisions []bool)
+	// AllowExtensions writes decisions[e] = Allow(prefix ∪ {exts[e]}).
+	AllowExtensions(prefix dataset.Itemset, exts []dataset.Item, decisions []bool)
+}
+
+// decisionsFor returns buf resized to n (reallocating only when too
+// small) with every slot admitted.
+func decisionsFor(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		buf = make([]bool, n)
+	}
+	buf = buf[:n]
+	for i := range buf {
+		buf[i] = true
+	}
+	return buf
+}
+
+// AdmitBatch decides a whole candidate generation through f, using the
+// batch path when f supports it and falling back to per-candidate Allow
+// calls otherwise (so counter semantics are identical either way). buf is
+// an optional reusable decision buffer; the filled slice is returned. A
+// nil filter admits every candidate.
+func AdmitBatch(f Filter, cands []dataset.Itemset, buf []bool) []bool {
+	decisions := decisionsFor(buf, len(cands))
+	if f == nil {
+		return decisions
+	}
+	if bf, ok := f.(BatchFilter); ok {
+		bf.AllowBatch(cands, decisions)
+		return decisions
+	}
+	for i, x := range cands {
+		decisions[i] = f.Allow(x)
+	}
+	return decisions
+}
+
+// AdmitPairsAmong decides every pair {items[i], items[j]}, i < j, in the
+// order a nested i-outer/j-inner loop visits them (PairIndex gives the
+// mapping). buf is an optional reusable decision buffer; the filled
+// slice, of length len(items)·(len(items)−1)/2, is returned.
+func AdmitPairsAmong(f Filter, items []dataset.Item, buf []bool) []bool {
+	n := len(items)
+	decisions := decisionsFor(buf, n*(n-1)/2)
+	if f == nil {
+		return decisions
+	}
+	if bf, ok := f.(BatchFilter); ok {
+		bf.AllowPairsAmong(items, decisions)
+		return decisions
+	}
+	idx := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			decisions[idx] = f.AllowPair(items[i], items[j])
+			idx++
+		}
+	}
+	return decisions
+}
+
+// AdmitExtensions decides every one-item extension prefix ∪ {exts[e]} of
+// a shared prefix. buf is an optional reusable decision buffer; the
+// filled slice, of length len(exts), is returned.
+func AdmitExtensions(f Filter, prefix dataset.Itemset, exts []dataset.Item, buf []bool) []bool {
+	decisions := decisionsFor(buf, len(exts))
+	if f == nil {
+		return decisions
+	}
+	if bf, ok := f.(BatchFilter); ok {
+		bf.AllowExtensions(prefix, exts, decisions)
+		return decisions
+	}
+	cand := make(dataset.Itemset, len(prefix)+1)
+	copy(cand, prefix)
+	for e, it := range exts {
+		cand[len(prefix)] = it
+		decisions[e] = f.Allow(cand)
+	}
+	return decisions
+}
+
+// KernelCounters is a snapshot of a filter's decision-kernel counters.
+type KernelCounters struct {
+	Checked   int64
+	Pruned    int64
+	EarlyExit int64
+	Abandoned int64
+}
+
+// KernelReporter is implemented by filters that expose kernel counters
+// (notably *Pruner).
+type KernelReporter interface {
+	KernelCounters() KernelCounters
+}
+
+// KernelCountersOf snapshots f's kernel counters, reporting false when f
+// does not expose any. The snapshot uses atomic loads and is safe to take
+// while miners are still running.
+func KernelCountersOf(f Filter) (KernelCounters, bool) {
+	kr, ok := f.(KernelReporter)
+	if !ok || kr == nil {
+		return KernelCounters{}, false
+	}
+	return kr.KernelCounters(), true
+}
+
+// KernelCounters snapshots the pruner's counters atomically.
+func (p *Pruner) KernelCounters() KernelCounters {
+	if p == nil {
+		return KernelCounters{}
+	}
+	return KernelCounters{
+		Checked:   atomic.LoadInt64(&p.Checked),
+		Pruned:    atomic.LoadInt64(&p.Pruned),
+		EarlyExit: atomic.LoadInt64(&p.EarlyExit),
+		Abandoned: atomic.LoadInt64(&p.Abandoned),
+	}
+}
+
+// AllowBatch implements BatchFilter through the blocked BoundBatch
+// kernel.
+func (p *Pruner) AllowBatch(cands []dataset.Itemset, decisions []bool) {
+	if p == nil || p.Map == nil {
+		for i := range decisions {
+			decisions[i] = true
+		}
+		return
+	}
+	st := p.Map.BoundBatch(cands, p.MinCount, decisions)
+	p.noteBatch(len(cands), decisions[:len(cands)], st)
+}
+
+// AllowPairsAmong implements BatchFilter through the pair-specialized
+// BoundPairsAmong kernel.
+func (p *Pruner) AllowPairsAmong(items []dataset.Item, decisions []bool) {
+	n := len(items) * (len(items) - 1) / 2
+	if p == nil || p.Map == nil {
+		for i := range decisions {
+			decisions[i] = true
+		}
+		return
+	}
+	st := p.Map.BoundPairsAmong(items, p.MinCount, decisions)
+	p.noteBatch(n, decisions[:n], st)
+}
+
+// AllowExtensions implements BatchFilter through the shared-prefix
+// BoundExtensions kernel.
+func (p *Pruner) AllowExtensions(prefix dataset.Itemset, exts []dataset.Item, decisions []bool) {
+	if p == nil || p.Map == nil {
+		for i := range decisions {
+			decisions[i] = true
+		}
+		return
+	}
+	st := p.Map.BoundExtensions(prefix, exts, p.MinCount, decisions)
+	p.noteBatch(len(exts), decisions[:len(exts)], st)
+}
+
+func (p *Pruner) noteBatch(checked int, decisions []bool, st BatchStats) {
+	var pruned int64
+	for _, ok := range decisions {
+		if !ok {
+			pruned++
+		}
+	}
+	atomic.AddInt64(&p.Checked, int64(checked))
+	atomic.AddInt64(&p.Pruned, pruned)
+	atomic.AddInt64(&p.EarlyExit, st.EarlyExit)
+	atomic.AddInt64(&p.Abandoned, st.Abandoned)
+}
+
 // AllowPair is the 2-itemset fast path of the extended pruner: tracked
 // pairs are answered exactly, others fall back to the extended bound.
 func (p *ExtendedPruner) AllowPair(a, b dataset.Item) bool {

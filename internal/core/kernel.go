@@ -1,0 +1,595 @@
+package core
+
+import (
+	"sync"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// Bound kernels (DESIGN.md §7). The scalar UpperBound walk answers "what
+// is ubsup(X)?", but every caller on the mining hot path only asks the
+// cheaper decision question "is ubsup(X) ≥ minsup?". These kernels answer
+// it while scanning as few segments as possible, with two symmetric
+// shortcuts that both preserve bit-identical decisions with the exact
+// bound:
+//
+//   - early exit: the bound is a sum of non-negative per-segment terms,
+//     so once the accumulated partial sum reaches minsup the full bound
+//     cannot be smaller — admit without scanning further.
+//   - early abandon: the remaining contribution of segments t ≥ s is at
+//     most min_{x∈X} suffix[x][s] (the precomputed per-item suffix
+//     remainders, see Map), so when acc + remainder < minsup the full
+//     bound cannot reach minsup — reject without scanning further.
+//
+// The batch kernels additionally restructure the loop nest: instead of
+// one full matrix walk per candidate, they stream the segment-major rows
+// block by block and amortize each cache-warm row across every candidate
+// still undecided, keeping per-call scratch in a sync.Pool so the loop is
+// allocation-free at steady state.
+
+// boundOutcome records how a decision-mode bound call terminated.
+type boundOutcome uint8
+
+const (
+	boundFull      boundOutcome = iota // scanned every segment (or decided from totals)
+	boundEarlyExit                     // admitted before the final segment
+	boundAbandoned                     // rejected before the final segment
+)
+
+// BatchStats reports how a batch kernel call decided its candidates:
+// EarlyExit candidates were admitted and Abandoned rejected before the
+// final segment block; the remainder paid for a full scan.
+type BatchStats struct {
+	EarlyExit int64
+	Abandoned int64
+}
+
+func (s *BatchStats) add(o BatchStats) {
+	s.EarlyExit += o.EarlyExit
+	s.Abandoned += o.Abandoned
+}
+
+// blockSegs is the number of segments a batch kernel streams between
+// alive-list compactions. Small enough that early decisions are caught
+// promptly, large enough that compaction overhead stays negligible.
+const blockSegs = 16
+
+// BoundAtLeast reports whether ubsup(x) ≥ minsup, returning exactly
+// UpperBound(x) >= minsup while scanning only as many segments as the
+// decision requires. Like UpperBound it panics on the empty itemset.
+func (m *Map) BoundAtLeast(x dataset.Itemset, minsup int64) bool {
+	ok, _ := m.boundAtLeast(x, minsup)
+	return ok
+}
+
+func (m *Map) boundAtLeast(x dataset.Itemset, minsup int64) (bool, boundOutcome) {
+	switch len(x) {
+	case 0:
+		panic("core: BoundAtLeast of the empty itemset is not defined by the OSSM")
+	case 1:
+		return m.totals[x[0]] >= minsup, boundFull
+	case 2:
+		return m.boundPairAtLeast(x[0], x[1], minsup)
+	}
+	ns := m.numSegs
+	last := ns - 1
+	var acc int64
+	for s := 0; s < ns; s++ {
+		minC := m.itemMajor[int(x[0])*ns+s]
+		for _, it := range x[1:] {
+			if c := m.itemMajor[int(it)*ns+s]; c < minC {
+				minC = c
+			}
+		}
+		acc += int64(minC)
+		if acc >= minsup {
+			if s < last {
+				return true, boundEarlyExit
+			}
+			return true, boundFull
+		}
+		rem := m.suffix[int(x[0])*(ns+1)+s+1]
+		for _, it := range x[1:] {
+			if r := m.suffix[int(it)*(ns+1)+s+1]; r < rem {
+				rem = r
+			}
+		}
+		if acc+rem < minsup {
+			if s < last {
+				return false, boundAbandoned
+			}
+			return false, boundFull
+		}
+	}
+	return acc >= minsup, boundFull
+}
+
+// BoundPairAtLeast is BoundAtLeast for the 2-itemset {a, b}.
+func (m *Map) BoundPairAtLeast(a, b dataset.Item, minsup int64) bool {
+	ok, _ := m.boundPairAtLeast(a, b, minsup)
+	return ok
+}
+
+func (m *Map) boundPairAtLeast(a, b dataset.Item, minsup int64) (bool, boundOutcome) {
+	ns := m.numSegs
+	colA := m.itemMajor[int(a)*ns : int(a)*ns+ns]
+	colB := m.itemMajor[int(b)*ns : int(b)*ns+ns]
+	sufA := m.suffix[int(a)*(ns+1) : int(a)*(ns+1)+ns+1]
+	sufB := m.suffix[int(b)*(ns+1) : int(b)*(ns+1)+ns+1]
+	last := ns - 1
+	var acc int64
+	for s := 0; s < ns; s++ {
+		ca := colA[s]
+		if cb := colB[s]; cb < ca {
+			ca = cb
+		}
+		acc += int64(ca)
+		if acc >= minsup {
+			if s < last {
+				return true, boundEarlyExit
+			}
+			return true, boundFull
+		}
+		rem := sufA[s+1]
+		if r := sufB[s+1]; r < rem {
+			rem = r
+		}
+		if acc+rem < minsup {
+			if s < last {
+				return false, boundAbandoned
+			}
+			return false, boundFull
+		}
+	}
+	return acc >= minsup, boundFull
+}
+
+// batchScratch is the pooled per-call working set of the batch kernels.
+type batchScratch struct {
+	acc     []int64
+	alive   []int32
+	pairA   []dataset.Item
+	pairB   []dataset.Item
+	pairC   []dataset.Item
+	prefMin []uint32
+	prefSuf []int64
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (sc *batchScratch) accFor(n int) []int64 {
+	if cap(sc.acc) < n {
+		sc.acc = make([]int64, n)
+	}
+	acc := sc.acc[:n]
+	for i := range acc {
+		acc[i] = 0
+	}
+	return acc
+}
+
+func (sc *batchScratch) aliveFor(n int) []int32 {
+	if cap(sc.alive) < n {
+		sc.alive = make([]int32, 0, n)
+	}
+	return sc.alive[:0]
+}
+
+func (sc *batchScratch) pairsFor(n int) (pa, pb []dataset.Item) {
+	if cap(sc.pairA) < n {
+		sc.pairA = make([]dataset.Item, n)
+		sc.pairB = make([]dataset.Item, n)
+	}
+	return sc.pairA[:n], sc.pairB[:n]
+}
+
+func (sc *batchScratch) triplesFor(n int) (pa, pb, pc []dataset.Item) {
+	pa, pb = sc.pairsFor(n)
+	if cap(sc.pairC) < n {
+		sc.pairC = make([]dataset.Item, n)
+	}
+	return pa, pb, sc.pairC[:n]
+}
+
+// BoundBatch decides a whole generation of candidates at once, writing
+// decisions[i] = (ubsup(cands[i]) ≥ minsup). It streams the support
+// matrix segment-block by segment-block so each row is loaded into cache
+// once and shared by every candidate still alive, compacting the alive
+// list at block boundaries as candidates early-exit or early-abandon.
+// Uniform generations of 2- or 3-itemsets — the shape every level-wise
+// pass produces — take flat-array lanes whose inner loops carry no
+// slice-header indirection at all. decisions must have len(cands)
+// entries; every decision is bit-identical to
+// UpperBound(cands[i]) >= minsup.
+func (m *Map) BoundBatch(cands []dataset.Itemset, minsup int64, decisions []bool) BatchStats {
+	var st BatchStats
+	if len(cands) == 0 {
+		return st
+	}
+	if len(decisions) < len(cands) {
+		panic("core: BoundBatch needs one decision slot per candidate")
+	}
+	uni := len(cands[0])
+	for _, x := range cands {
+		if len(x) == 0 {
+			panic("core: BoundBatch of the empty itemset is not defined by the OSSM")
+		}
+		if len(x) != uni {
+			uni = -1
+		}
+	}
+	switch uni {
+	case 1:
+		for ci, x := range cands {
+			decisions[ci] = m.totals[x[0]] >= minsup
+		}
+		return st
+	case 2:
+		sc := batchPool.Get().(*batchScratch)
+		defer batchPool.Put(sc)
+		pa, pb := sc.pairsFor(len(cands))
+		for ci, x := range cands {
+			pa[ci], pb[ci] = x[0], x[1]
+		}
+		return m.boundPairsFlat(sc, pa, pb, minsup, decisions)
+	case 3:
+		sc := batchPool.Get().(*batchScratch)
+		defer batchPool.Put(sc)
+		pa, pb, pc := sc.triplesFor(len(cands))
+		for ci, x := range cands {
+			pa[ci], pb[ci], pc[ci] = x[0], x[1], x[2]
+		}
+		return m.boundTriplesFlat(sc, pa, pb, pc, minsup, decisions)
+	}
+	sc := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(sc)
+	acc := sc.accFor(len(cands))
+	alive := sc.aliveFor(len(cands))
+	for ci, x := range cands {
+		if len(x) == 1 {
+			decisions[ci] = m.totals[x[0]] >= minsup
+		} else {
+			alive = append(alive, int32(ci))
+		}
+	}
+	ns, k := m.numSegs, m.numItems
+	for blockStart := 0; blockStart < ns && len(alive) > 0; blockStart += blockSegs {
+		blockEnd := min(blockStart+blockSegs, ns)
+		for s := blockStart; s < blockEnd; s++ {
+			row := m.segMajor[s*k : (s+1)*k]
+			for _, ci := range alive {
+				x := cands[ci]
+				minC := row[x[0]]
+				for _, it := range x[1:] {
+					if c := row[it]; c < minC {
+						minC = c
+					}
+				}
+				acc[ci] += int64(minC)
+			}
+		}
+		final := blockEnd == ns
+		keep := alive[:0]
+		for _, ci := range alive {
+			a := acc[ci]
+			if a >= minsup {
+				decisions[ci] = true
+				if !final {
+					st.EarlyExit++
+				}
+				continue
+			}
+			if final {
+				decisions[ci] = false
+				continue
+			}
+			x := cands[ci]
+			rem := m.suffix[int(x[0])*(ns+1)+blockEnd]
+			for _, it := range x[1:] {
+				if r := m.suffix[int(it)*(ns+1)+blockEnd]; r < rem {
+					rem = r
+				}
+			}
+			if a+rem < minsup {
+				decisions[ci] = false
+				st.Abandoned++
+				continue
+			}
+			keep = append(keep, ci)
+		}
+		alive = keep
+	}
+	sc.alive = alive
+	return st
+}
+
+// boundPairsFlat is the shared block loop of BoundPairsAmong and
+// BoundBatch's uniform-pair lane: pair ci is {pa[ci], pb[ci]} and every
+// load in the inner loop is a direct array index.
+func (m *Map) boundPairsFlat(sc *batchScratch, pa, pb []dataset.Item, minsup int64, decisions []bool) BatchStats {
+	var st BatchStats
+	n := len(pa)
+	acc := sc.accFor(n)
+	alive := sc.aliveFor(n)
+	for ci := 0; ci < n; ci++ {
+		alive = append(alive, int32(ci))
+	}
+	ns, k := m.numSegs, m.numItems
+	for blockStart := 0; blockStart < ns && len(alive) > 0; blockStart += blockSegs {
+		blockEnd := min(blockStart+blockSegs, ns)
+		for s := blockStart; s < blockEnd; s++ {
+			row := m.segMajor[s*k : (s+1)*k]
+			for _, ci := range alive {
+				ca := row[pa[ci]]
+				if cb := row[pb[ci]]; cb < ca {
+					ca = cb
+				}
+				acc[ci] += int64(ca)
+			}
+		}
+		final := blockEnd == ns
+		keep := alive[:0]
+		for _, ci := range alive {
+			a := acc[ci]
+			if a >= minsup {
+				decisions[ci] = true
+				if !final {
+					st.EarlyExit++
+				}
+				continue
+			}
+			if final {
+				decisions[ci] = false
+				continue
+			}
+			rem := m.suffix[int(pa[ci])*(ns+1)+blockEnd]
+			if r := m.suffix[int(pb[ci])*(ns+1)+blockEnd]; r < rem {
+				rem = r
+			}
+			if a+rem < minsup {
+				decisions[ci] = false
+				st.Abandoned++
+				continue
+			}
+			keep = append(keep, ci)
+		}
+		alive = keep
+	}
+	sc.alive = alive
+	return st
+}
+
+// boundTriplesFlat is boundPairsFlat for uniform 3-itemset generations.
+func (m *Map) boundTriplesFlat(sc *batchScratch, pa, pb, pc []dataset.Item, minsup int64, decisions []bool) BatchStats {
+	var st BatchStats
+	n := len(pa)
+	acc := sc.accFor(n)
+	alive := sc.aliveFor(n)
+	for ci := 0; ci < n; ci++ {
+		alive = append(alive, int32(ci))
+	}
+	ns, k := m.numSegs, m.numItems
+	for blockStart := 0; blockStart < ns && len(alive) > 0; blockStart += blockSegs {
+		blockEnd := min(blockStart+blockSegs, ns)
+		for s := blockStart; s < blockEnd; s++ {
+			row := m.segMajor[s*k : (s+1)*k]
+			for _, ci := range alive {
+				ca := row[pa[ci]]
+				if cb := row[pb[ci]]; cb < ca {
+					ca = cb
+				}
+				if cc := row[pc[ci]]; cc < ca {
+					ca = cc
+				}
+				acc[ci] += int64(ca)
+			}
+		}
+		final := blockEnd == ns
+		keep := alive[:0]
+		for _, ci := range alive {
+			a := acc[ci]
+			if a >= minsup {
+				decisions[ci] = true
+				if !final {
+					st.EarlyExit++
+				}
+				continue
+			}
+			if final {
+				decisions[ci] = false
+				continue
+			}
+			rem := m.suffix[int(pa[ci])*(ns+1)+blockEnd]
+			if r := m.suffix[int(pb[ci])*(ns+1)+blockEnd]; r < rem {
+				rem = r
+			}
+			if r := m.suffix[int(pc[ci])*(ns+1)+blockEnd]; r < rem {
+				rem = r
+			}
+			if a+rem < minsup {
+				decisions[ci] = false
+				st.Abandoned++
+				continue
+			}
+			keep = append(keep, ci)
+		}
+		alive = keep
+	}
+	sc.alive = alive
+	return st
+}
+
+// UpperBoundBatch computes the exact bound ubsup(cands[i]) for every
+// candidate with the same row-amortized block loop as BoundBatch but no
+// early termination (callers want the values, not a decision). If out is
+// too small a fresh slice is allocated; the filled slice is returned.
+// Each value is bit-identical to UpperBound(cands[i]).
+func (m *Map) UpperBoundBatch(cands []dataset.Itemset, out []int64) []int64 {
+	if cap(out) < len(cands) {
+		out = make([]int64, len(cands))
+	}
+	out = out[:len(cands)]
+	sc := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(sc)
+	alive := sc.aliveFor(len(cands))
+	for ci, x := range cands {
+		switch len(x) {
+		case 0:
+			panic("core: UpperBoundBatch of the empty itemset is not defined by the OSSM")
+		case 1:
+			out[ci] = m.totals[x[0]]
+		default:
+			out[ci] = 0
+			alive = append(alive, int32(ci))
+		}
+	}
+	ns, k := m.numSegs, m.numItems
+	for s := 0; s < ns && len(alive) > 0; s++ {
+		row := m.segMajor[s*k : (s+1)*k]
+		for _, ci := range alive {
+			x := cands[ci]
+			minC := row[x[0]]
+			for _, it := range x[1:] {
+				if c := row[it]; c < minC {
+					minC = c
+				}
+			}
+			out[ci] += int64(minC)
+		}
+	}
+	sc.alive = alive
+	return out
+}
+
+// BoundPairsAmong decides every 2-subset {items[i], items[j]}, i < j, of
+// a frequent-1 generation — the candidate-2 wall. Decisions are written
+// in the same order a nested i-outer/j-inner loop visits the pairs
+// (PairIndex gives the mapping); decisions must have
+// len(items)·(len(items)−1)/2 entries. The pair-specialized inner loop
+// avoids itemset materialization entirely.
+func (m *Map) BoundPairsAmong(items []dataset.Item, minsup int64, decisions []bool) BatchStats {
+	var st BatchStats
+	n := len(items)
+	numPairs := n * (n - 1) / 2
+	if numPairs == 0 {
+		return st
+	}
+	if len(decisions) < numPairs {
+		panic("core: BoundPairsAmong needs one decision slot per pair")
+	}
+	sc := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(sc)
+	pa, pb := sc.pairsFor(numPairs)
+	idx := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pa[idx], pb[idx] = items[i], items[j]
+			idx++
+		}
+	}
+	return m.boundPairsFlat(sc, pa, pb, minsup, decisions)
+}
+
+// PairIndex maps the pair (items[i], items[j]), i < j, of an n-item
+// generation to its position in BoundPairsAmong's decisions slice — the
+// standard upper-triangular row-major index.
+func PairIndex(i, j, n int) int {
+	return i*(2*n-i-1)/2 + (j - i - 1)
+}
+
+// BoundExtensions decides every one-item extension prefix ∪ {exts[e]} of
+// a shared prefix — the shape depth-first miners (Eclat, DepthProject)
+// generate candidates in. The prefix's per-segment minima are computed
+// once and shared across all extensions, so each extension costs one
+// column touch per segment instead of a full itemset scan; decisions must
+// have len(exts) entries. If the prefix is empty each extension is the
+// singleton {exts[e]}, decided from the exact totals.
+func (m *Map) BoundExtensions(prefix dataset.Itemset, exts []dataset.Item, minsup int64, decisions []bool) BatchStats {
+	var st BatchStats
+	if len(exts) == 0 {
+		return st
+	}
+	if len(decisions) < len(exts) {
+		panic("core: BoundExtensions needs one decision slot per extension")
+	}
+	if len(prefix) == 0 {
+		for e, it := range exts {
+			decisions[e] = m.totals[it] >= minsup
+		}
+		return st
+	}
+	sc := batchPool.Get().(*batchScratch)
+	defer batchPool.Put(sc)
+	ns, k := m.numSegs, m.numItems
+	// Per-segment minimum over the prefix items, and its suffix sums:
+	// prefSuf[s] = Σ_{t≥s} prefMin[t] caps the prefix side of any
+	// extension's remaining contribution.
+	if cap(sc.prefMin) < ns {
+		sc.prefMin = make([]uint32, ns)
+	}
+	if cap(sc.prefSuf) < ns+1 {
+		sc.prefSuf = make([]int64, ns+1)
+	}
+	prefMin, prefSuf := sc.prefMin[:ns], sc.prefSuf[:ns+1]
+	copy(prefMin, m.Column(prefix[0]))
+	for _, it := range prefix[1:] {
+		col := m.itemMajor[int(it)*ns : int(it)*ns+ns]
+		for s, c := range col {
+			if c < prefMin[s] {
+				prefMin[s] = c
+			}
+		}
+	}
+	prefSuf[ns] = 0
+	for s := ns - 1; s >= 0; s-- {
+		prefSuf[s] = prefSuf[s+1] + int64(prefMin[s])
+	}
+	acc := sc.accFor(len(exts))
+	alive := sc.aliveFor(len(exts))
+	for e := range exts {
+		alive = append(alive, int32(e))
+	}
+	for blockStart := 0; blockStart < ns && len(alive) > 0; blockStart += blockSegs {
+		blockEnd := min(blockStart+blockSegs, ns)
+		for s := blockStart; s < blockEnd; s++ {
+			row := m.segMajor[s*k : (s+1)*k]
+			pm := prefMin[s]
+			for _, ei := range alive {
+				c := row[exts[ei]]
+				if pm < c {
+					c = pm
+				}
+				acc[ei] += int64(c)
+			}
+		}
+		final := blockEnd == ns
+		keep := alive[:0]
+		for _, ei := range alive {
+			a := acc[ei]
+			if a >= minsup {
+				decisions[ei] = true
+				if !final {
+					st.EarlyExit++
+				}
+				continue
+			}
+			if final {
+				decisions[ei] = false
+				continue
+			}
+			rem := prefSuf[blockEnd]
+			if r := m.suffix[int(exts[ei])*(ns+1)+blockEnd]; r < rem {
+				rem = r
+			}
+			if a+rem < minsup {
+				decisions[ei] = false
+				st.Abandoned++
+				continue
+			}
+			keep = append(keep, ei)
+		}
+		alive = keep
+	}
+	sc.alive = alive
+	return st
+}

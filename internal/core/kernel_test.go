@@ -1,0 +1,219 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// The kernel contract (DESIGN.md §7): every decision kernel and every
+// batch kernel agrees bit-for-bit with the pre-flat-store reference walk
+// referenceUpperBound. The tests below check that contract on randomized
+// maps, itemsets and thresholds, and across all five segmentation
+// algorithms.
+
+// checkKernelsAgainstReference drives every kernel over random queries
+// against m and fails the test on the first disagreement with the
+// reference oracle.
+func checkKernelsAgainstReference(t *testing.T, r *rand.Rand, m *Map, trials int) {
+	t.Helper()
+	k := m.NumItems()
+	maxT := int64(1)
+	for _, tot := range m.Totals() {
+		if tot > maxT {
+			maxT = tot
+		}
+	}
+
+	// Scalar paths: UpperBound, UpperBoundPair, BoundAtLeast.
+	for trial := 0; trial < trials; trial++ {
+		x := randomNonEmptyItemset(r, k)
+		ref := m.referenceUpperBound(x)
+		if got := m.UpperBound(x); got != ref {
+			t.Fatalf("UpperBound(%v) = %d, reference %d", x, got, ref)
+		}
+		if len(x) == 2 {
+			if got := m.UpperBoundPair(x[0], x[1]); got != ref {
+				t.Fatalf("UpperBoundPair(%v) = %d, reference %d", x, got, ref)
+			}
+		}
+		// Thresholds straddling the bound, plus random ones.
+		for _, minsup := range []int64{0, 1, ref - 1, ref, ref + 1, 1 + r.Int63n(maxT+1)} {
+			if got, want := m.BoundAtLeast(x, minsup), ref >= minsup; got != want {
+				t.Fatalf("BoundAtLeast(%v, %d) = %v, reference bound %d", x, minsup, got, ref)
+			}
+			if len(x) == 2 {
+				if got, want := m.BoundPairAtLeast(x[0], x[1], minsup), ref >= minsup; got != want {
+					t.Fatalf("BoundPairAtLeast(%v, %d) = %v, reference bound %d", x, minsup, got, ref)
+				}
+			}
+		}
+	}
+
+	// Batch paths: one generation of random candidates per threshold.
+	// Even trials force a uniform itemset length so the flat pair/triple
+	// lanes are exercised, odd trials mix lengths for the generic lane.
+	for trial := 0; trial < trials; trial++ {
+		n := 1 + r.Intn(40)
+		cands := make([]dataset.Itemset, n)
+		uniform := 0
+		if trial%2 == 0 {
+			uniform = 1 + r.Intn(minInt(3, k))
+		}
+		for i := range cands {
+			if uniform > 0 {
+				for {
+					cands[i] = randomNonEmptyItemset(r, k)
+					if len(cands[i]) == uniform {
+						break
+					}
+				}
+			} else {
+				cands[i] = randomNonEmptyItemset(r, k)
+			}
+		}
+		minsup := 1 + r.Int63n(maxT+1)
+		dec := make([]bool, n)
+		st := m.BoundBatch(cands, minsup, dec)
+		if st.EarlyExit+st.Abandoned > int64(n) {
+			t.Fatalf("BoundBatch shortcut counts %+v exceed %d candidates", st, n)
+		}
+		bounds := m.UpperBoundBatch(cands, nil)
+		for i, x := range cands {
+			ref := m.referenceUpperBound(x)
+			if bounds[i] != ref {
+				t.Fatalf("UpperBoundBatch[%d] = %d for %v, reference %d", i, bounds[i], x, ref)
+			}
+			if dec[i] != (ref >= minsup) {
+				t.Fatalf("BoundBatch[%d] = %v for %v at %d, reference bound %d", i, dec[i], x, minsup, ref)
+			}
+		}
+	}
+
+	// Pair kernel: all 2-subsets of the item domain.
+	items := make([]dataset.Item, k)
+	for i := range items {
+		items[i] = dataset.Item(i)
+	}
+	numPairs := k * (k - 1) / 2
+	pairDec := make([]bool, numPairs)
+	for trial := 0; trial < trials; trial++ {
+		minsup := 1 + r.Int63n(maxT+1)
+		st := m.BoundPairsAmong(items, minsup, pairDec)
+		if st.EarlyExit+st.Abandoned > int64(numPairs) {
+			t.Fatalf("BoundPairsAmong shortcut counts %+v exceed %d pairs", st, numPairs)
+		}
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				ref := m.referenceUpperBound(dataset.Itemset{items[i], items[j]})
+				if got := pairDec[PairIndex(i, j, k)]; got != (ref >= minsup) {
+					t.Fatalf("BoundPairsAmong pair (%d,%d) = %v at %d, reference bound %d", i, j, got, minsup, ref)
+				}
+			}
+		}
+	}
+
+	// Extension kernel: shared prefix, the depth-first miners' shape.
+	for trial := 0; trial < trials; trial++ {
+		prefix := dataset.Itemset{}
+		if r.Intn(4) > 0 {
+			prefix = randomNonEmptyItemset(r, k)
+		}
+		var exts []dataset.Item
+		for it := dataset.Item(0); int(it) < k; it++ {
+			if !prefix.Contains(it) && r.Intn(2) == 0 {
+				exts = append(exts, it)
+			}
+		}
+		if len(exts) == 0 {
+			continue
+		}
+		minsup := 1 + r.Int63n(maxT+1)
+		extDec := make([]bool, len(exts))
+		m.BoundExtensions(prefix, exts, minsup, extDec)
+		for e, it := range exts {
+			cand := dataset.NewItemset(append(append([]dataset.Item{}, prefix...), it)...)
+			ref := m.referenceUpperBound(cand)
+			if extDec[e] != (ref >= minsup) {
+				t.Fatalf("BoundExtensions(%v + %d) = %v at %d, reference bound %d", prefix, it, extDec[e], minsup, ref)
+			}
+		}
+	}
+}
+
+// TestKernelDifferentialAcrossSegmenters proves the equivalence
+// guarantee on maps produced by all five segmentation algorithms, not
+// just hand-built ones: the segmenter cannot produce a row layout the
+// kernels mis-handle.
+func TestKernelDifferentialAcrossSegmenters(t *testing.T) {
+	algs := []Algorithm{AlgRandom, AlgRC, AlgGreedy, AlgRandomRC, AlgRandomGreedy}
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(alg) + 7))
+			for rep := 0; rep < 4; rep++ {
+				d := randomDataset(r)
+				mPages := 1 + r.Intn(d.NumTx())
+				pages := dataset.PaginateN(d, mPages)
+				rows := dataset.PageCounts(d, pages)
+				target := 1 + r.Intn(mPages)
+				res, err := Segment(rows, Options{
+					Algorithm:      alg,
+					TargetSegments: target,
+					MidSegments:    mPages,
+					Seed:           r.Int63(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkKernelsAgainstReference(t, r, res.Map, 8)
+			}
+		})
+	}
+}
+
+// TestKernelDifferentialProperty hits many more map shapes (including
+// multi-block maps whose segment count exceeds one 16-segment block)
+// through random page→segment assignments.
+func TestKernelDifferentialProperty(t *testing.T) {
+	for seed := int64(0); seed < 120; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		_, m := buildRandomSegmentation(r)
+		checkKernelsAgainstReference(t, r, m, 6)
+	}
+}
+
+// TestKernelMultiBlockShortcuts pins the shortcut machinery on a map
+// wide enough that decisions can happen before the final block: a
+// 64-segment map where one itemset early-exits in block 0 and another
+// abandons in block 0.
+func TestKernelMultiBlockShortcuts(t *testing.T) {
+	const segs, k = 64, 4
+	rows := make([][]uint32, segs)
+	for s := range rows {
+		rows[s] = make([]uint32, k)
+		rows[s][0] = 100 // item 0: plentiful everywhere
+		rows[s][1] = 100
+		// items 2, 3 are empty everywhere: their pair abandons immediately.
+	}
+	m, err := NewMap(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := dataset.NewItemset(0, 1)
+	cold := dataset.NewItemset(2, 3)
+	if ok, out := m.boundAtLeast(hot, 200); !ok || out != boundEarlyExit {
+		t.Errorf("hot pair: ok=%v outcome=%d, want early exit", ok, out)
+	}
+	if ok, out := m.boundAtLeast(cold, 1); ok || out != boundAbandoned {
+		t.Errorf("cold pair: ok=%v outcome=%d, want abandon", ok, out)
+	}
+	dec := make([]bool, 2)
+	st := m.BoundBatch([]dataset.Itemset{hot, cold}, 200, dec)
+	if !dec[0] || dec[1] {
+		t.Errorf("BoundBatch decisions = %v, want [true false]", dec)
+	}
+	if st.EarlyExit != 1 || st.Abandoned != 1 {
+		t.Errorf("BoundBatch stats = %+v, want one early exit and one abandon", st)
+	}
+}

@@ -24,29 +24,72 @@ var ErrRaggedSegments = errors.New("core: segment support rows have differing le
 // stores the support of every singleton item within that segment
 // (Section 3). The structure is query-independent — it is built once at
 // "compile time" and serves any support threshold afterwards.
+//
+// Storage is a flat columnar store rather than a ragged [][]uint32: the
+// matrix is kept contiguously in both segment-major order (one cache-warm
+// row per segment, the layout the batch bound kernels stream) and
+// item-major order (one contiguous column per item, the layout the
+// scalar and extension kernels stream), plus per-item suffix remainders
+// suffix[it][s] = Σ_{t≥s} sup_t({it}) that let decision-mode bound calls
+// abandon hopeless candidates before scanning every segment (see
+// kernel.go).
 type Map struct {
-	numItems  int
-	segCounts [][]uint32 // [segment][item] singleton support
-	totals    []int64    // per-item global support (sum over segments)
+	numItems int
+	numSegs  int
+	segMajor  []uint32 // [segment*numItems + item] singleton support
+	itemMajor []uint32 // [item*numSegs + segment], the transposed view
+	totals    []int64  // per-item global support (sum over segments)
+	suffix    []int64  // [item*(numSegs+1) + s] = Σ_{t≥s} support; trailing 0
 }
 
 // NewMap builds a Map from per-segment singleton supports. The rows are
-// retained (not copied); callers must not mutate them afterwards.
+// copied into the flat backing store, so callers remain free to reuse
+// them.
 func NewMap(segCounts [][]uint32) (*Map, error) {
 	if len(segCounts) == 0 {
 		return nil, ErrNoSegments
 	}
 	k := len(segCounts[0])
-	totals := make([]int64, k)
 	for i, row := range segCounts {
 		if len(row) != k {
 			return nil, fmt.Errorf("%w: row 0 has %d items, row %d has %d", ErrRaggedSegments, k, i, len(row))
 		}
+	}
+	flat := make([]uint32, len(segCounts)*k)
+	for s, row := range segCounts {
+		copy(flat[s*k:(s+1)*k], row)
+	}
+	return newMapFromFlat(len(segCounts), k, flat), nil
+}
+
+// newMapFromFlat assumes ownership of the segment-major cells and derives
+// the transposed view, the per-item totals and the suffix remainders.
+func newMapFromFlat(numSegs, numItems int, segMajor []uint32) *Map {
+	m := &Map{
+		numItems:  numItems,
+		numSegs:   numSegs,
+		segMajor:  segMajor,
+		itemMajor: make([]uint32, numSegs*numItems),
+		totals:    make([]int64, numItems),
+		suffix:    make([]int64, numItems*(numSegs+1)),
+	}
+	for s := 0; s < numSegs; s++ {
+		row := segMajor[s*numItems : (s+1)*numItems]
 		for it, c := range row {
-			totals[it] += int64(c)
+			m.itemMajor[it*numSegs+s] = c
+			m.totals[it] += int64(c)
 		}
 	}
-	return &Map{numItems: k, segCounts: segCounts, totals: totals}, nil
+	for it := 0; it < numItems; it++ {
+		col := m.itemMajor[it*numSegs : (it+1)*numSegs]
+		base := it * (numSegs + 1)
+		var acc int64
+		for s := numSegs - 1; s >= 0; s-- {
+			acc += int64(col[s])
+			m.suffix[base+s] = acc
+		}
+	}
+	return m
 }
 
 // BuildFromPages constructs a Map directly from a dataset and a page
@@ -56,9 +99,10 @@ func BuildFromPages(d *dataset.Dataset, pages []dataset.Page, assign [][]int) (*
 	if len(assign) == 0 {
 		return nil, ErrNoSegments
 	}
-	segCounts := make([][]uint32, len(assign))
+	k := d.NumItems()
+	flat := make([]uint32, len(assign)*k)
 	for s, pageIdxs := range assign {
-		row := make([]uint32, d.NumItems())
+		row := flat[s*k : (s+1)*k]
 		for _, pi := range pageIdxs {
 			if pi < 0 || pi >= len(pages) {
 				return nil, fmt.Errorf("core: segment %d references page %d of %d", s, pi, len(pages))
@@ -68,13 +112,12 @@ func BuildFromPages(d *dataset.Dataset, pages []dataset.Page, assign [][]int) (*
 				row[it] += c
 			}
 		}
-		segCounts[s] = row
 	}
-	return NewMap(segCounts)
+	return newMapFromFlat(len(assign), k, flat), nil
 }
 
 // NumSegments returns n, the number of segments.
-func (m *Map) NumSegments() int { return len(m.segCounts) }
+func (m *Map) NumSegments() int { return m.numSegs }
 
 // NumItems returns k, the size of the item domain.
 func (m *Map) NumItems() int { return m.numItems }
@@ -82,7 +125,7 @@ func (m *Map) NumItems() int { return m.numItems }
 // SegmentSupport returns sup_i({x}), the support of item x within
 // segment i.
 func (m *Map) SegmentSupport(i int, x dataset.Item) uint32 {
-	return m.segCounts[i][x]
+	return m.segMajor[i*m.numItems+int(x)]
 }
 
 // ItemSupport returns the exact global support of the singleton {x}.
@@ -99,6 +142,12 @@ func (m *Map) Totals() []int64 { return m.totals }
 //
 // The empty itemset is supported by every transaction, a count the Map
 // does not record, so UpperBound panics on an empty itemset.
+//
+// The scan streams the members' item-major columns in parallel; for a
+// threshold decision rather than the exact bound, BoundAtLeast is
+// cheaper (it exits as soon as the answer is determined), and for a
+// whole generation of candidates BoundBatch amortizes each segment row
+// across all of them (see kernel.go).
 func (m *Map) UpperBound(x dataset.Itemset) int64 {
 	if len(x) == 0 {
 		panic("core: UpperBound of the empty itemset is not defined by the OSSM")
@@ -106,11 +155,13 @@ func (m *Map) UpperBound(x dataset.Itemset) int64 {
 	if len(x) == 1 {
 		return m.totals[x[0]]
 	}
+	ns := m.numSegs
+	col0 := m.itemMajor[int(x[0])*ns : int(x[0])*ns+ns]
 	var total int64
-	for _, row := range m.segCounts {
-		minC := row[x[0]]
+	for s := 0; s < ns; s++ {
+		minC := col0[s]
 		for _, it := range x[1:] {
-			if c := row[it]; c < minC {
+			if c := m.itemMajor[int(it)*ns+s]; c < minC {
 				minC = c
 			}
 		}
@@ -122,13 +173,41 @@ func (m *Map) UpperBound(x dataset.Itemset) int64 {
 // UpperBoundPair is UpperBound for a 2-itemset {a, b}, the hot path of
 // candidate-2 pruning.
 func (m *Map) UpperBoundPair(a, b dataset.Item) int64 {
+	ns := m.numSegs
+	colA := m.itemMajor[int(a)*ns : int(a)*ns+ns]
+	colB := m.itemMajor[int(b)*ns : int(b)*ns+ns]
 	var total int64
-	for _, row := range m.segCounts {
-		ca, cb := row[a], row[b]
-		if cb < ca {
+	for s, ca := range colA {
+		if cb := colB[s]; cb < ca {
 			ca = cb
 		}
 		total += int64(ca)
+	}
+	return total
+}
+
+// referenceUpperBound is the pre-flat-store bound loop — a walk over the
+// segment-major rows exactly as the original ragged [][]uint32
+// implementation performed it. It is retained unexported as the
+// equivalence oracle for the kernel layer: every kernel in kernel.go must
+// return bit-identical bounds (and therefore decisions) to this loop.
+func (m *Map) referenceUpperBound(x dataset.Itemset) int64 {
+	if len(x) == 0 {
+		panic("core: UpperBound of the empty itemset is not defined by the OSSM")
+	}
+	if len(x) == 1 {
+		return m.totals[x[0]]
+	}
+	var total int64
+	for s := 0; s < m.numSegs; s++ {
+		row := m.segMajor[s*m.numItems : (s+1)*m.numItems]
+		minC := row[x[0]]
+		for _, it := range x[1:] {
+			if c := row[it]; c < minC {
+				minC = c
+			}
+		}
+		total += int64(minC)
 	}
 	return total
 }
@@ -150,14 +229,35 @@ func (m *Map) NaiveUpperBound(x dataset.Itemset) int64 {
 	return minC
 }
 
-// SizeBytes reports the memory footprint of the segment support matrix
-// (4 bytes per cell), the quantity behind the paper's "0.2–0.3 megabyte"
-// claims.
-func (m *Map) SizeBytes() int { return 4 * m.numItems * m.NumSegments() }
+// SizeBytes reports the exact memory footprint of the flat store's
+// backing arrays: both 4-byte cell matrices (segment-major and the
+// transposed item-major view), the 8-byte per-item totals and the 8-byte
+// suffix remainders. The segment-major cells alone are the quantity
+// behind the paper's "0.2–0.3 megabyte" claims; CellBytes reports them
+// separately.
+func (m *Map) SizeBytes() int {
+	return 4*(len(m.segMajor)+len(m.itemMajor)) + 8*(len(m.totals)+len(m.suffix))
+}
 
-// SegmentRow returns segment i's support row. The returned slice is
-// shared; callers must not mutate it.
-func (m *Map) SegmentRow(i int) []uint32 { return m.segCounts[i] }
+// CellBytes reports the size of the segment support matrix proper
+// (4 bytes per cell, one copy), the paper's accounting unit.
+func (m *Map) CellBytes() int { return 4 * m.numItems * m.numSegs }
+
+// SegmentRow returns segment i's support row, a view into the flat
+// segment-major store. The returned slice is shared; callers must not
+// mutate it.
+func (m *Map) SegmentRow(i int) []uint32 {
+	lo, hi := i*m.numItems, (i+1)*m.numItems
+	return m.segMajor[lo:hi:hi]
+}
+
+// Column returns item x's per-segment support column, a view into the
+// flat item-major store. The returned slice is shared; callers must not
+// mutate it.
+func (m *Map) Column(x dataset.Item) []uint32 {
+	lo, hi := int(x)*m.numSegs, (int(x)+1)*m.numSegs
+	return m.itemMajor[lo:hi:hi]
+}
 
 // Merged returns a single-segment Map carrying the same global supports —
 // the degenerate M_1 whose bound is the naive bound.
@@ -166,11 +266,7 @@ func (m *Map) Merged() *Map {
 	for it, t := range m.totals {
 		row[it] = uint32(t)
 	}
-	mm, err := NewMap([][]uint32{row})
-	if err != nil {
-		panic(err) // cannot happen: one well-formed row
-	}
-	return mm
+	return newMapFromFlat(1, m.numItems, row)
 }
 
 // Pruner applies an OSSM to candidate filtering and keeps the counters
@@ -180,11 +276,18 @@ type Pruner struct {
 	Map      *Map
 	MinCount int64 // absolute support threshold (count, not fraction)
 
-	// Checked/Pruned are updated atomically: miners with Workers > 1 call
+	// Counters are updated atomically: miners with Workers > 1 call
 	// Allow from several goroutines at once. Read them only after mining
 	// returns.
 	Checked int64 // candidates tested
 	Pruned  int64 // candidates rejected by the bound
+	// EarlyExit counts decision-mode bound calls that admitted their
+	// candidate before scanning every segment (the accumulated partial
+	// sum reached MinCount); Abandoned counts calls that rejected theirs
+	// early because the suffix remainders proved MinCount unreachable.
+	// Checked − EarlyExit − Abandoned bound calls paid for a full scan.
+	EarlyExit int64
+	Abandoned int64
 }
 
 // Allow reports whether candidate x survives the OSSM bound, i.e. whether
@@ -195,7 +298,9 @@ func (p *Pruner) Allow(x dataset.Itemset) bool {
 		return true
 	}
 	atomic.AddInt64(&p.Checked, 1)
-	if p.Map.UpperBound(x) < p.MinCount {
+	ok, outcome := p.Map.boundAtLeast(x, p.MinCount)
+	p.noteOutcome(outcome)
+	if !ok {
 		atomic.AddInt64(&p.Pruned, 1)
 		return false
 	}
@@ -208,16 +313,27 @@ func (p *Pruner) AllowPair(a, b dataset.Item) bool {
 		return true
 	}
 	atomic.AddInt64(&p.Checked, 1)
-	if p.Map.UpperBoundPair(a, b) < p.MinCount {
+	ok, outcome := p.Map.boundPairAtLeast(a, b, p.MinCount)
+	p.noteOutcome(outcome)
+	if !ok {
 		atomic.AddInt64(&p.Pruned, 1)
 		return false
 	}
 	return true
 }
 
+func (p *Pruner) noteOutcome(o boundOutcome) {
+	switch o {
+	case boundEarlyExit:
+		atomic.AddInt64(&p.EarlyExit, 1)
+	case boundAbandoned:
+		atomic.AddInt64(&p.Abandoned, 1)
+	}
+}
+
 // Reset zeroes the counters.
 func (p *Pruner) Reset() {
 	if p != nil {
-		p.Checked, p.Pruned = 0, 0
+		p.Checked, p.Pruned, p.EarlyExit, p.Abandoned = 0, 0, 0, 0
 	}
 }

@@ -88,11 +88,14 @@ func TestUpperBoundPanicsOnEmpty(t *testing.T) {
 }
 
 func TestSizeBytes(t *testing.T) {
-	m := example1Map(t)
-	if got := m.SizeBytes(); got != 4*3*4 {
-		t.Errorf("SizeBytes = %d, want 48", got)
+	// The flat store holds both 4-byte cell matrices (segment-major and
+	// item-major), the 8-byte totals, and the 8-byte suffix remainders:
+	// 4·2·k·n + 8·k + 8·k·(n+1) = 16·k·(n+1) bytes for k items, n segments.
+	m := example1Map(t) // 3 items × 4 segments
+	if got := m.SizeBytes(); got != 16*3*(4+1) {
+		t.Errorf("SizeBytes = %d, want 240", got)
 	}
-	// Paper claim check: 1000 items × 150 segments ≈ 0.6 MB.
+	// Paper claim check: 1000 items × 150 segments ≈ 0.6 MB of cells.
 	rows := make([][]uint32, 150)
 	for i := range rows {
 		rows[i] = make([]uint32, 1000)
@@ -101,8 +104,11 @@ func TestSizeBytes(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := big.SizeBytes(); got != 600000 {
-		t.Errorf("SizeBytes = %d, want 600000", got)
+	if got := big.CellBytes(); got != 600000 {
+		t.Errorf("CellBytes = %d, want 600000", got)
+	}
+	if got := big.SizeBytes(); got != 16*1000*151 {
+		t.Errorf("SizeBytes = %d, want 2416000", got)
 	}
 }
 

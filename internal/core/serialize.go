@@ -32,12 +32,10 @@ func WriteMap(w io.Writer, m *Map) error {
 		return err
 	}
 	var cell [4]byte
-	for _, row := range m.segCounts {
-		for _, c := range row {
-			binary.LittleEndian.PutUint32(cell[:], c)
-			if _, err := bw.Write(cell[:]); err != nil {
-				return err
-			}
+	for _, c := range m.segMajor {
+		binary.LittleEndian.PutUint32(cell[:], c)
+		if _, err := bw.Write(cell[:]); err != nil {
+			return err
 		}
 	}
 	return bw.Flush()
@@ -68,17 +66,16 @@ func ReadMap(r io.Reader) (*Map, error) {
 	if numItems > maxCells || numSegs > maxCells || int64(numItems)*int64(numSegs) > maxCells {
 		return nil, fmt.Errorf("%w: header claims %d×%d cells", ErrBadMapFormat, numSegs, numItems)
 	}
-	rows := make([][]uint32, numSegs)
+	flat := make([]uint32, numSegs*numItems)
 	buf := make([]byte, 4*numItems)
-	for s := range rows {
+	for s := 0; s < numSegs; s++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, fmt.Errorf("%w: segment %d: %v", ErrBadMapFormat, s, err)
 		}
-		row := make([]uint32, numItems)
+		row := flat[s*numItems : (s+1)*numItems]
 		for i := range row {
 			row[i] = binary.LittleEndian.Uint32(buf[4*i:])
 		}
-		rows[s] = row
 	}
-	return NewMap(rows)
+	return newMapFromFlat(numSegs, numItems, flat), nil
 }

@@ -22,8 +22,8 @@ func (m *Map) ItemVariability(x dataset.Item) float64 {
 	}
 	mean := float64(m.totals[x]) / float64(n)
 	var ss float64
-	for _, row := range m.segCounts {
-		d := float64(row[x]) - mean
+	for _, c := range m.Column(x) {
+		d := float64(c) - mean
 		ss += d * d
 	}
 	return math.Sqrt(ss/float64(n)) / mean
@@ -54,9 +54,9 @@ func (m *Map) Heterogeneity() float64 {
 // and that support. Useful for "where does this pattern live?"
 // exploration. Ties resolve to the lowest segment index.
 func (m *Map) HottestSegment(x dataset.Item) (segment int, support uint32) {
-	for s, row := range m.segCounts {
-		if row[x] > support {
-			segment, support = s, row[x]
+	for s, c := range m.Column(x) {
+		if c > support {
+			segment, support = s, c
 		}
 	}
 	return segment, support

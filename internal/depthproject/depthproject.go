@@ -83,6 +83,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	tally.Note(1, d.NumItems(), 0, d.NumItems())
 	tally.NoteTx(1, d.NumTx())
 	var found []mining.Counted
+	var dec []bool
 	for idx, it := range items {
 		extra.NodesExplored++
 		tl := lists[it]
@@ -90,7 +91,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 		if opts.MaxLen == 1 {
 			continue
 		}
-		expand(dataset.Itemset{it}, tl, items[idx+1:], lists, minCount, opts, extra, &tally, &found)
+		expand(dataset.Itemset{it}, tl, items[idx+1:], lists, minCount, opts, extra, &tally, &dec, &found)
 	}
 	res := mining.FromMap(minCount, found)
 	res.Stats = mining.Stats{Algorithm: Name, Workers: 1, Elapsed: time.Since(start), Extra: extra}
@@ -103,27 +104,35 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 // extension, depth first.
 func expand(prefix dataset.Itemset, tids tidlist, exts []dataset.Item,
 	lists map[dataset.Item]tidlist, minCount int64, opts Options, st *Stats,
-	tally *mining.LevelTally, out *[]mining.Counted) {
+	tally *mining.LevelTally, dec *[]bool, out *[]mining.Counted) {
 
+	// One shared-prefix kernel call decides the whole extension frontier;
+	// the decision buffer is reused across the walk (decisions are fully
+	// consumed before the search recurses). Candidate itemsets are built
+	// only for extensions whose projection turns out frequent.
+	*dec = core.AdmitExtensions(opts.Pruner, prefix, exts, *dec)
+	k := len(prefix) + 1
 	type child struct {
 		item dataset.Item
 		tids tidlist
 	}
 	var children []child
-	for _, x := range exts {
+	for e, x := range exts {
 		st.Extensions++
-		cand := append(append(dataset.Itemset{}, prefix...), x)
-		if !core.Admit(opts.Pruner, cand) {
+		if !(*dec)[e] {
 			st.PrunedByOSSM++
-			tally.Note(len(cand), 1, 1, 0)
+			tally.Note(k, 1, 1, 0)
 			continue
 		}
 		st.Projections++
-		tally.Note(len(cand), 1, 0, 1)
+		tally.Note(k, 1, 0, 1)
 		tl := intersect(tids, lists[x])
 		if int64(len(tl)) >= minCount {
 			children = append(children, child{item: x, tids: tl})
-			*out = append(*out, mining.Counted{Items: cand, Count: int64(len(tl))})
+			*out = append(*out, mining.Counted{
+				Items: append(append(dataset.Itemset{}, prefix...), x),
+				Count: int64(len(tl)),
+			})
 		}
 	}
 	if opts.MaxLen != 0 && len(prefix)+1 >= opts.MaxLen {
@@ -138,7 +147,7 @@ func expand(prefix dataset.Itemset, tids tidlist, exts []dataset.Item,
 		if len(rest) == 0 {
 			continue
 		}
-		expand(append(append(dataset.Itemset{}, prefix...), c.item), c.tids, rest, lists, minCount, opts, st, tally, out)
+		expand(append(append(dataset.Itemset{}, prefix...), c.item), c.tids, rest, lists, minCount, opts, st, tally, dec, out)
 	}
 }
 

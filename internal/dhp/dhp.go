@@ -120,15 +120,25 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	}
 
 	// Pass 2 candidate generation: a pair of frequent items becomes a
-	// candidate only if (a) the OSSM bound admits it and (b) its hash
-	// bucket could be frequent.
+	// candidate only if (a) the OSSM bound admits it — decided for the
+	// whole generation at once by the pair-specialized batch kernel — and
+	// (b) its hash bucket could be frequent.
 	passStart = time.Now()
 	stats2 := mining.PassStats{K: 2, Generated: len(f1) * (len(f1) - 1) / 2}
+	items := make([]dataset.Item, len(f1))
+	for i, c := range f1 {
+		items[i] = c.Items[0]
+	}
+	kd := mining.KernelDeltaFor(opts.Pruner)
+	dec := core.AdmitPairsAmong(opts.Pruner, items, nil)
 	var cands []*mining.Candidate
-	for i := 0; i < len(f1); i++ {
-		for j := i + 1; j < len(f1); j++ {
-			a, b := f1[i].Items[0], f1[j].Items[0]
-			if !core.AdmitPair(opts.Pruner, a, b) {
+	idx := 0
+	for i := 0; i < len(items); i++ {
+		for j := i + 1; j < len(items); j++ {
+			a, b := items[i], items[j]
+			ok := dec[idx]
+			idx++
+			if !ok {
 				stats2.Pruned++
 				continue
 			}
@@ -140,6 +150,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 			cands = append(cands, &mining.Candidate{Items: dataset.Itemset{a, b}})
 		}
 	}
+	kd.Note(&stats2)
 	stats2.Counted = len(cands)
 	stats2.TxScanned = d.NumTx()
 
@@ -171,13 +182,16 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	// the benefit is marginal, as the DHP paper itself reports, so later
 	// passes rely on generation + the OSSM alone).
 	prev := f2
+	var decBuf []bool
 	for k := 3; len(prev) >= 2 && (opts.MaxLen == 0 || k <= opts.MaxLen); k++ {
 		passStart = time.Now()
 		gen := generate(prev)
 		stats := mining.PassStats{K: k, Generated: len(gen)}
+		kdk := mining.KernelDeltaFor(opts.Pruner)
+		decBuf = core.AdmitBatch(opts.Pruner, gen, decBuf)
 		var kc []*mining.Candidate
-		for _, items := range gen {
-			if !core.Admit(opts.Pruner, items) {
+		for gi, items := range gen {
+			if !decBuf[gi] {
 				stats.Pruned++
 				continue
 			}
@@ -188,6 +202,7 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 			}
 			kc = append(kc, &mining.Candidate{Items: items})
 		}
+		kdk.Note(&stats)
 		stats.Counted = len(kc)
 		if len(kc) == 0 {
 			break
@@ -256,7 +271,7 @@ func trimPass(d *dataset.Dataset, cands []*mining.Candidate, frequentItem []bool
 			}
 		}()
 		sh := &shards[w]
-		sh.state = tree.NewState()
+		sh.state = tree.AcquireState()
 		sh.h3 = make([]int64, buckets)
 		participation := make(map[dataset.Item]int)
 		for i := lo; i < hi; i++ {
@@ -309,6 +324,8 @@ func trimPass(d *dataset.Dataset, cands []*mining.Candidate, frequentItem []bool
 			continue
 		}
 		tree.Merge(cands, sh.state)
+		mining.ReleaseState(sh.state)
+		sh.state = nil
 		for b, c := range sh.h3 {
 			out.h3[b] += c
 		}

@@ -132,13 +132,18 @@ func mineRoots(items []dataset.Item, tids map[dataset.Item]tidlist, minCount int
 		x := items[idx]
 		st := &perStats[idx]
 		lt := &perTally[idx]
+		sc := &extScratch{}
 		st.Classes++
 		// Level 2 seeds the class with diffsets against the level-1
-		// tidsets: d(xy) = t(x) − t(y), sup(xy) = sup(x) − |d(xy)|.
+		// tidsets: d(xy) = t(x) − t(y), sup(xy) = sup(x) − |d(xy)|. The
+		// whole sibling frontier is decided by one shared-prefix kernel
+		// call before any diffset is materialized.
+		ys := items[idx+1:]
+		sc.dec = core.AdmitExtensions(opts.Pruner, dataset.Itemset{x}, ys, sc.dec)
 		var class []member
-		for _, y := range items[idx+1:] {
+		for e, y := range ys {
 			st.Extensions++
-			if !core.AdmitPair(opts.Pruner, x, y) {
+			if !sc.dec[e] {
 				st.PrunedByOSSM++
 				lt.Note(2, 1, 1, 0)
 				continue
@@ -155,7 +160,7 @@ func mineRoots(items []dataset.Item, tids map[dataset.Item]tidlist, minCount int
 		for _, m := range class {
 			out = append(out, mining.Counted{Items: dataset.Itemset{x, m.item}, Count: m.sup})
 		}
-		expand(dataset.Itemset{x}, class, minCount, opts, st, lt, &out)
+		expand(dataset.Itemset{x}, class, minCount, opts, st, lt, sc, &out)
 		perRoot[idx] = out
 		if opts.Instrument != nil {
 			opts.Instrument.ObserveWorker(time.Since(start))
@@ -170,9 +175,24 @@ func mineRoots(items []dataset.Item, tids map[dataset.Item]tidlist, minCount int
 	return found
 }
 
+// extScratch is per-worker reusable kernel scratch: the decision buffer
+// and extension list of the current sibling frontier. Decisions are fully
+// consumed before the search recurses, so reuse across levels is safe.
+type extScratch struct {
+	dec  []bool
+	exts []dataset.Item
+}
+
+func (sc *extScratch) extsFor(n int) []dataset.Item {
+	if cap(sc.exts) < n {
+		sc.exts = make([]dataset.Item, n)
+	}
+	return sc.exts[:n]
+}
+
 // expand recurses into each member's subclass:
 // d(P·Xi·Xj) = d(P·Xj) − d(P·Xi), sup = sup(P·Xi) − |d|.
-func expand(prefix dataset.Itemset, class []member, minCount int64, opts Options, st *Stats, lt *mining.LevelTally, out *[]mining.Counted) {
+func expand(prefix dataset.Itemset, class []member, minCount int64, opts Options, st *Stats, lt *mining.LevelTally, sc *extScratch, out *[]mining.Counted) {
 	if opts.MaxLen != 0 && len(prefix)+2 > opts.MaxLen {
 		return
 	}
@@ -182,17 +202,26 @@ func expand(prefix dataset.Itemset, class []member, minCount int64, opts Options
 		}
 		st.Classes++
 		newPrefix := append(append(dataset.Itemset{}, prefix...), mi.item)
+		rest := class[i+1:]
+		exts := sc.extsFor(len(rest))
+		for e, mj := range rest {
+			exts[e] = mj.item
+		}
+		// One shared-prefix kernel call decides the whole sibling
+		// frontier; candidate itemsets are materialized only for members
+		// that survive into the result.
+		sc.dec = core.AdmitExtensions(opts.Pruner, newPrefix, exts, sc.dec)
+		k := len(newPrefix) + 1
 		var sub []member
-		for _, mj := range class[i+1:] {
+		for e, mj := range rest {
 			st.Extensions++
-			cand := append(append(dataset.Itemset{}, newPrefix...), mj.item)
-			if !core.Admit(opts.Pruner, cand) {
+			if !sc.dec[e] {
 				st.PrunedByOSSM++
-				lt.Note(len(cand), 1, 1, 0)
+				lt.Note(k, 1, 1, 0)
 				continue
 			}
 			st.Diffsets++
-			lt.Note(len(cand), 1, 0, 1)
+			lt.Note(k, 1, 0, 1)
 			diff := minus(mj.diff, mi.diff)
 			sup := mi.sup - int64(len(diff))
 			if sup >= minCount {
@@ -206,7 +235,7 @@ func expand(prefix dataset.Itemset, class []member, minCount int64, opts Options
 			})
 		}
 		if len(sub) > 1 {
-			expand(newPrefix, sub, minCount, opts, st, lt, out)
+			expand(newPrefix, sub, minCount, opts, st, lt, sc, out)
 		}
 	}
 }

@@ -47,7 +47,7 @@ func countSharded(txs []dataset.Itemset, cands []*Candidate, size, workers int, 
 		if instr != nil {
 			start = time.Now()
 		}
-		st := tree.NewState()
+		st := tree.AcquireState()
 		states[w] = st
 		for i := lo; i < hi; i++ {
 			tree.CountTransactionInto(st, txs[i], i)
@@ -59,6 +59,7 @@ func countSharded(txs []dataset.Itemset, cands []*Candidate, size, workers int, 
 	for _, st := range states {
 		if st != nil {
 			tree.Merge(cands, st)
+			ReleaseState(st)
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package mining
 
 import (
+	"sync"
+
 	"github.com/ossm-mining/ossm/internal/dataset"
 )
 
@@ -139,6 +141,39 @@ func (t *HashTree) NewState() *CountState {
 		st.lastTID[i] = -1
 	}
 	return st
+}
+
+// statePool recycles CountState scratch across passes (and across runs):
+// a multi-pass miner would otherwise allocate workers × numCands counting
+// slots on every pass.
+var statePool = sync.Pool{New: func() any { return new(CountState) }}
+
+// AcquireState returns counting state sized to the tree, reusing pooled
+// scratch when available. Pair with ReleaseState once the state has been
+// merged.
+func (t *HashTree) AcquireState() *CountState {
+	st := statePool.Get().(*CountState)
+	if cap(st.counts) < t.numCands {
+		st.counts = make([]int64, t.numCands)
+		st.lastTID = make([]int, t.numCands)
+	}
+	st.counts = st.counts[:t.numCands]
+	st.lastTID = st.lastTID[:t.numCands]
+	for i := range st.counts {
+		st.counts[i] = 0
+	}
+	for i := range st.lastTID {
+		st.lastTID[i] = -1
+	}
+	return st
+}
+
+// ReleaseState returns st to the scratch pool. The caller must not use it
+// afterwards.
+func ReleaseState(st *CountState) {
+	if st != nil {
+		statePool.Put(st)
+	}
 }
 
 // CountTransactionInto is CountTransaction accumulating into st instead

@@ -139,16 +139,33 @@ func Mine(d *dataset.Dataset, minCount int64, opts Options) (*mining.Result, err
 	}
 
 	// Phase 2: prune with the combined per-partition OSSM and the global
-	// OSSM, then count exactly against global tidlists.
+	// OSSM, then count exactly against global tidlists. Each filter sees
+	// its whole candidate set in one batch kernel call — the global OSSM
+	// only the cross-pruner's survivors, preserving the per-filter Checked
+	// accounting of the sequential loop.
 	var tally mining.LevelTally
-	var toCount []dataset.Itemset
+	candList := make([]dataset.Itemset, 0, len(candidates))
 	for _, x := range candidates {
-		if crossPruner != nil && !crossPruner.Allow(x) {
+		candList = append(candList, x)
+	}
+	var crossFilter core.Filter
+	if crossPruner != nil {
+		crossFilter = crossPruner
+	}
+	crossDec := core.AdmitBatch(crossFilter, candList, nil)
+	afterCross := make([]dataset.Itemset, 0, len(candList))
+	for ci, x := range candList {
+		if !crossDec[ci] {
 			extra.CrossPruned++
 			tally.Note(len(x), 1, 1, 0)
 			continue
 		}
-		if core.Admit(opts.Pruner, x) {
+		afterCross = append(afterCross, x)
+	}
+	globalDec := core.AdmitBatch(opts.Pruner, afterCross, nil)
+	var toCount []dataset.Itemset
+	for ci, x := range afterCross {
+		if globalDec[ci] {
 			toCount = append(toCount, x)
 			tally.Note(len(x), 1, 0, 1)
 		} else {
@@ -314,12 +331,16 @@ func mineVertical(d *dataset.Dataset, p dataset.Page, localMin int64, maxLen int
 	for _, n := range level {
 		out = append(out, n.items)
 	}
+	var decBuf []bool
 	for k := 2; len(level) >= 2 && (maxLen == 0 || k <= maxLen); k++ {
 		known := make(map[string]bool, len(level))
 		for _, n := range level {
 			known[n.items.Key()] = true
 		}
-		var next []node
+		// Generate the level's candidates first, decide them all with one
+		// batch kernel call, then intersect only the survivors.
+		var gen []dataset.Itemset
+		var genA, genB []int
 		for i := 0; i < len(level); i++ {
 			a := level[i]
 			for j := i + 1; j < len(level); j++ {
@@ -331,13 +352,20 @@ func mineVertical(d *dataset.Dataset, p dataset.Page, localMin int64, maxLen int
 				if !hasAllSubsets(cand, known) {
 					continue
 				}
-				if !core.Admit(pruner, cand) {
-					continue
-				}
-				tl := intersect(a.tids, b.tids)
-				if int64(len(tl)) >= localMin {
-					next = append(next, node{items: cand, tids: tl})
-				}
+				gen = append(gen, cand)
+				genA = append(genA, i)
+				genB = append(genB, j)
+			}
+		}
+		decBuf = core.AdmitBatch(pruner, gen, decBuf)
+		var next []node
+		for gi, cand := range gen {
+			if !decBuf[gi] {
+				continue
+			}
+			tl := intersect(level[genA[gi]].tids, level[genB[gi]].tids)
+			if int64(len(tl)) >= localMin {
+				next = append(next, node{items: cand, tids: tl})
 			}
 		}
 		sortNodes(next)

@@ -33,6 +33,7 @@ type obsState struct {
 	mineRuns     *obs.CounterVec   // ossm_mine_runs_total{miner}
 	minePasses   *obs.CounterVec   // ossm_mine_passes_total{miner}
 	mineCand     *obs.CounterVec   // ossm_mine_candidates_total{stage}
+	mineKernel   *obs.CounterVec   // ossm_mine_kernel_total{outcome}
 	mineWaiting  atomic.Int64      // requests parked on the admission semaphore
 }
 
@@ -60,6 +61,8 @@ func (s *Server) initObs() {
 		"Counting passes executed by completed mining runs, by miner.", "miner")
 	o.mineCand = r.CounterVec("ossm_mine_candidates_total",
 		"Cumulative candidate accounting of completed mining runs, by stage (generated, pruned, counted).", "stage")
+	o.mineKernel = r.CounterVec("ossm_mine_kernel_total",
+		"Bound-kernel shortcut decisions of completed mining runs, by outcome (early_exit, abandoned).", "outcome")
 
 	r.CounterFunc("ossm_cache_hits_total", "Bound-cache hits.",
 		func() float64 { return float64(s.cache.hits.Load()) })

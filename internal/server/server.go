@@ -6,6 +6,9 @@
 // The hot path is POST /v1/ubsup: canonicalize the itemset, consult the
 // LRU bound cache (keyed on index name, index version and canonical
 // itemset), and fall back to the index's segment min-scan on a miss.
+// Batch requests probe the cache per itemset and then answer every miss
+// together with the row-amortized batch kernel, so each segment-support
+// row is loaded once per chunk rather than once per itemset.
 // Swapping an index — e.g. with a streaming Appender snapshot — bumps its
 // registry version, so every cached bound for the old index becomes
 // unreachable at once; stale answers are structurally impossible.
@@ -115,6 +118,10 @@ type Server struct {
 	mineGenerated telemetry.Counter
 	minePruned    telemetry.Counter
 	mineCounted   telemetry.Counter
+	// Bound-kernel shortcut decisions (early exits and early abandons)
+	// folded from the same reports.
+	mineEarlyExit telemetry.Counter
+	mineAbandoned telemetry.Counter
 }
 
 // New returns a Server over an empty registry.
@@ -199,6 +206,78 @@ func (s *Server) bound(ctx context.Context, ix *ossm.Index, name string, version
 		s.cache.put(key, b)
 	}
 	return BoundResult{Itemset: set, Bound: b}, nil
+}
+
+// boundBatch answers a whole ubsup batch. Single-itemset requests keep
+// the scalar path (and its per-request spans); larger batches
+// canonicalize and validate every itemset up front, probe the cache
+// under one span, and evaluate all misses together with the
+// row-amortized batch kernel, so each segment-support row is loaded
+// once per chunk rather than once per itemset.
+func (s *Server) boundBatch(ctx context.Context, ix *ossm.Index, name string, version uint64, batch [][]ossm.Item, noCache bool) ([]BoundResult, error) {
+	if len(batch) == 1 {
+		res, err := s.bound(ctx, ix, name, version, batch[0], noCache)
+		if err != nil {
+			return nil, err
+		}
+		return []BoundResult{res}, nil
+	}
+	sets := make([]ossm.Itemset, len(batch))
+	for i, items := range batch {
+		set := ossm.NewItemset(items...)
+		if len(set) == 0 {
+			return nil, fmt.Errorf("%w: the empty itemset has no OSSM bound", errBadItemset)
+		}
+		if max := set[len(set)-1]; int(max) >= ix.NumItems() {
+			return nil, fmt.Errorf("%w: item %d outside the index domain of %d items", errBadItemset, max, ix.NumItems())
+		}
+		sets[i] = set
+	}
+	s.queries.Add(int64(len(sets)))
+	results := make([]BoundResult, len(sets))
+	var missIdx []int
+	var keys [][]byte
+	if !noCache {
+		_, probe := s.obs.tracer.Start(ctx, "cache-probe")
+		for i, set := range sets {
+			key := appendCacheKey(make([]byte, 0, 64), name, version, set)
+			if b, ok := s.cache.get(key); ok {
+				results[i] = BoundResult{Itemset: set, Bound: b, Cached: true}
+				continue
+			}
+			missIdx = append(missIdx, i)
+			keys = append(keys, key)
+		}
+		probe.SetAttr("hits", len(sets)-len(missIdx))
+		probe.End()
+	} else {
+		missIdx = make([]int, len(sets))
+		for i := range missIdx {
+			missIdx[i] = i
+		}
+	}
+	if len(missIdx) > 0 {
+		missSets := make([]ossm.Itemset, len(missIdx))
+		for mi, i := range missIdx {
+			missSets[mi] = sets[i]
+		}
+		bounds := make([]int64, len(missSets))
+		_, scan := s.obs.tracer.Start(ctx, "ubsup-batch")
+		start := time.Now()
+		conc.ForChunks(s.workers, len(missSets), func(_, lo, hi int) {
+			ix.UpperBoundBatch(missSets[lo:hi], bounds[lo:hi])
+		})
+		s.queryWall.Observe(time.Since(start))
+		scan.SetAttr("sets", len(missSets))
+		scan.End()
+		for mi, i := range missIdx {
+			results[i] = BoundResult{Itemset: sets[i], Bound: bounds[mi]}
+			if !noCache {
+				s.cache.put(keys[mi], bounds[mi])
+			}
+		}
+	}
+	return results, nil
 }
 
 // Handler returns the service's HTTP routing table.
@@ -313,23 +392,10 @@ func (s *Server) handleUbsup(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusNotFound, "unknown index %q", req.Index)
 		return
 	}
-	// Large batches opt their per-item work out of span creation: the
-	// root span still times the request, and thousands of identical
-	// children would only churn the trace ring.
-	spanCtx := r.Context()
-	if len(batch) > 16 {
-		spanCtx = obs.Detach(spanCtx)
-	}
-	results := make([]BoundResult, len(batch))
-	errs := make([]error, len(batch))
-	conc.For(s.workers, len(batch), func(i int) {
-		results[i], errs[i] = s.bound(spanCtx, ix, req.Index, version, batch[i], req.NoCache)
-	})
-	for _, err := range errs {
-		if err != nil {
-			s.writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
+	results, err := s.boundBatch(r.Context(), ix, req.Index, version, batch, req.NoCache)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		return
 	}
 	if s.expired(w, r) {
 		return
@@ -520,6 +586,10 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		s.obs.mineCand.With("generated").Add(rep.Generated)
 		s.obs.mineCand.With("pruned").Add(rep.PrunedOSSM + rep.PrunedHash)
 		s.obs.mineCand.With("counted").Add(rep.Counted)
+		s.mineEarlyExit.Add(rep.KernelEarlyExit)
+		s.mineAbandoned.Add(rep.KernelAbandoned)
+		s.obs.mineKernel.With("early_exit").Add(rep.KernelEarlyExit)
+		s.obs.mineKernel.With("abandoned").Add(rep.KernelAbandoned)
 	}
 	run.SetAttr("outcome", "ok")
 	run.SetAttr("frequent", out.res.NumFrequent())
@@ -576,6 +646,8 @@ type Metrics struct {
 	MineGenerated int64         `json:"mine_generated"`
 	MinePruned    int64         `json:"mine_pruned"`
 	MineCounted   int64         `json:"mine_counted"`
+	MineEarlyExit int64         `json:"mine_early_exit"`
+	MineAbandoned int64         `json:"mine_abandoned"`
 	Workers       int           `json:"workers"`
 	MineSlots     int           `json:"mine_slots"`
 	Cache         CacheStats    `json:"cache"`
@@ -596,6 +668,8 @@ func (s *Server) MetricsSnapshot() Metrics {
 		MineGenerated: s.mineGenerated.Load(),
 		MinePruned:    s.minePruned.Load(),
 		MineCounted:   s.mineCounted.Load(),
+		MineEarlyExit: s.mineEarlyExit.Load(),
+		MineAbandoned: s.mineAbandoned.Load(),
 		Workers:       s.workers,
 		MineSlots:     s.cfg.MineConcurrency,
 		Cache:         s.cache.stats(),

@@ -17,7 +17,12 @@ type PassReport struct {
 	Counted    int64         `json:"counted"`
 	Frequent   int64         `json:"frequent"`
 	TxScanned  int64         `json:"tx_scanned,omitempty"`
-	Wall       time.Duration `json:"wall_ns"`
+	// EarlyExit / Abandoned are the decision-kernel shortcut counts of
+	// this pass: OSSM checks settled (admitted resp. rejected) before the
+	// kernel scanned every segment.
+	EarlyExit int64         `json:"kernel_early_exit,omitempty"`
+	Abandoned int64         `json:"kernel_abandoned,omitempty"`
+	Wall      time.Duration `json:"wall_ns"`
 }
 
 // PruneRate is the fraction of generated candidates discarded before
@@ -47,6 +52,12 @@ type Report struct {
 	Counted    int64 `json:"counted"`
 	Frequent   int64 `json:"frequent"`
 	TxScanned  int64 `json:"tx_scanned"`
+
+	// KernelEarlyExit / KernelAbandoned total the decision-kernel
+	// shortcuts of the run (SetKernelTotals when the run reported
+	// authoritative totals, otherwise the per-pass sums).
+	KernelEarlyExit int64 `json:"kernel_early_exit,omitempty"`
+	KernelAbandoned int64 `json:"kernel_abandoned,omitempty"`
 
 	// Pool is the resolved worker-pool size; WorkerBusy the summed busy
 	// time of fanned-out counting work; Utilization = WorkerBusy /
@@ -78,6 +89,10 @@ func (r *Report) Print(w io.Writer) {
 	fmt.Fprintf(w, "telemetry: %d generated, %d pruned by OSSM, %d pruned by hash, %d counted (prune rate %.1f%%)\n",
 		r.Generated, r.PrunedOSSM, r.PrunedHash, r.Counted, 100*r.PruneRate())
 	fmt.Fprintf(w, "           %d transactions scanned, elapsed %v\n", r.TxScanned, r.Elapsed.Round(time.Microsecond))
+	if r.KernelEarlyExit > 0 || r.KernelAbandoned > 0 {
+		fmt.Fprintf(w, "           kernel shortcuts: %d early-exit, %d abandoned\n",
+			r.KernelEarlyExit, r.KernelAbandoned)
+	}
 	if r.Pool > 0 {
 		fmt.Fprintf(w, "           pool %d workers, busy %v, utilization %.1f%%\n",
 			r.Pool, r.WorkerBusy.Round(time.Microsecond), 100*r.Utilization)

@@ -83,7 +83,12 @@ type PassCounters struct {
 	Counted    Counter // candidates whose support was actually counted
 	Frequent   Counter // candidates found frequent
 	TxScanned  Counter // transactions scanned during this pass
-	Wall       Timer   // wall time attributed to this pass
+	// EarlyExit / Abandoned break down the decision-mode bound kernel's
+	// shortcuts this pass: candidates admitted (resp. rejected) before the
+	// kernel scanned every segment of the OSSM.
+	EarlyExit Counter
+	Abandoned Counter
+	Wall      Timer // wall time attributed to this pass
 }
 
 // report snapshots the pass counters.
@@ -96,6 +101,8 @@ func (p *PassCounters) report() PassReport {
 		Counted:    p.Counted.Load(),
 		Frequent:   p.Frequent.Load(),
 		TxScanned:  p.TxScanned.Load(),
+		EarlyExit:  p.EarlyExit.Load(),
+		Abandoned:  p.Abandoned.Load(),
 		Wall:       p.Wall.Total(),
 	}
 }
@@ -158,6 +165,14 @@ type Collector struct {
 	txScanned  Counter
 	workerBusy Timer
 	pool       atomic.Int64
+
+	// Authoritative run-level kernel totals (SetKernelTotals). When set,
+	// Snapshot reports them instead of summing the per-pass kernel
+	// counters, so runs that account kernel outcomes both per pass and at
+	// run end never double count.
+	kernelEarlyExit atomic.Int64
+	kernelAbandoned atomic.Int64
+	kernelSet       atomic.Bool
 
 	sink   atomic.Pointer[func(Event)]
 	events Counter
@@ -252,6 +267,8 @@ func (c *Collector) RecordPass(algorithm string, r PassReport) {
 	p.Counted.Add(r.Counted)
 	p.Frequent.Add(r.Frequent)
 	p.TxScanned.Add(r.TxScanned)
+	p.EarlyExit.Add(r.EarlyExit)
+	p.Abandoned.Add(r.Abandoned)
 	if r.Wall > 0 {
 		p.Wall.Observe(r.Wall)
 	}
@@ -280,6 +297,21 @@ func (c *Collector) txScannedCounter() *Counter {
 		return nil
 	}
 	return &c.txScanned
+}
+
+// SetKernelTotals records the authoritative run-level totals of the
+// decision-kernel shortcuts (candidates admitted early / abandoned
+// early), typically read off the pruner's counters when the run
+// finishes. Once set, Snapshot reports these instead of summing per-pass
+// kernel counters — the pruner's counters already cover every pass, so
+// summing both would double count. The last call wins.
+func (c *Collector) SetKernelTotals(earlyExit, abandoned int64) {
+	if c == nil {
+		return
+	}
+	c.kernelEarlyExit.Store(earlyExit)
+	c.kernelAbandoned.Store(abandoned)
+	c.kernelSet.Store(true)
 }
 
 // ObserveWorker records one worker's busy interval in a fanned-out
@@ -330,6 +362,7 @@ func (c *Collector) Snapshot() *Report {
 		WorkerBusy: c.workerBusy.Total(),
 		Events:     c.events.Load(),
 	}
+	var passEarlyExit, passAbandoned int64
 	for _, p := range passes {
 		pr := p.report()
 		r.Passes = append(r.Passes, pr)
@@ -339,6 +372,15 @@ func (c *Collector) Snapshot() *Report {
 		r.Counted += pr.Counted
 		r.Frequent += pr.Frequent
 		r.TxScanned += pr.TxScanned
+		passEarlyExit += pr.EarlyExit
+		passAbandoned += pr.Abandoned
+	}
+	if c.kernelSet.Load() {
+		r.KernelEarlyExit = c.kernelEarlyExit.Load()
+		r.KernelAbandoned = c.kernelAbandoned.Load()
+	} else {
+		r.KernelEarlyExit = passEarlyExit
+		r.KernelAbandoned = passAbandoned
 	}
 	sortPasses(r.Passes)
 	if r.Pool > 0 && elapsed > 0 {

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke cover bench bench-kernels examples experiments clean
+.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke loadgen-smoke cover bench bench-kernels bench-loadgen examples experiments clean
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet race fuzz-smoke obs-smoke cover
+test: vet race fuzz-smoke obs-smoke loadgen-smoke cover
 	$(GO) test ./...
 
 # End-to-end sweep of the observability surface through the real CLI:
@@ -18,12 +18,17 @@ test: vet race fuzz-smoke obs-smoke cover
 obs-smoke:
 	$(GO) test -run 'TestObsSmoke|TestObservabilityEndToEnd|TestPrometheusGolden' ./cmd/ossm-serve ./internal/server
 
+# Short load-generator run against an in-process 2-shard fleet: nonzero
+# throughput, zero errors, parseable report. Part of the default gate.
+loadgen-smoke:
+	$(GO) test -run 'TestLoadgen' -count=1 ./cmd/ossm-loadgen
+
 # Coverage floor for the packages the serving path leans on: the facade
 # (bound queries, persistence, recipes), the HTTP server and the
 # observability layer. Fails if any drops below $(COVER_FLOOR)%.
 COVER_FLOOR ?= 75
 cover:
-	@for pkg in . ./internal/server ./internal/obs; do \
+	@for pkg in . ./internal/server ./internal/obs ./internal/shard; do \
 		line=$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*%' | head -1); \
 		pct=$$(echo $$line | sed 's/coverage: //; s/%//'); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg"; exit 1; fi; \
@@ -63,6 +68,15 @@ bench:
 bench-kernels:
 	$(GO) run ./cmd/ossm-bench -json kernels > BENCH_5.json
 	@cat BENCH_5.json
+
+# Sharded scatter-gather serving sweep (DESIGN.md §8): p50/p95/p99 and
+# throughput for 1/2/4/8 shards with an emulated remote-shard scan time,
+# so the overlap is measurable regardless of local core count. Emits
+# BENCH_6.json.
+bench-loadgen:
+	$(GO) run ./cmd/ossm-loadgen -shards 1,2,4,8 -duration 3s -concurrency 4 \
+		-batch 16 -tx 20000 -segments 256 -shard-delay 4ms -out BENCH_6.json
+	@cat BENCH_6.json
 
 examples:
 	$(GO) run ./examples/quickstart

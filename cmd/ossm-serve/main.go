@@ -77,6 +77,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		logLevel = fs.String("log-level", "info", "structured-log threshold: debug, info, warn or error")
 		traceBuf = fs.Int("trace-buffer", 2048, "finished-span ring capacity behind GET /v1/traces (negative disables tracing)")
 		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		shards   = fs.Int("shards", 0, "segment-range shards per index, served scatter-gather (0 or 1 = unsharded)")
+		hedge    = fs.Duration("hedge-after", 0, "fleet hedge cutoff: duplicate a shard call past this latency (0 = adaptive p95, negative disables; needs -shards > 1)")
 	)
 	fs.Var(&indexes, "index", "name=path of a saved OSSM index (repeatable)")
 	fs.Var(&datasets, "data", "name=path of a dataset to attach for /v1/mine (repeatable)")
@@ -106,6 +108,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		Logger:          logger,
 		TraceBuffer:     *traceBuf,
 		EnablePprof:     *pprofOn,
+		Shards:          *shards,
+		HedgeAfter:      *hedge,
 	})
 	if err := loadEntries(srv, indexes, datasets, *buildSeg, stdout); err != nil {
 		logger.Error("startup failed", slog.String("error", err.Error()))

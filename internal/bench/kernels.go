@@ -43,9 +43,12 @@ type KernelsResult struct {
 // KernelCands is the generation size each measurement decides per op.
 const KernelCands = 1024
 
-// kernelSegDefaults spans one block (16), a typical serving index (256)
-// and a deep segmentation (4096).
-var kernelSegDefaults = []int{16, 256, 4096}
+// kernelSegDefaults spans one block (16), the small-lane dispatch
+// boundary (64, the last size served per-candidate) and its first
+// blocked size (128), a typical serving index (256) and a deep
+// segmentation (4096) — the 64/128 pair pins the batch front-end's
+// size-dispatch crossover on both sides.
+var kernelSegDefaults = []int{16, 64, 128, 256, 4096}
 
 // kernelMap builds a skewed synthetic support matrix: item i is drawn
 // from [0, 200≫(i mod 8)), a power-ish popularity law that disperses

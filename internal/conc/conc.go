@@ -58,6 +58,31 @@ func For(workers, n int, f func(i int)) {
 	wg.Wait()
 }
 
+// Scatter runs f(i) for i in [0, n) on one goroutine per task — n wide,
+// regardless of NumCPU — and waits for all of them. It is the fan-out
+// shape of scatter-gather serving: each task may spend its time waiting
+// (a remote shard's round trip, a hedge timer) rather than computing, so
+// capping the width at NumCPU would serialize the waiting. For CPU-bound
+// loops use For or ForChunks, which cap at the worker knob.
+func Scatter(n int, f func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		f(0)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			f(i)
+		}(i)
+	}
+	wg.Wait()
+}
+
 // ForChunks partitions [0, n) into at most workers contiguous chunks and
 // runs f(w, lo, hi) concurrently, one call per chunk, where w is a dense
 // chunk index in [0, workers). Callers that need per-worker state

@@ -54,6 +54,18 @@ func (s *BatchStats) add(o BatchStats) {
 // promptly, large enough that compaction overhead stays negligible.
 const blockSegs = 16
 
+// batchCrossoverSegs is the segment count below which the batch kernels
+// dispatch to the per-candidate decision kernels instead of the blocked
+// row-major loop. Under one block the row loop pays its scratch setup
+// and alive-list bookkeeping without ever compacting, which BENCH_5.json
+// measured as a ~0.97x regression against the scalar bound at 16
+// segments, while the column-major decision kernels win there (pairs
+// 2.4x). The value was measured with `make bench-kernels` (see the
+// 16/64/128-segment rows of BENCH_5.json): the blocked loop pulls
+// ahead once a generation spans several blocks and candidates start
+// dying at block boundaries.
+const batchCrossoverSegs = 4 * blockSegs
+
 // BoundAtLeast reports whether ubsup(x) ≥ minsup, returning exactly
 // UpperBound(x) >= minsup while scanning only as many segments as the
 // decision requires. Like UpperBound it panics on the empty itemset.
@@ -144,6 +156,88 @@ func (m *Map) boundPairAtLeast(a, b dataset.Item, minsup int64) (bool, boundOutc
 	return acc >= minsup, boundFull
 }
 
+// boundTripleAtLeast is boundPairAtLeast for the 3-itemset {a, b, c}:
+// direct column and suffix slices, both shortcuts, no generic inner
+// loops. It exists for the small-segment dispatch path, where the
+// blocked batch loop cannot amortize its setup and the generic
+// boundAtLeast pays slice-header indirection per member.
+func (m *Map) boundTripleAtLeast(a, b, c dataset.Item, minsup int64) (bool, boundOutcome) {
+	ns := m.numSegs
+	colA := m.itemMajor[int(a)*ns : int(a)*ns+ns]
+	colB := m.itemMajor[int(b)*ns : int(b)*ns+ns]
+	colC := m.itemMajor[int(c)*ns : int(c)*ns+ns]
+	sufA := m.suffix[int(a)*(ns+1) : int(a)*(ns+1)+ns+1]
+	sufB := m.suffix[int(b)*(ns+1) : int(b)*(ns+1)+ns+1]
+	sufC := m.suffix[int(c)*(ns+1) : int(c)*(ns+1)+ns+1]
+	last := ns - 1
+	var acc int64
+	for s := 0; s < ns; s++ {
+		ca := colA[s]
+		if cb := colB[s]; cb < ca {
+			ca = cb
+		}
+		if cc := colC[s]; cc < ca {
+			ca = cc
+		}
+		acc += int64(ca)
+		if acc >= minsup {
+			if s < last {
+				return true, boundEarlyExit
+			}
+			return true, boundFull
+		}
+		rem := sufA[s+1]
+		if r := sufB[s+1]; r < rem {
+			rem = r
+		}
+		if r := sufC[s+1]; r < rem {
+			rem = r
+		}
+		if acc+rem < minsup {
+			if s < last {
+				return false, boundAbandoned
+			}
+			return false, boundFull
+		}
+	}
+	return acc >= minsup, boundFull
+}
+
+// note folds one decision-kernel outcome into the batch accounting.
+func (s *BatchStats) note(o boundOutcome) {
+	switch o {
+	case boundEarlyExit:
+		s.EarlyExit++
+	case boundAbandoned:
+		s.Abandoned++
+	}
+}
+
+// boundBatchSmall is the small-segment lane of the batch front-end: one
+// width-specialized decision-kernel call per candidate, no scratch, no
+// blocking. Decisions and shortcut accounting match the blocked loop's
+// semantics exactly.
+func (m *Map) boundBatchSmall(cands []dataset.Itemset, minsup int64, decisions []bool) BatchStats {
+	var st BatchStats
+	for ci, x := range cands {
+		var ok bool
+		var o boundOutcome
+		switch len(x) {
+		case 1:
+			ok, o = m.totals[x[0]] >= minsup, boundFull
+		case 2:
+			ok, o = m.boundPairAtLeast(x[0], x[1], minsup)
+		case 3:
+			ok, o = m.boundTripleAtLeast(x[0], x[1], x[2], minsup)
+		default:
+			ok, o = m.boundAtLeast(x, minsup)
+		}
+		decisions[ci] = ok
+		st.note(o)
+	}
+	return st
+}
+
 // batchScratch is the pooled per-call working set of the batch kernels.
 type batchScratch struct {
 	acc     []int64
@@ -217,6 +311,12 @@ func (m *Map) BoundBatch(cands []dataset.Itemset, minsup int64, decisions []bool
 		if len(x) != uni {
 			uni = -1
 		}
+	}
+	// Size dispatch: under the crossover the blocked row loop cannot
+	// amortize its setup (a 16-segment map is a single block), so the
+	// whole generation routes to the per-candidate decision kernels.
+	if m.numSegs <= batchCrossoverSegs {
+		return m.boundBatchSmall(cands, minsup, decisions)
 	}
 	switch uni {
 	case 1:
@@ -429,6 +529,15 @@ func (m *Map) UpperBoundBatch(cands []dataset.Itemset, out []int64) []int64 {
 		out = make([]int64, len(cands))
 	}
 	out = out[:len(cands)]
+	// Size dispatch, as in BoundBatch: under the crossover the
+	// column-major scalar scan beats the blocked row loop, and shard
+	// sub-maps (internal/shard) land here routinely.
+	if m.numSegs <= batchCrossoverSegs {
+		for ci, x := range cands {
+			out[ci] = m.UpperBound(x)
+		}
+		return out
+	}
 	sc := batchPool.Get().(*batchScratch)
 	defer batchPool.Put(sc)
 	alive := sc.aliveFor(len(cands))
@@ -476,6 +585,18 @@ func (m *Map) BoundPairsAmong(items []dataset.Item, minsup int64, decisions []bo
 	}
 	if len(decisions) < numPairs {
 		panic("core: BoundPairsAmong needs one decision slot per pair")
+	}
+	if m.numSegs <= batchCrossoverSegs {
+		idx := 0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				ok, o := m.boundPairAtLeast(items[i], items[j], minsup)
+				decisions[idx] = ok
+				st.note(o)
+				idx++
+			}
+		}
+		return st
 	}
 	sc := batchPool.Get().(*batchScratch)
 	defer batchPool.Put(sc)

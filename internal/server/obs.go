@@ -35,6 +35,9 @@ type obsState struct {
 	mineCand     *obs.CounterVec   // ossm_mine_candidates_total{stage}
 	mineKernel   *obs.CounterVec   // ossm_mine_kernel_total{outcome}
 	mineWaiting  atomic.Int64      // requests parked on the admission semaphore
+
+	shardRequests *obs.CounterVec // ossm_shard_requests_total{shard,outcome}
+	shardHedges   *obs.CounterVec // ossm_shard_hedges_total{event}
 }
 
 // initObs builds the server's instruments and registers every scrape
@@ -63,6 +66,10 @@ func (s *Server) initObs() {
 		"Cumulative candidate accounting of completed mining runs, by stage (generated, pruned, counted).", "stage")
 	o.mineKernel = r.CounterVec("ossm_mine_kernel_total",
 		"Bound-kernel shortcut decisions of completed mining runs, by outcome (early_exit, abandoned).", "outcome")
+	o.shardRequests = r.CounterVec("ossm_shard_requests_total",
+		"Scatter-gather shard calls, by shard id and outcome (ok, error, overloaded).", "shard", "outcome")
+	o.shardHedges = r.CounterVec("ossm_shard_hedges_total",
+		"Hedged duplicate shard calls, by event (fired, won).", "event")
 
 	r.CounterFunc("ossm_cache_hits_total", "Bound-cache hits.",
 		func() float64 { return float64(s.cache.hits.Load()) })

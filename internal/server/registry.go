@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	ossm "github.com/ossm-mining/ossm"
+	"github.com/ossm-mining/ossm/internal/shard"
 )
 
 // Registry is the server's collection of named serving entries. Each
@@ -142,6 +143,16 @@ type IndexInfo struct {
 	Swaps      int64  `json:"swaps"`
 	HasDataset bool   `json:"has_dataset"`
 	HasIndex   bool   `json:"has_index"`
+
+	// Sharded-serving topology, present only when the server runs a
+	// scatter-gather fleet for this entry (Config.Shards > 1). Unsharded
+	// servers keep the original response shape: every field below is
+	// omitted from the JSON.
+	ShardCount      int          `json:"shard_count,omitempty"`
+	FleetGeneration uint64       `json:"fleet_generation,omitempty"`
+	HedgesFired     int64        `json:"hedges_fired,omitempty"`
+	HedgesWon       int64        `json:"hedges_won,omitempty"`
+	Shards          []shard.Info `json:"shards,omitempty"`
 }
 
 // Info lists every entry sorted by name.

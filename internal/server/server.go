@@ -27,11 +27,14 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
+	"sync"
 	"time"
 
 	ossm "github.com/ossm-mining/ossm"
 	"github.com/ossm-mining/ossm/internal/conc"
 	"github.com/ossm-mining/ossm/internal/obs"
+	"github.com/ossm-mining/ossm/internal/shard"
 	"github.com/ossm-mining/ossm/internal/telemetry"
 )
 
@@ -64,6 +67,18 @@ type Config struct {
 	TraceBuffer int
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// Shards splits every registered index into this many segment-range
+	// shards and serves /v1/ubsup and /v1/mine scatter-gather through an
+	// in-process fleet (internal/shard). 0 or 1 keeps the single-index
+	// paths. Answers are bit-identical either way — the OSSM bound is a
+	// sum over segments and supports are sums over transactions, so
+	// partition-and-merge is lossless.
+	Shards int
+	// HedgeAfter is the fleet's hedge cutoff: past this latency the
+	// coordinator fires a duplicate shard call and takes the first
+	// answer. 0 adapts to the observed p95; negative disables hedging.
+	// Only meaningful with Shards > 1.
+	HedgeAfter time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -98,6 +113,12 @@ type Server struct {
 	workers int           // resolved batch pool size
 	mineSem chan struct{} // admission semaphore for mining runs
 	start   time.Time
+
+	// Sharded serving (Config.Shards > 1): one scatter-gather fleet per
+	// registry entry, built lazily from the entry's current index and
+	// swapped (with a graceful drain) whenever the entry changes.
+	fleetsMu sync.Mutex
+	fleets   map[string]*fleetEntry
 
 	// obs holds the serving observability layer: tracer, Prometheus
 	// metrics registry and access logger (see obs.go).
@@ -134,6 +155,7 @@ func New(cfg Config) *Server {
 		workers: conc.Resolve(cfg.Workers),
 		mineSem: make(chan struct{}, cfg.MineConcurrency),
 		start:   time.Now(),
+		fleets:  make(map[string]*fleetEntry),
 	}
 	s.initObs()
 	return s
@@ -153,6 +175,106 @@ func (s *Server) AddDataset(name string, d *ossm.Dataset) error { return s.reg.A
 // every bound cached against the old index).
 func (s *Server) Swap(name string, ix *ossm.Index) error { return s.reg.Swap(name, ix) }
 
+// sharded reports whether this server fans queries over a shard fleet.
+func (s *Server) sharded() bool { return s.cfg.Shards > 1 }
+
+// fleetEntry tracks the fleet serving one registry entry. The identity
+// fields pin which (index, dataset) the current topology was built from,
+// so any registry change — AddIndex, AddDataset, Swap, or a
+// remove-and-re-add rollback — is detected on the next lookup and
+// answered with a graceful fleet swap, never a stale shard.
+type fleetEntry struct {
+	mu      sync.Mutex
+	fleet   *shard.Fleet
+	ix      *ossm.Index
+	hasData bool
+}
+
+// fleetFor returns the scatter-gather fleet serving the named entry,
+// building it on first use and swapping its topology (draining the old
+// one) whenever the entry's index or dataset changed since the last
+// call. It returns (nil, nil) on unsharded servers. Fleets are built
+// lazily on the query path rather than at registration, so loaders that
+// register through Registry() directly are sharded all the same.
+func (s *Server) fleetFor(name string, ix *ossm.Index, d *ossm.Dataset) (*shard.Fleet, error) {
+	if !s.sharded() || ix == nil {
+		return nil, nil
+	}
+	s.fleetsMu.Lock()
+	fe, ok := s.fleets[name]
+	if !ok {
+		fe = &fleetEntry{}
+		s.fleets[name] = fe
+	}
+	s.fleetsMu.Unlock()
+	fe.mu.Lock()
+	defer fe.mu.Unlock()
+	if fe.fleet != nil && fe.ix == ix && fe.hasData == (d != nil) {
+		return fe.fleet, nil
+	}
+	shards, err := shard.NewLocalShards(ix, d, s.cfg.Shards, 0)
+	if err != nil {
+		return nil, err
+	}
+	transports := shard.Transports(shards)
+	if fe.fleet == nil {
+		f, err := shard.NewFleet(shard.Config{
+			HedgeAfter:     s.cfg.HedgeAfter,
+			Tracer:         s.obs.tracer,
+			OnShardOutcome: s.noteShardOutcome,
+		}, transports)
+		if err != nil {
+			return nil, err
+		}
+		fe.fleet = f
+	} else if err := fe.fleet.Swap(transports); err != nil {
+		return nil, err
+	}
+	fe.ix, fe.hasData = ix, d != nil
+	return fe.fleet, nil
+}
+
+// noteShardOutcome is the fleet callback feeding the Prometheus shard
+// families.
+func (s *Server) noteShardOutcome(shardID int, outcome string) {
+	switch outcome {
+	case "hedge_fired":
+		s.obs.shardHedges.With("fired").Inc()
+	case "hedge_won":
+		s.obs.shardHedges.With("won").Inc()
+	default:
+		s.obs.shardRequests.With(strconv.Itoa(shardID), outcome).Inc()
+	}
+}
+
+// indexInfos augments the registry listing with each entry's fleet
+// topology on sharded servers; unsharded servers return the registry
+// rows untouched (the pre-sharding response shape).
+func (s *Server) indexInfos() []IndexInfo {
+	infos := s.reg.Info()
+	if !s.sharded() {
+		return infos
+	}
+	for i := range infos {
+		ix, _, ok := s.reg.Lookup(infos[i].Name)
+		if !ok {
+			continue
+		}
+		d, _ := s.reg.Dataset(infos[i].Name)
+		fleet, err := s.fleetFor(infos[i].Name, ix, d)
+		if err != nil || fleet == nil {
+			continue
+		}
+		st := fleet.Describe()
+		infos[i].ShardCount = len(st.Shards)
+		infos[i].FleetGeneration = st.Generation
+		infos[i].HedgesFired = st.HedgesFired
+		infos[i].HedgesWon = st.HedgesWon
+		infos[i].Shards = st.Shards
+	}
+	return infos
+}
+
 // BoundResult is one answered bound.
 type BoundResult struct {
 	Itemset ossm.Itemset `json:"itemset"`
@@ -171,10 +293,15 @@ func (s *Server) Bound(name string, items []ossm.Item, noCache bool) (BoundResul
 	if !ok {
 		return BoundResult{}, fmt.Errorf("unknown index %q", name)
 	}
-	return s.bound(context.Background(), ix, name, version, items, noCache)
+	d, _ := s.reg.Dataset(name)
+	fleet, err := s.fleetFor(name, ix, d)
+	if err != nil {
+		return BoundResult{}, err
+	}
+	return s.bound(context.Background(), ix, fleet, name, version, items, noCache)
 }
 
-func (s *Server) bound(ctx context.Context, ix *ossm.Index, name string, version uint64, items []ossm.Item, noCache bool) (BoundResult, error) {
+func (s *Server) bound(ctx context.Context, ix *ossm.Index, fleet *shard.Fleet, name string, version uint64, items []ossm.Item, noCache bool) (BoundResult, error) {
 	set := ossm.NewItemset(items...)
 	if len(set) == 0 {
 		return BoundResult{}, fmt.Errorf("%w: the empty itemset has no OSSM bound", errBadItemset)
@@ -195,13 +322,30 @@ func (s *Server) bound(ctx context.Context, ix *ossm.Index, name string, version
 		}
 	}
 	// The miss path is the paper's ubsup scan: a min over the itemset's
-	// segment rows (eq. 1).
-	_, scan := s.obs.tracer.Start(ctx, "ubsup-scan")
-	start := time.Now()
-	b := ix.UpperBound(set)
-	s.queryWall.Observe(time.Since(start))
-	scan.SetAttr("bound", b)
-	scan.End()
+	// segment rows (eq. 1) — fanned over the shard fleet when sharded,
+	// with the per-shard partial sums merged by addition.
+	var b int64
+	if fleet != nil {
+		sctx, scan := s.obs.tracer.Start(ctx, "ubsup-scatter")
+		start := time.Now()
+		out := make([]int64, 1)
+		if err := fleet.Bounds(sctx, []ossm.Itemset{set}, out); err != nil {
+			scan.SetAttr("outcome", "error")
+			scan.End()
+			return BoundResult{}, err
+		}
+		b = out[0]
+		s.queryWall.Observe(time.Since(start))
+		scan.SetAttr("bound", b)
+		scan.End()
+	} else {
+		_, scan := s.obs.tracer.Start(ctx, "ubsup-scan")
+		start := time.Now()
+		b = ix.UpperBound(set)
+		s.queryWall.Observe(time.Since(start))
+		scan.SetAttr("bound", b)
+		scan.End()
+	}
 	if !noCache {
 		s.cache.put(key, b)
 	}
@@ -214,9 +358,9 @@ func (s *Server) bound(ctx context.Context, ix *ossm.Index, name string, version
 // under one span, and evaluate all misses together with the
 // row-amortized batch kernel, so each segment-support row is loaded
 // once per chunk rather than once per itemset.
-func (s *Server) boundBatch(ctx context.Context, ix *ossm.Index, name string, version uint64, batch [][]ossm.Item, noCache bool) ([]BoundResult, error) {
+func (s *Server) boundBatch(ctx context.Context, ix *ossm.Index, fleet *shard.Fleet, name string, version uint64, batch [][]ossm.Item, noCache bool) ([]BoundResult, error) {
 	if len(batch) == 1 {
-		res, err := s.bound(ctx, ix, name, version, batch[0], noCache)
+		res, err := s.bound(ctx, ix, fleet, name, version, batch[0], noCache)
 		if err != nil {
 			return nil, err
 		}
@@ -262,14 +406,30 @@ func (s *Server) boundBatch(ctx context.Context, ix *ossm.Index, name string, ve
 			missSets[mi] = sets[i]
 		}
 		bounds := make([]int64, len(missSets))
-		_, scan := s.obs.tracer.Start(ctx, "ubsup-batch")
-		start := time.Now()
-		conc.ForChunks(s.workers, len(missSets), func(_, lo, hi int) {
-			ix.UpperBoundBatch(missSets[lo:hi], bounds[lo:hi])
-		})
-		s.queryWall.Observe(time.Since(start))
-		scan.SetAttr("sets", len(missSets))
-		scan.End()
+		if fleet != nil {
+			// Scatter-gather: every shard answers the whole miss batch
+			// over its own segment range with the batch kernel, and the
+			// coordinator merges the partial sums by addition.
+			sctx, scan := s.obs.tracer.Start(ctx, "ubsup-scatter")
+			start := time.Now()
+			if err := fleet.Bounds(sctx, missSets, bounds); err != nil {
+				scan.SetAttr("outcome", "error")
+				scan.End()
+				return nil, err
+			}
+			s.queryWall.Observe(time.Since(start))
+			scan.SetAttr("sets", len(missSets))
+			scan.End()
+		} else {
+			_, scan := s.obs.tracer.Start(ctx, "ubsup-batch")
+			start := time.Now()
+			conc.ForChunks(s.workers, len(missSets), func(_, lo, hi int) {
+				ix.UpperBoundBatch(missSets[lo:hi], bounds[lo:hi])
+			})
+			s.queryWall.Observe(time.Since(start))
+			scan.SetAttr("sets", len(missSets))
+			scan.End()
+		}
 		for mi, i := range missIdx {
 			results[i] = BoundResult{Itemset: sets[i], Bound: bounds[mi]}
 			if !noCache {
@@ -341,7 +501,7 @@ type indexesResponse struct {
 }
 
 func (s *Server) handleIndexes(w http.ResponseWriter, r *http.Request) {
-	s.writeJSON(w, http.StatusOK, indexesResponse{Indexes: s.reg.Info()})
+	s.writeJSON(w, http.StatusOK, indexesResponse{Indexes: s.indexInfos()})
 }
 
 // UbsupRequest is the body of POST /v1/ubsup: one itemset or a batch
@@ -392,9 +552,24 @@ func (s *Server) handleUbsup(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, http.StatusNotFound, "unknown index %q", req.Index)
 		return
 	}
-	results, err := s.boundBatch(r.Context(), ix, req.Index, version, batch, req.NoCache)
+	d, _ := s.reg.Dataset(req.Index)
+	fleet, err := s.fleetFor(req.Index, ix, d)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, "%v", err)
+		s.writeErr(w, http.StatusInternalServerError, "building shard fleet: %v", err)
+		return
+	}
+	results, err := s.boundBatch(r.Context(), ix, fleet, req.Index, version, batch, req.NoCache)
+	if err != nil {
+		switch {
+		case errors.Is(err, errBadItemset):
+			s.writeErr(w, http.StatusBadRequest, "%v", err)
+		case errors.Is(err, shard.ErrOverloaded):
+			s.writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+			s.writeErr(w, http.StatusGatewayTimeout, "%v", err)
+		default:
+			s.writeErr(w, http.StatusBadRequest, "%v", err)
+		}
 		return
 	}
 	if s.expired(w, r) {
@@ -449,15 +624,23 @@ type MineItemset struct {
 }
 
 // MineResponse reports a completed mining run with its telemetry.
+// Sharded runs report Shards and Candidates instead of Levels and
+// Telemetry: the run is a scatter-gather over per-shard miners, so there
+// is no single level-by-level trace to echo.
 type MineResponse struct {
 	Index       string          `json:"index"`
 	Miner       string          `json:"miner"`
 	MinCount    int64           `json:"min_count"`
 	NumFrequent int             `json:"num_frequent"`
 	Pruned      bool            `json:"pruned"`
-	Levels      []MineLevel     `json:"levels"`
+	Levels      []MineLevel     `json:"levels,omitempty"`
 	Top         []MineItemset   `json:"top,omitempty"`
-	Telemetry   *ossm.Telemetry `json:"telemetry"`
+	Telemetry   *ossm.Telemetry `json:"telemetry,omitempty"`
+	// Shards is the fleet width of a sharded run (0 when unsharded).
+	Shards int `json:"shards,omitempty"`
+	// Candidates is a sharded run's gather-phase workload: the size of
+	// the union of locally frequent itemsets recounted globally.
+	Candidates int `json:"candidates,omitempty"`
 }
 
 func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
@@ -503,6 +686,20 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	if useOSSM {
 		filter = ix.PrunerAt(minCount)
 	}
+	// Sharded servers scatter the run over the fleet's transaction
+	// slices instead of mining in one piece (Partition decomposition:
+	// local-frequent union, then an exact global recount). Shard-local
+	// bounds cover only each shard's transactions, so OSSM pruning does
+	// not apply inside the scatter phase.
+	var fleet *shard.Fleet
+	if hasIndex {
+		var ferr error
+		fleet, ferr = s.fleetFor(req.Index, ix, d)
+		if ferr != nil {
+			s.writeErr(w, http.StatusInternalServerError, "building shard fleet: %v", ferr)
+			return
+		}
+	}
 
 	// Admission control: at most MineConcurrency runs at once; waiters
 	// give up at their deadline. The admission span times the wait, so
@@ -520,6 +717,11 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 		admit.SetAttr("admitted", false)
 		admit.End()
 		s.writeErr(w, http.StatusGatewayTimeout, "timed out waiting for a mining slot")
+		return
+	}
+
+	if fleet != nil {
+		s.mineSharded(ctx, w, fleet, req, minCount)
 		return
 	}
 
@@ -631,6 +833,66 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// mineSharded runs one /v1/mine request scatter-gather over the fleet
+// (the caller already holds a mining admission slot). The answer is
+// bit-identical to a single-node run — Partition's local-frequent union
+// is a superset of the global answer and the recount is exact — but the
+// response reports fleet shape instead of level-by-level telemetry.
+func (s *Server) mineSharded(ctx context.Context, w http.ResponseWriter, fleet *shard.Fleet, req MineRequest, minCount int64) {
+	runCtx, run := s.obs.tracer.Start(ctx, "mine-run")
+	run.SetAttr("miner", req.Miner)
+	run.SetAttr("min_count", minCount)
+	run.SetAttr("shards", fleet.NumShards())
+	start := time.Now()
+	res, err := fleet.Mine(runCtx, shard.MineConfig{Miner: req.Miner, MinCount: minCount, MaxLen: req.MaxLen})
+	if err != nil {
+		if ctx.Err() != nil {
+			run.SetAttr("outcome", "deadline")
+			run.End()
+			s.writeErr(w, http.StatusGatewayTimeout, "mining exceeded the request deadline")
+			return
+		}
+		run.SetAttr("outcome", "error")
+		run.End()
+		code := http.StatusInternalServerError
+		if errors.Is(err, shard.ErrOverloaded) {
+			code = http.StatusServiceUnavailable
+		}
+		s.writeErr(w, code, "mining: %v", err)
+		return
+	}
+	s.mines.Inc()
+	s.mineWall.Observe(time.Since(start))
+	s.obs.mineRuns.With(req.Miner).Inc()
+	run.SetAttr("outcome", "ok")
+	run.SetAttr("frequent", len(res.Frequent))
+	run.End()
+
+	resp := MineResponse{
+		Index:       req.Index,
+		Miner:       req.Miner,
+		MinCount:    minCount,
+		NumFrequent: len(res.Frequent),
+		Shards:      res.Shards,
+		Candidates:  res.Candidates,
+	}
+	top := req.Top
+	if top == 0 {
+		top = 20
+	}
+	if top > 0 {
+		// res.Frequent is already sorted by descending support, then
+		// itemset order — the same order the single-node path reports.
+		if top > len(res.Frequent) {
+			top = len(res.Frequent)
+		}
+		for _, c := range res.Frequent[:top] {
+			resp.Top = append(resp.Top, MineItemset{Itemset: c.Items, Support: c.Count})
+		}
+	}
+	s.writeJSON(w, http.StatusOK, resp)
+}
+
 // Metrics is the GET /v1/metrics report: service counters (built on the
 // telemetry layer's atomic primitives), cache effectiveness, cumulative
 // mining candidate accounting and the registry's entries.
@@ -673,7 +935,7 @@ func (s *Server) MetricsSnapshot() Metrics {
 		Workers:       s.workers,
 		MineSlots:     s.cfg.MineConcurrency,
 		Cache:         s.cache.stats(),
-		Indexes:       s.reg.Info(),
+		Indexes:       s.indexInfos(),
 	}
 }
 

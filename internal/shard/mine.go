@@ -1,0 +1,180 @@
+package shard
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	ossm "github.com/ossm-mining/ossm"
+	"github.com/ossm-mining/ossm/internal/conc"
+	"github.com/ossm-mining/ossm/internal/obs"
+)
+
+// MineConfig parameterizes one scatter-gather mining run.
+type MineConfig struct {
+	// Miner is the registered miner each shard runs locally.
+	Miner string
+	// MinCount is the global absolute support threshold.
+	MinCount int64
+	// MaxLen caps itemset length (0 = unbounded).
+	MaxLen int
+}
+
+// MineResult is the merged output of a scatter-gather mining run.
+type MineResult struct {
+	// Frequent holds every globally frequent itemset with its exact
+	// support, sorted by descending support then itemset order.
+	Frequent []ossm.Counted
+	// Candidates is the size of the union of locally frequent itemsets
+	// (the gather phase's counting workload).
+	Candidates int
+	// Shards is the fleet width the run fanned over.
+	Shards int
+}
+
+// Mine runs the two-round scatter-gather mine over the fleet's
+// transaction slices — the distributed shape of Savasere et al.'s
+// Partition, which the repo's internal/partition miner implements on one
+// node:
+//
+//  1. Scatter: every shard mines its own slice at the shard-scaled
+//     threshold ceil(MinCount · shardTx / totalTx). Pigeonhole
+//     guarantees every globally frequent itemset is locally frequent in
+//     at least one shard, so the union of the local answers is a
+//     superset of the global answer.
+//  2. Gather: the union is fanned back out; each shard reports exact
+//     partial supports over its slice, and the coordinator merges by
+//     addition — supports over disjoint transaction slices sum
+//     losslessly, exactly like per-segment bounds.
+//
+// The result is therefore bit-identical to a single-node mine of the
+// whole dataset at MinCount.
+func (f *Fleet) Mine(ctx context.Context, cfg MineConfig) (*MineResult, error) {
+	if cfg.MinCount < 1 {
+		return nil, fmt.Errorf("shard: Mine needs a positive MinCount")
+	}
+	top := f.acquire()
+	defer top.refs.Done()
+	shards := top.shards
+	totalTx := 0
+	for _, t := range shards {
+		if !t.CanMine() {
+			return nil, fmt.Errorf("shard %d holds no transactions; the fleet cannot mine", t.Info().ID)
+		}
+		totalTx += t.NumTx()
+	}
+	if totalTx == 0 {
+		return nil, fmt.Errorf("shard: the fleet holds no transactions")
+	}
+
+	// Round 1: scatter local mining, union the locally frequent sets.
+	var scatter *obs.Span
+	if f.cfg.Tracer != nil {
+		_, scatter = f.cfg.Tracer.Start(ctx, "mine-scatter")
+	}
+	locals := make([][]ossm.Itemset, len(shards))
+	errs := make([]error, len(shards))
+	conc.Scatter(len(shards), func(i int) {
+		t := shards[i]
+		localMin := scaleMinCount(cfg.MinCount, t.NumTx(), totalTx)
+		locals[i], errs[i] = t.LocalFrequent(ctx, cfg.Miner, localMin, cfg.MaxLen)
+	})
+	for _, err := range errs {
+		if err != nil {
+			if scatter != nil {
+				scatter.SetAttr("outcome", "error")
+				scatter.End()
+			}
+			return nil, err
+		}
+	}
+	union := make(map[string]ossm.Itemset)
+	for _, sets := range locals {
+		for _, x := range sets {
+			union[setKey(x)] = x
+		}
+	}
+	cands := make([]ossm.Itemset, 0, len(union))
+	for _, x := range union {
+		cands = append(cands, x)
+	}
+	// Deterministic candidate order: shorter first, then lexicographic —
+	// the gather fan-out and the final report are scheduling-independent.
+	sort.Slice(cands, func(i, j int) bool {
+		if len(cands[i]) != len(cands[j]) {
+			return len(cands[i]) < len(cands[j])
+		}
+		return cands[i].Compare(cands[j]) < 0
+	})
+	if scatter != nil {
+		scatter.SetAttr("candidates", len(cands))
+		scatter.End()
+	}
+
+	// Round 2: gather exact partial supports, merge by addition.
+	var gather *obs.Span
+	if f.cfg.Tracer != nil {
+		_, gather = f.cfg.Tracer.Start(ctx, "mine-gather")
+	}
+	partials := make([][]int64, len(shards))
+	conc.Scatter(len(shards), func(i int) {
+		buf := make([]int64, len(cands))
+		errs[i] = shards[i].PartialSupports(ctx, cands, buf)
+		partials[i] = buf
+	})
+	for _, err := range errs {
+		if err != nil {
+			if gather != nil {
+				gather.SetAttr("outcome", "error")
+				gather.End()
+			}
+			return nil, err
+		}
+	}
+	res := &MineResult{Candidates: len(cands), Shards: len(shards)}
+	for ci, x := range cands {
+		var sup int64
+		for _, part := range partials {
+			sup += part[ci]
+		}
+		if sup >= cfg.MinCount {
+			res.Frequent = append(res.Frequent, ossm.Counted{Items: x, Count: sup})
+		}
+	}
+	sort.Slice(res.Frequent, func(i, j int) bool {
+		if res.Frequent[i].Count != res.Frequent[j].Count {
+			return res.Frequent[i].Count > res.Frequent[j].Count
+		}
+		return res.Frequent[i].Items.Compare(res.Frequent[j].Items) < 0
+	})
+	if gather != nil {
+		gather.SetAttr("frequent", len(res.Frequent))
+		gather.End()
+	}
+	return res, nil
+}
+
+// scaleMinCount is the Partition bound localMin = ceil(minCount ·
+// sliceTx / totalTx), at least 1 (internal/partition uses the identical
+// formula for its page-local phase).
+func scaleMinCount(minCount int64, sliceTx, totalTx int) int64 {
+	num := minCount * int64(sliceTx)
+	lm := num / int64(totalTx)
+	if num%int64(totalTx) != 0 {
+		lm++
+	}
+	if lm < 1 {
+		lm = 1
+	}
+	return lm
+}
+
+// setKey encodes an itemset as a compact map key.
+func setKey(x ossm.Itemset) string {
+	b := make([]byte, 0, 4*len(x))
+	for _, it := range x {
+		b = binary.AppendUvarint(b, uint64(it))
+	}
+	return string(b)
+}

@@ -220,6 +220,23 @@ func (ix *Index) UpperBoundBatch(sets []Itemset, out []int64) []int64 {
 // NumSegments returns the built segment count.
 func (ix *Index) NumSegments() int { return ix.m.NumSegments() }
 
+// SegmentRange returns an Index view over the contiguous segment range
+// [lo, hi): the slicing primitive behind sharded serving. The view
+// shares the parent's segment-major cells (no copy) and answers every
+// bound query over its range only, so for any partition of
+// [0, NumSegments()) the per-range bounds sum to the parent's bound
+// exactly (eq. 1 is a sum over segments). Views report the parent's
+// NumTx — a shard still scales relative thresholds against the whole
+// collection — and are serving-only: they carry no page assignment and
+// are not meant to be persisted.
+func (ix *Index) SegmentRange(lo, hi int) (*Index, error) {
+	m, err := ix.m.SegmentRange(lo, hi)
+	if err != nil {
+		return nil, err
+	}
+	return &Index{m: m, elapsed: ix.elapsed, numTx: ix.numTx}, nil
+}
+
 // SizeBytes reports the index footprint.
 func (ix *Index) SizeBytes() int { return ix.m.SizeBytes() }
 

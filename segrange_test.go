@@ -1,0 +1,71 @@
+package ossm
+
+import "testing"
+
+// TestIndexSegmentRange pins the facade slicing primitive behind sharded
+// serving: partitioning an index's segment axis and summing per-range
+// bounds reproduces the whole-index bound exactly, for every segmenter.
+func TestIndexSegmentRange(t *testing.T) {
+	d, err := GenerateSkewed(DefaultSkewed(1500, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{Random, RC, Greedy, RandomRC, RandomGreedy} {
+		ix, err := Build(d, BuildOptions{Segments: 24, Algorithm: alg, Seed: 9})
+		if err != nil {
+			t.Fatal(err)
+		}
+		segs := ix.NumSegments()
+		for _, parts := range []int{1, 2, 3, 8} {
+			if parts > segs {
+				continue
+			}
+			base, rem := segs/parts, segs%parts
+			lo := 0
+			views := make([]*Index, 0, parts)
+			for i := 0; i < parts; i++ {
+				size := base
+				if i < rem {
+					size++
+				}
+				v, err := ix.SegmentRange(lo, lo+size)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if v.NumTx() != ix.NumTx() {
+					t.Fatalf("view NumTx %d != parent %d", v.NumTx(), ix.NumTx())
+				}
+				views = append(views, v)
+				lo += size
+			}
+			sets := []Itemset{
+				NewItemset(0), NewItemset(1, 2), NewItemset(0, 3, 5), NewItemset(2, 4, 6, 8),
+			}
+			full := ix.UpperBoundBatch(sets, nil)
+			merged := make([]int64, len(sets))
+			for _, v := range views {
+				for i, b := range v.UpperBoundBatch(sets, nil) {
+					merged[i] += b
+				}
+			}
+			for i := range sets {
+				if merged[i] != full[i] {
+					t.Fatalf("alg %v, %d shards: merged %d != full %d for %v",
+						alg, parts, merged[i], full[i], sets[i])
+				}
+			}
+		}
+	}
+	if _, err := mustBuild(t, d).SegmentRange(0, 10_000); err == nil {
+		t.Fatal("out-of-range view should fail")
+	}
+}
+
+func mustBuild(t *testing.T, d *Dataset) *Index {
+	t.Helper()
+	ix, err := Build(d, BuildOptions{Segments: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke loadgen-smoke cover bench bench-kernels bench-loadgen examples experiments clean
+.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke loadgen-smoke remote-smoke cover bench bench-kernels bench-loadgen examples experiments clean
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet race fuzz-smoke obs-smoke loadgen-smoke cover
+test: vet race fuzz-smoke obs-smoke loadgen-smoke remote-smoke cover
 	$(GO) test ./...
 
 # End-to-end sweep of the observability surface through the real CLI:
@@ -23,12 +23,19 @@ obs-smoke:
 loadgen-smoke:
 	$(GO) test -run 'TestLoadgen' -count=1 ./cmd/ossm-loadgen
 
+# End-to-end remote fleet: two real worker processes, a coordinator
+# routing over them from a -topology file (including a SIGHUP reload),
+# ossm-loadgen driving it over HTTP with zero errors, and the answers
+# diffed bit-identically against the library. Part of the default gate.
+remote-smoke:
+	$(GO) test -run 'TestRemoteSmoke' -count=1 ./cmd/ossm-serve
+
 # Coverage floor for the packages the serving path leans on: the facade
 # (bound queries, persistence, recipes), the HTTP server and the
 # observability layer. Fails if any drops below $(COVER_FLOOR)%.
 COVER_FLOOR ?= 75
 cover:
-	@for pkg in . ./internal/server ./internal/obs ./internal/shard; do \
+	@for pkg in . ./internal/server ./internal/obs ./internal/shard ./internal/shard/remote; do \
 		line=$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*%' | head -1); \
 		pct=$$(echo $$line | sed 's/coverage: //; s/%//'); \
 		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg"; exit 1; fi; \

@@ -24,12 +24,14 @@
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
@@ -43,6 +45,7 @@ import (
 
 	ossm "github.com/ossm-mining/ossm"
 	"github.com/ossm-mining/ossm/internal/shard"
+	"github.com/ossm-mining/ossm/internal/shard/remote"
 )
 
 func main() {
@@ -64,6 +67,15 @@ type config struct {
 	ShardDelayNS int64   `json:"shard_delay_ns"`
 	HedgeAfterNS int64   `json:"hedge_after_ns"`
 	NumCPU       int     `json:"num_cpu"`
+	// Chaos echoes the -chaos fault-injection setup so a report with
+	// injected faults can never be mistaken for a clean run.
+	Chaos          bool    `json:"chaos,omitempty"`
+	ChaosErrorRate float64 `json:"chaos_error_rate,omitempty"`
+	ChaosLatencyNS int64   `json:"chaos_latency_ns,omitempty"`
+	ChaosSeed      int64   `json:"chaos_seed,omitempty"`
+	// Target is the coordinator URL when driving a live server over HTTP
+	// instead of an in-process fleet.
+	Target string `json:"target,omitempty"`
 }
 
 // point is one shard count's measurement.
@@ -117,18 +129,24 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("ossm-loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		mode     = fs.String("mode", "closed", "load shape: closed (fixed concurrency) or open (fixed arrival rate)")
-		conc     = fs.Int("concurrency", 8, "closed-loop worker count")
-		qps      = fs.Float64("qps", 200, "open-loop arrival rate in requests per second")
-		batch    = fs.Int("batch", 64, "itemsets per ubsup batch request")
-		duration = fs.Duration("duration", 3*time.Second, "measurement window per shard count")
-		shards   = fs.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
-		numTx    = fs.Int("tx", 20000, "synthetic dataset size in transactions")
-		segments = fs.Int("segments", 256, "index segment budget")
-		seed     = fs.Int64("seed", 1, "generator seed")
-		delay    = fs.Duration("shard-delay", 0, "emulated full-index scan time on a remote shard node; each shard sleeps its segment-share of this (0 = in-process timing only)")
-		hedge    = fs.Duration("hedge-after", -1, "fleet hedge cutoff (0 = adaptive, negative disables)")
-		out      = fs.String("out", "", "write the JSON report here instead of stdout")
+		mode      = fs.String("mode", "closed", "load shape: closed (fixed concurrency) or open (fixed arrival rate)")
+		conc      = fs.Int("concurrency", 8, "closed-loop worker count")
+		qps       = fs.Float64("qps", 200, "open-loop arrival rate in requests per second")
+		batch     = fs.Int("batch", 64, "itemsets per ubsup batch request")
+		duration  = fs.Duration("duration", 3*time.Second, "measurement window per shard count")
+		shards    = fs.String("shards", "1,2,4,8", "comma-separated shard counts to sweep")
+		numTx     = fs.Int("tx", 20000, "synthetic dataset size in transactions")
+		segments  = fs.Int("segments", 256, "index segment budget")
+		seed      = fs.Int64("seed", 1, "generator seed")
+		delay     = fs.Duration("shard-delay", 0, "emulated full-index scan time on a remote shard node; each shard sleeps its segment-share of this (0 = in-process timing only)")
+		hedge     = fs.Duration("hedge-after", -1, "fleet hedge cutoff (0 = adaptive, negative disables)")
+		out       = fs.String("out", "", "write the JSON report here instead of stdout")
+		chaos     = fs.Bool("chaos", false, "wrap every shard transport in deterministic fault injection (see -chaos-*)")
+		chaosErr  = fs.Float64("chaos-error-rate", 0.05, "injected per-call error probability under -chaos")
+		chaosLat  = fs.Duration("chaos-latency", 0, "injected per-call latency under -chaos (plus up to the same again as jitter)")
+		chaosSeed = fs.Int64("chaos-seed", 1, "fault-injection seed under -chaos (same seed, same schedule)")
+		target    = fs.String("target", "", "drive a live coordinator at this base URL over HTTP instead of an in-process fleet (ignores -shards and -shard-delay)")
+		indexName = fs.String("index-name", "", "registered index to query in -target mode")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -140,6 +158,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *mode != "closed" && *mode != "open" {
 		fmt.Fprintf(stderr, "ossm-loadgen: -mode must be closed or open, got %q\n", *mode)
 		return 2
+	}
+	if *target != "" {
+		if *indexName == "" {
+			fmt.Fprintln(stderr, "ossm-loadgen: -target mode requires -index-name")
+			return 2
+		}
+		return runTarget(ctx, targetConfig{
+			base: strings.TrimSuffix(*target, "/"), index: *indexName,
+			mode: *mode, conc: *conc, qps: *qps, batch: *batch,
+			window: *duration, seed: *seed, out: *out,
+		}, stdout, stderr)
 	}
 	var counts []int
 	for _, part := range strings.Split(*shards, ",") {
@@ -197,10 +226,27 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *mode == "open" {
 		rep.Config.QPS = *qps
 	}
+	var fcfg *remote.FaultConfig
+	if *chaos {
+		fcfg = &remote.FaultConfig{
+			Seed:      *chaosSeed,
+			Latency:   *chaosLat,
+			Jitter:    *chaosLat,
+			ErrorRate: *chaosErr,
+		}
+		rep.Config.Chaos = true
+		rep.Config.ChaosErrorRate = *chaosErr
+		rep.Config.ChaosLatencyNS = int64(*chaosLat)
+		rep.Config.ChaosSeed = *chaosSeed
+		rep.Note += " chaos=true: every shard transport is wrapped in deterministic fault " +
+			"injection (chaos_error_rate, chaos_latency_ns, chaos_seed), so errors and tail " +
+			"latencies are manufactured — this run measures coordinator behavior under faults, " +
+			"not kernel performance."
+	}
 
 	var base float64
 	for _, n := range counts {
-		pt, err := runPoint(ctx, ix, pool, n, *mode, *conc, *qps, *duration, *delay, *hedge)
+		pt, err := runPoint(ctx, ix, pool, n, *mode, *conc, *qps, *duration, *delay, *hedge, fcfg)
 		if err != nil {
 			fmt.Fprintf(stderr, "ossm-loadgen: %d shards: %v\n", n, err)
 			return 1
@@ -235,9 +281,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
-// runPoint measures one shard count for the whole window.
+// runPoint measures one shard count for the whole window. A non-nil
+// fcfg wraps every transport in fault injection (-chaos), with the seed
+// varied per shard so the fleet's shards fail independently.
 func runPoint(ctx context.Context, ix *ossm.Index, pool [][]ossm.Itemset, n int, mode string,
-	conc int, qps float64, window, delay, hedge time.Duration) (point, error) {
+	conc int, qps float64, window, delay, hedge time.Duration, fcfg *remote.FaultConfig) (point, error) {
 	locals, err := shard.NewLocalShards(ix, nil, n, 0)
 	if err != nil {
 		return point{}, err
@@ -248,6 +296,13 @@ func runPoint(ctx context.Context, ix *ossm.Index, pool [][]ossm.Itemset, n int,
 		for i, t := range transports {
 			share := time.Duration(float64(delay) * float64(t.Info().Segments.Len()) / float64(total))
 			transports[i] = delayTransport{Transport: t, delay: share}
+		}
+	}
+	if fcfg != nil {
+		for i, t := range transports {
+			cfg := *fcfg
+			cfg.Seed = fcfg.Seed + int64(i)*7919
+			transports[i] = remote.NewFault(t, cfg)
 		}
 	}
 	fleet, err := shard.NewFleet(shard.Config{HedgeAfter: hedge}, transports)
@@ -353,6 +408,186 @@ func percentile(sorted []time.Duration, p int) time.Duration {
 		idx = len(sorted) - 1
 	}
 	return sorted[idx]
+}
+
+// targetConfig is the -target mode's slice of the flag set.
+type targetConfig struct {
+	base, index string
+	mode        string
+	conc        int
+	qps         float64
+	batch       int
+	window      time.Duration
+	seed        int64
+	out         string
+}
+
+// runTarget drives a live coordinator over HTTP with POST /v1/ubsup
+// batches — the end-to-end smoke path for a remote shard fleet. The
+// itemset domain comes from the server's own GET /v1/indexes row, so
+// every generated batch is valid for whatever index the server loaded.
+func runTarget(ctx context.Context, cfg targetConfig, stdout, stderr io.Writer) int {
+	numItems, err := fetchNumItems(ctx, cfg.base, cfg.index)
+	if err != nil {
+		fmt.Fprintf(stderr, "ossm-loadgen: %v\n", err)
+		return 1
+	}
+	r := rand.New(rand.NewSource(cfg.seed))
+	pool := make([][]ossm.Itemset, 64)
+	for i := range pool {
+		pool[i] = randomBatch(r, numItems, cfg.batch)
+	}
+
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		errs      atomic.Int64
+	)
+	one := func(workerID, i int) {
+		sets := pool[(workerID*31+i)%len(pool)]
+		body, _ := json.Marshal(map[string]any{"index": cfg.index, "itemsets": sets, "no_cache": true})
+		t0 := time.Now()
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, cfg.base+"/v1/ubsup", bytes.NewReader(body))
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := httpc.Do(req)
+		if err != nil {
+			errs.Add(1)
+			return
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errs.Add(1)
+			return
+		}
+		mu.Lock()
+		latencies = append(latencies, time.Since(t0))
+		mu.Unlock()
+	}
+
+	deadline := time.Now().Add(cfg.window)
+	start := time.Now()
+	var wg sync.WaitGroup
+	switch cfg.mode {
+	case "closed":
+		for w := 0; w < cfg.conc; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := 0; time.Now().Before(deadline) && ctx.Err() == nil; i++ {
+					one(w, i)
+				}
+			}(w)
+		}
+	case "open":
+		interval := time.Duration(float64(time.Second) / cfg.qps)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline) && ctx.Err() == nil; i++ {
+				select {
+				case <-ticker.C:
+					wg.Add(1)
+					go func(i int) { defer wg.Done(); one(0, i) }(i)
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	pt := point{Requests: int64(len(latencies)), Errors: errs.Load()}
+	if len(latencies) > 0 {
+		var sum time.Duration
+		for _, l := range latencies {
+			sum += l
+		}
+		pt.MeanNS = int64(sum) / int64(len(latencies))
+		pt.P50NS = int64(percentile(latencies, 50))
+		pt.P95NS = int64(percentile(latencies, 95))
+		pt.P99NS = int64(percentile(latencies, 99))
+		pt.RequestsPerSec = float64(len(latencies)) / elapsed.Seconds()
+		pt.ItemsetsPerSec = pt.RequestsPerSec * float64(cfg.batch)
+	}
+	rep := report{
+		Bench: "loadgen-ubsup-target",
+		Config: config{
+			Mode: cfg.mode, Concurrency: cfg.conc, Batch: cfg.batch,
+			DurationNS: int64(cfg.window), Seed: cfg.seed,
+			NumCPU: runtime.NumCPU(), Target: cfg.base,
+		},
+		Points: []point{pt},
+		Note: "Latencies are end-to-end POST /v1/ubsup wall times (HTTP round trip " +
+			"included) against the live coordinator at target; shard topology and kernel " +
+			"work belong to that server, not this process.",
+	}
+	if cfg.mode == "open" {
+		rep.Config.QPS = cfg.qps
+	}
+	fmt.Fprintf(stderr, "ossm-loadgen: target=%s req=%d err=%d p50=%v p95=%v rps=%.1f\n",
+		cfg.base, pt.Requests, pt.Errors, time.Duration(pt.P50NS), time.Duration(pt.P95NS), pt.RequestsPerSec)
+
+	enc, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "ossm-loadgen: %v\n", err)
+		return 1
+	}
+	enc = append(enc, '\n')
+	if cfg.out == "" {
+		_, _ = stdout.Write(enc)
+		return 0
+	}
+	if err := os.WriteFile(cfg.out, enc, 0o644); err != nil {
+		fmt.Fprintf(stderr, "ossm-loadgen: %v\n", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "ossm-loadgen: wrote %s\n", cfg.out)
+	return 0
+}
+
+// fetchNumItems reads the named index's item-domain size from the
+// coordinator's GET /v1/indexes listing.
+func fetchNumItems(ctx context.Context, base, index string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/indexes", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := (&http.Client{Timeout: 10 * time.Second}).Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("fetching %s/v1/indexes: %w", base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("fetching %s/v1/indexes: %s", base, resp.Status)
+	}
+	var listing struct {
+		Indexes []struct {
+			Name     string `json:"name"`
+			NumItems int    `json:"num_items"`
+		} `json:"indexes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		return 0, fmt.Errorf("decoding index listing: %w", err)
+	}
+	for _, ix := range listing.Indexes {
+		if ix.Name == index && ix.NumItems > 0 {
+			return ix.NumItems, nil
+		}
+	}
+	return 0, fmt.Errorf("index %q not found (or empty) in %s/v1/indexes", index, base)
 }
 
 // randomBatch draws batch itemsets of 1–4 items from the domain.

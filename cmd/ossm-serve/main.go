@@ -17,21 +17,26 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	ossm "github.com/ossm-mining/ossm"
 	"github.com/ossm-mining/ossm/internal/obs"
 	"github.com/ossm-mining/ossm/internal/server"
+	"github.com/ossm-mining/ossm/internal/shard"
+	"github.com/ossm-mining/ossm/internal/shard/remote"
 )
 
 // kvList collects repeated name=path flags.
@@ -79,6 +84,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		pprofOn  = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		shards   = fs.Int("shards", 0, "segment-range shards per index, served scatter-gather (0 or 1 = unsharded)")
 		hedge    = fs.Duration("hedge-after", 0, "fleet hedge cutoff: duplicate a shard call past this latency (0 = adaptive p95, negative disables; needs -shards > 1)")
+		role     = fs.String("shard-role", "", "process role: empty serves queries; \"worker\" serves one shard of every entry under /shard/v1/ (needs -shard-id and -shard-count)")
+		shardID  = fs.Int("shard-id", -1, "this worker's shard id in [0, shard-count) (worker role)")
+		shardCnt = fs.Int("shard-count", 0, "fleet width the worker slices every index into (worker role)")
+		topoPath = fs.String("topology", "", "topology file mapping shard ids to worker addresses; routes sharded serving over remote workers (SIGHUP re-reads it)")
 	)
 	fs.Var(&indexes, "index", "name=path of a saved OSSM index (repeatable)")
 	fs.Var(&datasets, "data", "name=path of a dataset to attach for /v1/mine (repeatable)")
@@ -100,6 +109,18 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 	logger := obs.NewLogger(stderr, level)
 
+	switch *role {
+	case "":
+	case "worker":
+		return runWorker(ctx, workerConfig{
+			addr: *addr, shardID: *shardID, shardCount: *shardCnt,
+			indexes: indexes, datasets: datasets, buildSeg: *buildSeg,
+		}, logger, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "ossm-serve: unknown -shard-role %q (want \"\" or \"worker\")\n", *role)
+		return 2
+	}
+
 	srv := server.New(server.Config{
 		CacheSize:       *cache,
 		RequestTimeout:  *timeout,
@@ -114,6 +135,12 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if err := loadEntries(srv, indexes, datasets, *buildSeg, stdout); err != nil {
 		logger.Error("startup failed", slog.String("error", err.Error()))
 		return 1
+	}
+	if *topoPath != "" {
+		if err := wireTopology(ctx, srv, *topoPath, logger, stdout); err != nil {
+			logger.Error("startup failed", slog.String("error", err.Error()))
+			return 1
+		}
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -185,6 +212,191 @@ func loadEntries(srv *server.Server, indexes, datasets kvList, buildSeg int, std
 			}
 			fmt.Fprintf(stdout, "index %q: built %d segments in %v\n",
 				kv.name, ix.NumSegments(), ix.SegmentationTime().Round(time.Millisecond))
+		}
+	}
+	return nil
+}
+
+// wireTopology routes the server's sharded serving over the remote
+// workers the topology file lists, and re-reads the file on SIGHUP
+// (each entry's next query swaps the new transports in with a graceful
+// drain of the old topology generation).
+func wireTopology(ctx context.Context, srv *server.Server, path string, logger *slog.Logger, stdout io.Writer) error {
+	topo, err := remote.LoadTopology(path)
+	if err != nil {
+		return err
+	}
+	var holder atomic.Pointer[remote.Topology]
+	holder.Store(topo)
+	httpc := remote.NewHTTPClient()
+	hooks := srv.RemoteHooks()
+	srv.UseRemoteFleet(func(name string) ([]shard.Transport, error) {
+		return holder.Load().Transports(name, remote.ClientConfig{HTTPClient: httpc, Hooks: hooks})
+	})
+	fmt.Fprintf(stdout, "topology: %d remote shards from %s\n", topo.NumShards(), path)
+
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	go func() {
+		defer signal.Stop(hup)
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-hup:
+				nt, err := remote.LoadTopology(path)
+				if err != nil {
+					logger.Error("topology reload failed; keeping the old fleet",
+						slog.String("path", path), slog.String("error", err.Error()))
+					continue
+				}
+				holder.Store(nt)
+				srv.ReloadFleets()
+				logger.Info("topology reloaded",
+					slog.String("path", path), slog.Int("shards", nt.NumShards()))
+			}
+		}
+	}()
+	return nil
+}
+
+// workerConfig is the worker role's slice of the flag set.
+type workerConfig struct {
+	addr       string
+	shardID    int
+	shardCount int
+	indexes    kvList
+	datasets   kvList
+	buildSeg   int
+}
+
+// runWorker serves one shard of every configured entry under /shard/v1/
+// — the shard side of a remote fleet. The worker loads the same files
+// as the coordinator and slices them with the same deterministic
+// partition, so id i here owns exactly the segment range the
+// coordinator's client i expects.
+func runWorker(ctx context.Context, cfg workerConfig, logger *slog.Logger, stdout, stderr io.Writer) int {
+	if cfg.shardCount < 1 || cfg.shardID < 0 || cfg.shardID >= cfg.shardCount {
+		fmt.Fprintf(stderr, "ossm-serve: worker role needs -shard-id in [0, -shard-count); got id %d of %d\n",
+			cfg.shardID, cfg.shardCount)
+		return 2
+	}
+	w := remote.NewWorker()
+	registered := 0
+	err := loadFiles(cfg.indexes, cfg.datasets, cfg.buildSeg, stdout, func(name string, ix *ossm.Index, d *ossm.Dataset) error {
+		if ix == nil {
+			return fmt.Errorf("worker entry %q has no index; a shard worker serves index slices", name)
+		}
+		shards, err := shard.NewLocalShards(ix, d, cfg.shardCount, 0)
+		if err != nil {
+			return err
+		}
+		if cfg.shardID >= len(shards) {
+			return fmt.Errorf("index %q splits into only %d shard(s) (%d segments); shard id %d owns nothing",
+				name, len(shards), ix.NumSegments(), cfg.shardID)
+		}
+		if err := w.Add(name, shard.Transports(shards)[cfg.shardID], ix.NumSegments()); err != nil {
+			return err
+		}
+		rng := shard.PartitionSegments(ix.NumSegments(), cfg.shardCount)[cfg.shardID]
+		fmt.Fprintf(stdout, "shard %d/%d of %q: segments [%d, %d)\n",
+			cfg.shardID, cfg.shardCount, name, rng.Lo, rng.Hi)
+		registered++
+		return nil
+	})
+	if err != nil {
+		logger.Error("startup failed", slog.String("error", err.Error()))
+		return 1
+	}
+	if registered == 0 {
+		fmt.Fprintln(stderr, "ossm-serve: worker role needs at least one -index (or -data with -build-segments)")
+		return 2
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		logger.Error("startup failed", slog.String("error", err.Error()))
+		return 1
+	}
+	fmt.Fprintf(stdout, "ossm-serve: listening on %s\n", ln.Addr())
+	logger.Info("worker listening", slog.String("addr", ln.Addr().String()), slog.Int("shard", cfg.shardID))
+	hs := &http.Server{Handler: w.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("serve failed", slog.String("error", err.Error()))
+			return 1
+		}
+	case <-ctx.Done():
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			logger.Error("shutdown failed", slog.String("error", err.Error()))
+			return 1
+		}
+	}
+	fmt.Fprintln(stdout, "ossm-serve: shut down cleanly")
+	return 0
+}
+
+// loadFiles loads every configured entry (building indexes for bare
+// datasets when buildSeg > 0, exactly like the serving role) and hands
+// each completed (index, dataset) pair to register.
+func loadFiles(indexes, datasets kvList, buildSeg int, stdout io.Writer, register func(name string, ix *ossm.Index, d *ossm.Dataset) error) error {
+	type entry struct {
+		ix *ossm.Index
+		d  *ossm.Dataset
+	}
+	loaded := make(map[string]*entry)
+	var order []string
+	note := func(name string) *entry {
+		e, ok := loaded[name]
+		if !ok {
+			e = &entry{}
+			loaded[name] = e
+			order = append(order, name)
+		}
+		return e
+	}
+	for _, kv := range indexes {
+		ix, err := ossm.LoadIndex(kv.path)
+		if err != nil {
+			return err
+		}
+		e := note(kv.name)
+		if e.ix != nil {
+			return fmt.Errorf("index %q configured twice", kv.name)
+		}
+		e.ix = ix
+		fmt.Fprintf(stdout, "index %q: %d segments, %d tx, %.1f KB\n",
+			kv.name, ix.NumSegments(), ix.NumTx(), float64(ix.SizeBytes())/1024)
+	}
+	for _, kv := range datasets {
+		d, err := ossm.LoadDataset(kv.path)
+		if err != nil {
+			return err
+		}
+		e := note(kv.name)
+		if e.d != nil {
+			return fmt.Errorf("data %q configured twice", kv.name)
+		}
+		e.d = d
+		fmt.Fprintf(stdout, "data %q: %d transactions, %d items\n", kv.name, d.NumTx(), d.NumItems())
+		if buildSeg > 0 && e.ix == nil {
+			ix, err := ossm.Build(d, ossm.BuildOptions{Segments: buildSeg, Algorithm: ossm.RandomGreedy})
+			if err != nil {
+				return err
+			}
+			e.ix = ix
+			fmt.Fprintf(stdout, "index %q: built %d segments in %v\n",
+				kv.name, ix.NumSegments(), ix.SegmentationTime().Round(time.Millisecond))
+		}
+	}
+	for _, name := range order {
+		e := loaded[name]
+		if err := register(name, e.ix, e.d); err != nil {
+			return err
 		}
 	}
 	return nil

@@ -1,0 +1,215 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	ossm "github.com/ossm-mining/ossm"
+)
+
+// buildBinary compiles the named command into dir and returns the path.
+func buildBinary(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "github.com/ossm-mining/ossm/cmd/"+name)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// startProcess launches bin with args, captures its stdout/stderr, and
+// waits for the "listening on" line, returning the base URL.
+func startProcess(t *testing.T, bin string, args ...string) (string, *syncBuffer, *os.Process) {
+	t.Helper()
+	out := &syncBuffer{}
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = out
+	cmd.Stderr = out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	for i := 0; i < 250; i++ {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], out, cmd.Process
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s never printed its address; output:\n%s", filepath.Base(bin), out.String())
+	return "", nil, nil
+}
+
+// TestRemoteSmoke is the end-to-end remote-fleet gate behind
+// `make remote-smoke`: two real worker processes, a coordinator process
+// routing over them via a -topology file, ossm-loadgen driving the
+// coordinator over HTTP with zero errors, and the coordinator's batch
+// answers diffed bit-identically against the library on the same index.
+func TestRemoteSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("remote smoke skipped in -short mode")
+	}
+	dataPath, indexPath := writeFixtures(t)
+	binDir := t.TempDir()
+	serveBin := buildBinary(t, binDir, "ossm-serve")
+	loadgenBin := buildBinary(t, binDir, "ossm-loadgen")
+
+	// Two worker processes, each serving its half of every index.
+	entryArgs := []string{"-index", "retail=" + indexPath, "-data", "retail=" + dataPath}
+	workerURLs := make([]string, 2)
+	for i := range workerURLs {
+		args := append([]string{
+			"-shard-role=worker",
+			"-shard-id", fmt.Sprint(i),
+			"-shard-count", "2",
+			"-addr", "127.0.0.1:0",
+		}, entryArgs...)
+		url, out, _ := startProcess(t, serveBin, args...)
+		workerURLs[i] = url
+		if !strings.Contains(out.String(), fmt.Sprintf("shard %d/2 of \"retail\"", i)) {
+			t.Fatalf("worker %d did not report its slice; output:\n%s", i, out.String())
+		}
+	}
+
+	// Topology file handing the coordinator both workers.
+	topo := map[string]any{"shards": []map[string]any{
+		{"id": 0, "addr": strings.TrimPrefix(workerURLs[0], "http://")},
+		{"id": 1, "addr": strings.TrimPrefix(workerURLs[1], "http://")},
+	}}
+	raw, _ := json.Marshal(topo)
+	topoPath := filepath.Join(binDir, "topo.json")
+	if err := os.WriteFile(topoPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	coordURL, coordOut, coordProc := startProcess(t, serveBin,
+		append([]string{"-addr", "127.0.0.1:0", "-topology", topoPath}, entryArgs...)...)
+	if !strings.Contains(coordOut.String(), "topology: 2 remote shards") {
+		t.Fatalf("coordinator did not report its topology; output:\n%s", coordOut.String())
+	}
+
+	// Loadgen drives the coordinator over HTTP; the report must show
+	// traffic and zero errors.
+	reportPath := filepath.Join(binDir, "report.json")
+	lg := exec.Command(loadgenBin,
+		"-target", coordURL, "-index-name", "retail",
+		"-duration", "400ms", "-concurrency", "4", "-batch", "16",
+		"-out", reportPath)
+	if out, err := lg.CombinedOutput(); err != nil {
+		t.Fatalf("loadgen: %v\n%s", err, out)
+	}
+	repRaw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Bench  string `json:"bench"`
+		Points []struct {
+			Requests int64 `json:"requests"`
+			Errors   int64 `json:"errors"`
+		} `json:"points"`
+	}
+	if err := json.Unmarshal(repRaw, &rep); err != nil {
+		t.Fatalf("loadgen report: %v\n%s", err, repRaw)
+	}
+	if rep.Bench != "loadgen-ubsup-target" || len(rep.Points) != 1 {
+		t.Fatalf("unexpected report: %s", repRaw)
+	}
+	if rep.Points[0].Requests == 0 || rep.Points[0].Errors != 0 {
+		t.Fatalf("loadgen saw %d requests, %d errors; want traffic and zero errors",
+			rep.Points[0].Requests, rep.Points[0].Errors)
+	}
+
+	// The acceptance diff: coordinator answers over the remote fleet must
+	// be bit-identical to the library on the same index.
+	ix, err := ossm.LoadIndex(indexPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sets := []ossm.Itemset{
+		ossm.NewItemset(0),
+		ossm.NewItemset(1, 2),
+		ossm.NewItemset(3, 4, 5),
+		ossm.NewItemset(0, 2, 4),
+	}
+	want := make([]int64, len(sets))
+	ix.UpperBoundBatch(sets, want)
+
+	body := `{"index":"retail","itemsets":[[0],[1,2],[3,4,5],[0,2,4]],"no_cache":true}`
+	resp, err := http.Post(coordURL+"/v1/ubsup", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ub struct {
+		Bounds []struct {
+			Bound int64 `json:"bound"`
+		} `json:"bounds"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ub); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(ub.Bounds) != len(want) {
+		t.Fatalf("ubsup = %d with %d bounds, want 200 with %d", resp.StatusCode, len(ub.Bounds), len(want))
+	}
+	for i := range want {
+		if ub.Bounds[i].Bound != want[i] {
+			t.Fatalf("remote bound[%d] = %d, library says %d", i, ub.Bounds[i].Bound, want[i])
+		}
+	}
+
+	// SIGHUP reload: move shard 1 to a replacement worker process, rewrite
+	// the topology file, signal the coordinator, and require the fleet to
+	// follow — correct answers from the new worker, old one retired.
+	replURL, _, _ := startProcess(t, serveBin, append([]string{
+		"-shard-role=worker", "-shard-id", "1", "-shard-count", "2",
+		"-addr", "127.0.0.1:0",
+	}, entryArgs...)...)
+	topo["shards"].([]map[string]any)[1]["addr"] = strings.TrimPrefix(replURL, "http://")
+	raw, _ = json.Marshal(topo)
+	if err := os.WriteFile(topoPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := coordProc.Signal(syscall.SIGHUP); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(coordOut.String(), "topology reloaded") {
+		if time.Now().After(deadline) {
+			t.Fatalf("coordinator never acknowledged the SIGHUP reload; output:\n%s", coordOut.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	resp2, err := http.Post(coordURL+"/v1/ubsup", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ub2 struct {
+		Bounds []struct {
+			Bound int64 `json:"bound"`
+		} `json:"bounds"`
+	}
+	if err := json.NewDecoder(resp2.Body).Decode(&ub2); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK || len(ub2.Bounds) != len(want) {
+		t.Fatalf("post-reload ubsup = %d with %d bounds", resp2.StatusCode, len(ub2.Bounds))
+	}
+	for i := range want {
+		if ub2.Bounds[i].Bound != want[i] {
+			t.Fatalf("post-reload bound[%d] = %d, library says %d", i, ub2.Bounds[i].Bound, want[i])
+		}
+	}
+}

@@ -310,6 +310,11 @@ func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
 	r.register(name, help, kindGauge, nil, nil, fn)
 }
 
+// GaugeVec registers a gauge family with the given label names.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{r.register(name, help, kindGauge, labels, nil, nil)}
+}
+
 // Histogram registers and returns a label-free fixed-bucket histogram
 // (nil buckets ⇒ DefBuckets).
 func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {

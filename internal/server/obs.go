@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"github.com/ossm-mining/ossm/internal/obs"
+	"github.com/ossm-mining/ossm/internal/shard/remote"
 )
 
 // obsState bundles the server's observability instruments.
@@ -38,6 +39,11 @@ type obsState struct {
 
 	shardRequests *obs.CounterVec // ossm_shard_requests_total{shard,outcome}
 	shardHedges   *obs.CounterVec // ossm_shard_hedges_total{event}
+
+	// Remote-transport families, fed by remote.Hooks (RemoteHooks).
+	shardRPC     *obs.CounterVec // ossm_shard_rpc_total{shard,method,outcome}
+	shardRetries *obs.CounterVec // ossm_shard_rpc_retries_total{shard,method}
+	shardBreaker *obs.GaugeVec   // ossm_shard_breaker_state{shard}
 }
 
 // initObs builds the server's instruments and registers every scrape
@@ -70,6 +76,12 @@ func (s *Server) initObs() {
 		"Scatter-gather shard calls, by shard id and outcome (ok, error, overloaded).", "shard", "outcome")
 	o.shardHedges = r.CounterVec("ossm_shard_hedges_total",
 		"Hedged duplicate shard calls, by event (fired, won).", "event")
+	o.shardRPC = r.CounterVec("ossm_shard_rpc_total",
+		"Remote shard RPCs, by shard id, method (info, bounds, frequent, supports) and outcome (ok, error, overloaded, timeout, breaker_open).", "shard", "method", "outcome")
+	o.shardRetries = r.CounterVec("ossm_shard_rpc_retries_total",
+		"Remote shard RPC retry attempts, by shard id and method.", "shard", "method")
+	o.shardBreaker = r.GaugeVec("ossm_shard_breaker_state",
+		"Remote shard circuit-breaker state, by shard id (0 closed, 1 half-open, 2 open).", "shard")
 
 	r.CounterFunc("ossm_cache_hits_total", "Bound-cache hits.",
 		func() float64 { return float64(s.cache.hits.Load()) })
@@ -92,6 +104,23 @@ func (s *Server) initObs() {
 	r.GaugeFunc("ossm_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.start).Seconds() })
 	obs.RegisterRuntimeMetrics(r)
+}
+
+// RemoteHooks returns the observability hooks a remote shard client
+// should carry so its RPC outcomes, retries and breaker transitions
+// land in this server's scrape families.
+func (s *Server) RemoteHooks() remote.Hooks {
+	return remote.Hooks{
+		OnRPC: func(shardID int, method, outcome string) {
+			s.obs.shardRPC.With(strconv.Itoa(shardID), method, outcome).Inc()
+		},
+		OnRetry: func(shardID int, method string) {
+			s.obs.shardRetries.With(strconv.Itoa(shardID), method).Inc()
+		},
+		OnBreaker: func(shardID int, state remote.BreakerState) {
+			s.obs.shardBreaker.With(strconv.Itoa(shardID)).Set(float64(state))
+		},
+	}
 }
 
 // statusWriter captures the response status and body size for the access

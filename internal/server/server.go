@@ -29,6 +29,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	ossm "github.com/ossm-mining/ossm"
@@ -120,6 +121,13 @@ type Server struct {
 	fleetsMu sync.Mutex
 	fleets   map[string]*fleetEntry
 
+	// Remote serving: when set (UseRemoteFleet), fleets scatter over HTTP
+	// shard clients built by this factory instead of in-process shards.
+	// topoGen versions the topology; ReloadFleets bumps it and the next
+	// lookup per entry rebuilds its transports with a graceful swap.
+	remoteFn func(name string) ([]shard.Transport, error)
+	topoGen  atomic.Uint64
+
 	// obs holds the serving observability layer: tracer, Prometheus
 	// metrics registry and access logger (see obs.go).
 	obs obsState
@@ -176,7 +184,23 @@ func (s *Server) AddDataset(name string, d *ossm.Dataset) error { return s.reg.A
 func (s *Server) Swap(name string, ix *ossm.Index) error { return s.reg.Swap(name, ix) }
 
 // sharded reports whether this server fans queries over a shard fleet.
-func (s *Server) sharded() bool { return s.cfg.Shards > 1 }
+func (s *Server) sharded() bool { return s.cfg.Shards > 1 || s.remoteFn != nil }
+
+// UseRemoteFleet routes sharded serving over remote HTTP shard
+// transports: fn builds the transport list (typically
+// remote.Topology.Transports with the server's RemoteHooks) for a named
+// entry whenever a fleet is (re)built. Call it once, before serving —
+// it is not synchronized against in-flight queries.
+func (s *Server) UseRemoteFleet(fn func(name string) ([]shard.Transport, error)) {
+	s.remoteFn = fn
+	s.topoGen.Add(1)
+}
+
+// ReloadFleets marks every remote fleet's topology stale; each entry's
+// next query rebuilds its transports through the UseRemoteFleet factory
+// and swaps them in with a graceful drain. The SIGHUP handler in
+// ossm-serve calls this after re-reading the topology file.
+func (s *Server) ReloadFleets() { s.topoGen.Add(1) }
 
 // fleetEntry tracks the fleet serving one registry entry. The identity
 // fields pin which (index, dataset) the current topology was built from,
@@ -188,6 +212,11 @@ type fleetEntry struct {
 	fleet   *shard.Fleet
 	ix      *ossm.Index
 	hasData bool
+	// topoGen is the Server.topoGen value the current remote transports
+	// were built under; a mismatch on lookup triggers a rebuild. Remote
+	// fleets key on this rather than index identity, so a registry Swap
+	// does not discard per-shard breaker and health state.
+	topoGen uint64
 }
 
 // fleetFor returns the scatter-gather fleet serving the named entry,
@@ -209,6 +238,21 @@ func (s *Server) fleetFor(name string, ix *ossm.Index, d *ossm.Dataset) (*shard.
 	s.fleetsMu.Unlock()
 	fe.mu.Lock()
 	defer fe.mu.Unlock()
+	if s.remoteFn != nil {
+		gen := s.topoGen.Load()
+		if fe.fleet != nil && fe.topoGen == gen {
+			return fe.fleet, nil
+		}
+		transports, err := s.remoteFn(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.installTransports(fe, transports); err != nil {
+			return nil, err
+		}
+		fe.topoGen, fe.ix, fe.hasData = gen, ix, d != nil
+		return fe.fleet, nil
+	}
 	if fe.fleet != nil && fe.ix == ix && fe.hasData == (d != nil) {
 		return fe.fleet, nil
 	}
@@ -216,7 +260,16 @@ func (s *Server) fleetFor(name string, ix *ossm.Index, d *ossm.Dataset) (*shard.
 	if err != nil {
 		return nil, err
 	}
-	transports := shard.Transports(shards)
+	if err := s.installTransports(fe, shard.Transports(shards)); err != nil {
+		return nil, err
+	}
+	fe.ix, fe.hasData = ix, d != nil
+	return fe.fleet, nil
+}
+
+// installTransports builds the entry's fleet on first use or swaps the
+// new topology in with a graceful drain of the old one.
+func (s *Server) installTransports(fe *fleetEntry, transports []shard.Transport) error {
 	if fe.fleet == nil {
 		f, err := shard.NewFleet(shard.Config{
 			HedgeAfter:     s.cfg.HedgeAfter,
@@ -224,14 +277,12 @@ func (s *Server) fleetFor(name string, ix *ossm.Index, d *ossm.Dataset) (*shard.
 			OnShardOutcome: s.noteShardOutcome,
 		}, transports)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		fe.fleet = f
-	} else if err := fe.fleet.Swap(transports); err != nil {
-		return nil, err
+		return nil
 	}
-	fe.ix, fe.hasData = ix, d != nil
-	return fe.fleet, nil
+	return fe.fleet.Swap(transports)
 }
 
 // noteShardOutcome is the fleet callback feeding the Prometheus shard
@@ -563,7 +614,7 @@ func (s *Server) handleUbsup(w http.ResponseWriter, r *http.Request) {
 		switch {
 		case errors.Is(err, errBadItemset):
 			s.writeErr(w, http.StatusBadRequest, "%v", err)
-		case errors.Is(err, shard.ErrOverloaded):
+		case errors.Is(err, shard.ErrOverloaded) || errors.Is(err, shard.ErrUnavailable):
 			s.writeErr(w, http.StatusServiceUnavailable, "%v", err)
 		case errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
 			s.writeErr(w, http.StatusGatewayTimeout, "%v", err)
@@ -855,7 +906,7 @@ func (s *Server) mineSharded(ctx context.Context, w http.ResponseWriter, fleet *
 		run.SetAttr("outcome", "error")
 		run.End()
 		code := http.StatusInternalServerError
-		if errors.Is(err, shard.ErrOverloaded) {
+		if errors.Is(err, shard.ErrOverloaded) || errors.Is(err, shard.ErrUnavailable) {
 			code = http.StatusServiceUnavailable
 		}
 		s.writeErr(w, code, "mining: %v", err)

@@ -1,0 +1,225 @@
+package remote
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	ossm "github.com/ossm-mining/ossm"
+	"github.com/ossm-mining/ossm/internal/shard"
+)
+
+// FaultConfig scripts a Fault decorator. All probabilities are in
+// [0, 1]; everything is driven by one seeded rng so a given seed
+// replays the same fault schedule.
+type FaultConfig struct {
+	// Seed drives every random decision (latency jitter, error and hang
+	// draws). The same seed over the same call sequence injects the same
+	// faults.
+	Seed int64
+	// Latency and Jitter delay every data call by Latency plus a uniform
+	// [0, Jitter) extra, honoring the call's context.
+	Latency time.Duration
+	Jitter  time.Duration
+	// ErrorRate is the probability a data call fails with ErrInjected
+	// instead of reaching the wrapped transport.
+	ErrorRate float64
+	// HangRate is the probability a data call blocks until its context is
+	// done — the pathological peer that accepts and never answers.
+	HangRate float64
+	// PartitionEvery / PartitionFor schedule partition windows by call
+	// count: of every PartitionEvery consecutive data calls, the last
+	// PartitionFor fail with ErrPartitioned. Zero disables.
+	PartitionEvery int
+	PartitionFor   int
+}
+
+// Fault wraps a shard.Transport with deterministic fault injection —
+// the chaos-test workhorse. Under a Worker it makes a real HTTP shard
+// misbehave (the coordinator sees genuine wire failures); over a Client
+// or LocalTransport it exercises a coordinator alone.
+//
+// Info, CanMine and NumTx pass through untouched: faults model the data
+// path, and a hedging coordinator must still be able to read identity.
+type Fault struct {
+	t shard.Transport
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	latency  atomic.Int64 // nanoseconds
+	jitter   atomic.Int64
+	errRate  atomic.Uint64 // probability scaled through rateBits
+	hangRate float64       // fixed at construction; runtime hanging is SetHung
+	hung     atomic.Bool
+	parted   atomic.Bool
+
+	partEvery int
+	partFor   int
+	calls     atomic.Int64
+
+	injectedErrs  atomic.Int64
+	injectedHangs atomic.Int64
+	partedDrops   atomic.Int64
+}
+
+// NewFault wraps t with the scripted faults.
+func NewFault(t shard.Transport, cfg FaultConfig) *Fault {
+	f := &Fault{
+		t:         t,
+		rng:       rand.New(rand.NewSource(cfg.Seed)),
+		partEvery: cfg.PartitionEvery,
+		partFor:   cfg.PartitionFor,
+	}
+	f.latency.Store(int64(cfg.Latency))
+	f.jitter.Store(int64(cfg.Jitter))
+	f.errRate.Store(rateBits(cfg.ErrorRate))
+	f.hangRate = cfg.HangRate
+	return f
+}
+
+// SetLatency replaces the injected base latency and jitter at runtime.
+func (f *Fault) SetLatency(latency, jitter time.Duration) {
+	f.latency.Store(int64(latency))
+	f.jitter.Store(int64(jitter))
+}
+
+// SetErrorRate replaces the injected error probability at runtime.
+func (f *Fault) SetErrorRate(p float64) { f.errRate.Store(rateBits(p)) }
+
+// SetHung makes every data call block on its context (true) or restores
+// normal service (false) — the chaos tests' "one shard wedged" lever.
+func (f *Fault) SetHung(v bool) { f.hung.Store(v) }
+
+// SetPartitioned drops every data call with ErrPartitioned (true) or
+// heals the partition (false).
+func (f *Fault) SetPartitioned(v bool) { f.parted.Store(v) }
+
+// FaultStats counts what a Fault has injected so far.
+type FaultStats struct {
+	Calls          int64 // data calls that reached the decorator
+	InjectedErrors int64 // calls failed with ErrInjected
+	InjectedHangs  int64 // calls blocked until their context ended
+	PartitionDrops int64 // calls dropped by a partition (scheduled or set)
+}
+
+// Stats snapshots the injection counters.
+func (f *Fault) Stats() FaultStats {
+	return FaultStats{
+		Calls:          f.calls.Load(),
+		InjectedErrors: f.injectedErrs.Load(),
+		InjectedHangs:  f.injectedHangs.Load(),
+		PartitionDrops: f.partedDrops.Load(),
+	}
+}
+
+// Info implements shard.Transport (passes through).
+func (f *Fault) Info() shard.Info { return f.t.Info() }
+
+// CanMine implements shard.Transport (passes through).
+func (f *Fault) CanMine() bool { return f.t.CanMine() }
+
+// NumTx implements shard.Transport (passes through).
+func (f *Fault) NumTx() int { return f.t.NumTx() }
+
+// PartialBounds implements shard.Transport with faults ahead of the
+// wrapped call.
+func (f *Fault) PartialBounds(ctx context.Context, sets []ossm.Itemset, out []int64) error {
+	if err := f.inject(ctx); err != nil {
+		return err
+	}
+	return f.t.PartialBounds(ctx, sets, out)
+}
+
+// LocalFrequent implements shard.Transport with faults ahead of the
+// wrapped call.
+func (f *Fault) LocalFrequent(ctx context.Context, miner string, localMin int64, maxLen int) ([]ossm.Itemset, error) {
+	if err := f.inject(ctx); err != nil {
+		return nil, err
+	}
+	return f.t.LocalFrequent(ctx, miner, localMin, maxLen)
+}
+
+// PartialSupports implements shard.Transport with faults ahead of the
+// wrapped call.
+func (f *Fault) PartialSupports(ctx context.Context, cands []ossm.Itemset, out []int64) error {
+	if err := f.inject(ctx); err != nil {
+		return err
+	}
+	return f.t.PartialSupports(ctx, cands, out)
+}
+
+// inject runs the fault schedule for one data call: partition check,
+// hang check, error draw, then latency.
+func (f *Fault) inject(ctx context.Context) error {
+	n := f.calls.Add(1)
+	if f.parted.Load() || f.inScheduledPartition(n) {
+		f.partedDrops.Add(1)
+		return ErrPartitioned
+	}
+	if f.hung.Load() || f.draw(f.hangRate) {
+		f.injectedHangs.Add(1)
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	if f.draw(rateFromBits(f.errRate.Load())) {
+		f.injectedErrs.Add(1)
+		return ErrInjected
+	}
+	if err := f.sleep(ctx); err != nil {
+		return err
+	}
+	return ctx.Err()
+}
+
+// inScheduledPartition reports whether call n (1-based) falls in a
+// scheduled partition window: the last partFor calls of every
+// partEvery-call cycle.
+func (f *Fault) inScheduledPartition(n int64) bool {
+	if f.partEvery <= 0 || f.partFor <= 0 {
+		return false
+	}
+	pos := (n - 1) % int64(f.partEvery)
+	return pos >= int64(f.partEvery-f.partFor)
+}
+
+// draw samples one Bernoulli decision from the seeded rng.
+func (f *Fault) draw(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	f.rngMu.Lock()
+	v := f.rng.Float64()
+	f.rngMu.Unlock()
+	return v < p
+}
+
+// sleep injects the configured latency, honoring ctx.
+func (f *Fault) sleep(ctx context.Context) error {
+	d := time.Duration(f.latency.Load())
+	if j := time.Duration(f.jitter.Load()); j > 0 {
+		f.rngMu.Lock()
+		d += time.Duration(f.rng.Int63n(int64(j)))
+		f.rngMu.Unlock()
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// rateBits / rateFromBits shuttle a probability through an atomic.
+func rateBits(p float64) uint64     { return uint64(p * 1e9) }
+func rateFromBits(b uint64) float64 { return float64(b) / 1e9 }

@@ -1,0 +1,157 @@
+package remote
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	ossm "github.com/ossm-mining/ossm"
+	"github.com/ossm-mining/ossm/internal/shard"
+)
+
+// faultFixture wraps one local shard in a Fault for direct (no-wire)
+// injection tests.
+func faultFixture(t *testing.T, cfg FaultConfig) (*Fault, []ossm.Itemset) {
+	t.Helper()
+	d, ix := fixture(t, 400, 8, ossm.RandomGreedy, 3)
+	locals, err := shard.NewLocalShards(ix, d, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(17))
+	return NewFault(shard.Transports(locals)[0], cfg), randomSets(r, ix.NumItems(), 8)
+}
+
+func boundsErr(f *Fault, ctx context.Context, sets []ossm.Itemset) error {
+	out := make([]int64, len(sets))
+	return f.PartialBounds(ctx, sets, out)
+}
+
+func TestFaultErrorScheduleIsDeterministic(t *testing.T) {
+	run := func() []bool {
+		f, sets := faultFixture(t, FaultConfig{Seed: 99, ErrorRate: 0.5})
+		var outcomes []bool
+		for i := 0; i < 40; i++ {
+			outcomes = append(outcomes, boundsErr(f, context.Background(), sets) == nil)
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	var failed int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("call %d: first run ok=%v, second run ok=%v — schedule not deterministic", i, a[i], b[i])
+		}
+		if !a[i] {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(a) {
+		t.Fatalf("error rate 0.5 over %d calls injected %d errors — draw looks broken", len(a), failed)
+	}
+}
+
+func TestFaultInjectedErrorsAreRecognizable(t *testing.T) {
+	f, sets := faultFixture(t, FaultConfig{ErrorRate: 1})
+	err := boundsErr(f, context.Background(), sets)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("err = %v, want ErrInjected", err)
+	}
+	st := f.Stats()
+	if st.Calls != 1 || st.InjectedErrors != 1 {
+		t.Fatalf("stats = %+v, want 1 call / 1 injected error", st)
+	}
+}
+
+func TestFaultHangHonorsContext(t *testing.T) {
+	f, sets := faultFixture(t, FaultConfig{})
+	f.SetHung(true)
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err := boundsErr(f, ctx, sets)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("hung call took %v despite a 20ms context", elapsed)
+	}
+	if st := f.Stats(); st.InjectedHangs != 1 {
+		t.Fatalf("stats = %+v, want 1 injected hang", st)
+	}
+	// Unhang: service restored.
+	f.SetHung(false)
+	if err := boundsErr(f, context.Background(), sets); err != nil {
+		t.Fatalf("after SetHung(false): %v", err)
+	}
+}
+
+func TestFaultScheduledPartitionWindows(t *testing.T) {
+	// Cycle of 5 with the last 2 dropped: calls 4,5,9,10,14,15,... fail.
+	f, sets := faultFixture(t, FaultConfig{PartitionEvery: 5, PartitionFor: 2})
+	for i := 1; i <= 15; i++ {
+		err := boundsErr(f, context.Background(), sets)
+		inWindow := (i-1)%5 >= 3
+		if inWindow && !errors.Is(err, ErrPartitioned) {
+			t.Fatalf("call %d: err = %v, want ErrPartitioned", i, err)
+		}
+		if !inWindow && err != nil {
+			t.Fatalf("call %d: err = %v, want success outside the window", i, err)
+		}
+	}
+	if st := f.Stats(); st.PartitionDrops != 6 {
+		t.Fatalf("stats = %+v, want 6 partition drops over 3 cycles", st)
+	}
+}
+
+func TestFaultRuntimePartitionAndHeal(t *testing.T) {
+	f, sets := faultFixture(t, FaultConfig{})
+	f.SetPartitioned(true)
+	if err := boundsErr(f, context.Background(), sets); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("partitioned err = %v, want ErrPartitioned", err)
+	}
+	// ErrPartitioned wraps ErrInjected so callers can treat all chaos alike.
+	if err := boundsErr(f, context.Background(), sets); !errors.Is(err, ErrInjected) {
+		t.Fatalf("partitioned err = %v, want it to wrap ErrInjected", err)
+	}
+	f.SetPartitioned(false)
+	if err := boundsErr(f, context.Background(), sets); err != nil {
+		t.Fatalf("after heal: %v", err)
+	}
+}
+
+func TestFaultLatencyDelaysButPreservesAnswers(t *testing.T) {
+	d, ix := fixture(t, 400, 8, ossm.RandomGreedy, 3)
+	locals, err := shard.NewLocalShards(ix, d, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFault(shard.Transports(locals)[0], FaultConfig{Latency: 30 * time.Millisecond})
+	r := rand.New(rand.NewSource(17))
+	sets := randomSets(r, ix.NumItems(), 8)
+	want := make([]int64, len(sets))
+	ix.UpperBoundBatch(sets, want)
+
+	start := time.Now()
+	got := make([]int64, len(sets))
+	if err := f.PartialBounds(context.Background(), sets, got); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("call returned in %v, want >= 30ms injected latency", elapsed)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bound[%d] = %d, want %d — latency must not corrupt data", i, got[i], want[i])
+		}
+	}
+	// Identity calls bypass injection entirely.
+	if seg := f.Info().Segments; seg.Hi-seg.Lo != ix.NumSegments() {
+		t.Fatalf("Info() passthrough broken: segments %+v", seg)
+	}
+	if !f.CanMine() || f.NumTx() != d.NumTx() {
+		t.Fatalf("CanMine/NumTx passthrough broken")
+	}
+}

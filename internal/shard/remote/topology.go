@@ -1,0 +1,99 @@
+package remote
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/ossm-mining/ossm/internal/shard"
+)
+
+// TopoShard maps one shard id to the worker address serving it.
+type TopoShard struct {
+	ID   int    `json:"id"`
+	Addr string `json:"addr"` // "host:port" or a full http:// URL
+}
+
+// Topology is a coordinator's map of the remote fleet — the parsed form
+// of the -topology file:
+//
+//	{"shards": [
+//	  {"id": 0, "addr": "127.0.0.1:7801"},
+//	  {"id": 1, "addr": "127.0.0.1:7802"}
+//	]}
+//
+// Shard ids must be exactly 0..n-1 (any order in the file); each id
+// owns the matching segment range of shard.PartitionSegments, which is
+// deterministic, so coordinator and workers agree on the slicing
+// without talking to each other.
+type Topology struct {
+	Shards []TopoShard `json:"shards"`
+}
+
+// ParseTopology decodes and validates a topology document.
+func ParseTopology(raw []byte) (*Topology, error) {
+	var t Topology
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&t); err != nil {
+		return nil, fmt.Errorf("remote: parsing topology: %w", err)
+	}
+	if err := t.validate(); err != nil {
+		return nil, err
+	}
+	sort.Slice(t.Shards, func(i, j int) bool { return t.Shards[i].ID < t.Shards[j].ID })
+	return &t, nil
+}
+
+// LoadTopology reads and validates a topology file.
+func LoadTopology(path string) (*Topology, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("remote: reading topology: %w", err)
+	}
+	return ParseTopology(raw)
+}
+
+func (t *Topology) validate() error {
+	if len(t.Shards) == 0 {
+		return fmt.Errorf("remote: topology lists no shards")
+	}
+	seen := make(map[int]bool, len(t.Shards))
+	for _, s := range t.Shards {
+		if s.ID < 0 || s.ID >= len(t.Shards) {
+			return fmt.Errorf("remote: topology shard id %d outside [0, %d)", s.ID, len(t.Shards))
+		}
+		if seen[s.ID] {
+			return fmt.Errorf("remote: topology shard id %d listed twice", s.ID)
+		}
+		seen[s.ID] = true
+		if _, err := normalizeAddr(s.Addr); err != nil {
+			return fmt.Errorf("remote: topology shard %d: %w", s.ID, err)
+		}
+	}
+	return nil
+}
+
+// NumShards is the fleet size the topology describes.
+func (t *Topology) NumShards() int { return len(t.Shards) }
+
+// Transports builds one Client per topology row for the named index,
+// in shard-id order, all drawing connections from cfg.HTTPClient (a
+// shared pool is created when nil). The result slots straight into
+// shard.NewFleet.
+func (t *Topology) Transports(index string, cfg ClientConfig) ([]shard.Transport, error) {
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = NewHTTPClient()
+	}
+	out := make([]shard.Transport, len(t.Shards))
+	for i, s := range t.Shards {
+		c, err := NewClient(s.ID, s.Addr, index, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	return out, nil
+}

@@ -1,0 +1,132 @@
+package remote
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseTopology(t *testing.T) {
+	cases := []struct {
+		name    string
+		raw     string
+		wantN   int
+		wantErr string // substring of the error, "" = success
+	}{
+		{
+			name:  "two shards in order",
+			raw:   `{"shards":[{"id":0,"addr":"127.0.0.1:7801"},{"id":1,"addr":"127.0.0.1:7802"}]}`,
+			wantN: 2,
+		},
+		{
+			name:  "ids out of file order are sorted",
+			raw:   `{"shards":[{"id":1,"addr":"b:1"},{"id":0,"addr":"a:1"}]}`,
+			wantN: 2,
+		},
+		{
+			name:  "full urls accepted",
+			raw:   `{"shards":[{"id":0,"addr":"http://worker-0.local:7801"}]}`,
+			wantN: 1,
+		},
+		{
+			name:    "empty shard list",
+			raw:     `{"shards":[]}`,
+			wantErr: "no shards",
+		},
+		{
+			name:    "gap in ids",
+			raw:     `{"shards":[{"id":0,"addr":"a:1"},{"id":2,"addr":"b:1"}]}`,
+			wantErr: "outside [0, 2)",
+		},
+		{
+			name:    "duplicate id",
+			raw:     `{"shards":[{"id":0,"addr":"a:1"},{"id":0,"addr":"b:1"}]}`,
+			wantErr: "listed twice",
+		},
+		{
+			name:    "negative id",
+			raw:     `{"shards":[{"id":-1,"addr":"a:1"}]}`,
+			wantErr: "outside",
+		},
+		{
+			name:    "empty addr",
+			raw:     `{"shards":[{"id":0,"addr":""}]}`,
+			wantErr: "shard 0",
+		},
+		{
+			name:    "unsupported scheme",
+			raw:     `{"shards":[{"id":0,"addr":"ftp://a:1"}]}`,
+			wantErr: "shard 0",
+		},
+		{
+			name:    "unknown field rejected",
+			raw:     `{"shards":[{"id":0,"addr":"a:1"}],"replicas":2}`,
+			wantErr: "unknown field",
+		},
+		{
+			name:    "not json",
+			raw:     `shards: [0]`,
+			wantErr: "parsing topology",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := ParseTopology([]byte(tc.raw))
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want substring %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if topo.NumShards() != tc.wantN {
+				t.Fatalf("NumShards() = %d, want %d", topo.NumShards(), tc.wantN)
+			}
+			for i, s := range topo.Shards {
+				if s.ID != i {
+					t.Fatalf("Shards[%d].ID = %d, want sorted by id", i, s.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestLoadTopologyAndTransports(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	raw := `{"shards":[{"id":0,"addr":"127.0.0.1:7801"},{"id":1,"addr":"http://127.0.0.1:7802"}]}`
+	if err := os.WriteFile(path, []byte(raw), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	transports, err := topo.Transports("retail", ClientConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(transports) != 2 {
+		t.Fatalf("got %d transports, want 2", len(transports))
+	}
+	for i, tr := range transports {
+		c, ok := tr.(*Client)
+		if !ok {
+			t.Fatalf("transport %d is %T, want *Client", i, tr)
+		}
+		if c.id != i {
+			t.Fatalf("client %d has id %d", i, c.id)
+		}
+	}
+	// Both clients share one connection pool.
+	c0, c1 := transports[0].(*Client), transports[1].(*Client)
+	if c0.http != c1.http {
+		t.Fatal("topology clients do not share the HTTP connection pool")
+	}
+
+	if _, err := LoadTopology(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("LoadTopology on a missing file succeeded")
+	}
+}

@@ -1,0 +1,195 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"github.com/ossm-mining/ossm/internal/shard"
+)
+
+// maxWireBody caps request and response bodies on both sides of the
+// shard wire: 4096-itemset batches of short itemsets fit with room to
+// spare, while a corrupt length or a hostile peer cannot balloon memory.
+const maxWireBody = 16 << 20
+
+// Worker serves shard.Transports over HTTP — the shard side of the
+// remote fleet. One worker process typically holds one segment-range
+// shard per index it has loaded (ossm-serve -shard-role=worker); the
+// handler routes on the index name carried in every request.
+//
+// Endpoints (all JSON):
+//
+//	GET  /healthz
+//	GET  /shard/v1/info?index=name
+//	POST /shard/v1/bounds     {index, itemsets} -> {bounds}
+//	POST /shard/v1/frequent   {index, miner, local_min, max_len} -> {itemsets}
+//	POST /shard/v1/supports   {index, itemsets} -> {supports}
+//
+// Admission, draining and mining capability are whatever the wrapped
+// Transport reports — a Worker adds no policy of its own, so a Fault
+// decorator slipped underneath makes a real HTTP shard misbehave for
+// chaos tests.
+type Worker struct {
+	mu      sync.RWMutex
+	entries map[string]workerEntry
+}
+
+type workerEntry struct {
+	t             shard.Transport
+	totalSegments int
+}
+
+// NewWorker returns a worker with no entries.
+func NewWorker() *Worker {
+	return &Worker{entries: make(map[string]workerEntry)}
+}
+
+// Add registers the transport serving the named index's shard.
+// totalSegments is the whole index's segment count (echoed in info so
+// coordinators can validate fleet tiling).
+func (w *Worker) Add(name string, t shard.Transport, totalSegments int) error {
+	if name == "" || t == nil {
+		return fmt.Errorf("remote: Worker.Add requires a name and a transport")
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, dup := w.entries[name]; dup {
+		return fmt.Errorf("remote: shard entry %q already registered", name)
+	}
+	w.entries[name] = workerEntry{t: t, totalSegments: totalSegments}
+	return nil
+}
+
+func (w *Worker) lookup(name string) (workerEntry, bool) {
+	w.mu.RLock()
+	defer w.mu.RUnlock()
+	e, ok := w.entries[name]
+	return e, ok
+}
+
+// Handler returns the worker's routing table.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
+		writeWireJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /shard/v1/info", w.handleInfo)
+	mux.HandleFunc("POST /shard/v1/bounds", w.handleBounds)
+	mux.HandleFunc("POST /shard/v1/frequent", w.handleFrequent)
+	mux.HandleFunc("POST /shard/v1/supports", w.handleSupports)
+	return mux
+}
+
+func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("index")
+	e, ok := w.lookup(name)
+	if !ok {
+		writeWireErr(rw, http.StatusNotFound, "unknown shard entry %q", name)
+		return
+	}
+	writeWireJSON(rw, http.StatusOK, InfoResponse{
+		Index:         name,
+		Info:          e.t.Info(),
+		CanMine:       e.t.CanMine(),
+		NumTx:         e.t.NumTx(),
+		TotalSegments: e.totalSegments,
+	})
+}
+
+func (w *Worker) handleBounds(rw http.ResponseWriter, r *http.Request) {
+	var req BoundsRequest
+	if !decodeWire(rw, r, &req) {
+		return
+	}
+	e, ok := w.lookup(req.Index)
+	if !ok {
+		writeWireErr(rw, http.StatusNotFound, "unknown shard entry %q", req.Index)
+		return
+	}
+	out := make([]int64, len(req.Sets))
+	if err := e.t.PartialBounds(r.Context(), req.Sets, out); err != nil {
+		writeShardErr(rw, r.Context(), err)
+		return
+	}
+	writeWireJSON(rw, http.StatusOK, BoundsResponse{Bounds: out})
+}
+
+func (w *Worker) handleFrequent(rw http.ResponseWriter, r *http.Request) {
+	var req FrequentRequest
+	if !decodeWire(rw, r, &req) {
+		return
+	}
+	e, ok := w.lookup(req.Index)
+	if !ok {
+		writeWireErr(rw, http.StatusNotFound, "unknown shard entry %q", req.Index)
+		return
+	}
+	sets, err := e.t.LocalFrequent(r.Context(), req.Miner, req.LocalMin, req.MaxLen)
+	if err != nil {
+		writeShardErr(rw, r.Context(), err)
+		return
+	}
+	writeWireJSON(rw, http.StatusOK, FrequentResponse{Sets: sets})
+}
+
+func (w *Worker) handleSupports(rw http.ResponseWriter, r *http.Request) {
+	var req SupportsRequest
+	if !decodeWire(rw, r, &req) {
+		return
+	}
+	e, ok := w.lookup(req.Index)
+	if !ok {
+		writeWireErr(rw, http.StatusNotFound, "unknown shard entry %q", req.Index)
+		return
+	}
+	out := make([]int64, len(req.Sets))
+	if err := e.t.PartialSupports(r.Context(), req.Sets, out); err != nil {
+		writeShardErr(rw, r.Context(), err)
+		return
+	}
+	writeWireJSON(rw, http.StatusOK, SupportsResponse{Supports: out})
+}
+
+// decodeWire strictly decodes one JSON body, reporting (and answering)
+// failure itself.
+func decodeWire(rw http.ResponseWriter, r *http.Request, v any) bool {
+	r.Body = http.MaxBytesReader(rw, r.Body, maxWireBody)
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeWireErr(rw, http.StatusBadRequest, "decoding request: %v", err)
+		return false
+	}
+	return true
+}
+
+// writeShardErr maps a transport failure onto the wire status the
+// client's retry policy keys on: 503 for admission rejection (retryable
+// with backoff), 504 when the caller's deadline expired mid-call, 500
+// for everything else (retryable — the call is idempotent).
+func writeShardErr(rw http.ResponseWriter, ctx context.Context, err error) {
+	switch {
+	case errors.Is(err, shard.ErrOverloaded):
+		writeWireErr(rw, http.StatusServiceUnavailable, "%v", err)
+	case ctx.Err() != nil || errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled):
+		writeWireErr(rw, http.StatusGatewayTimeout, "%v", err)
+	default:
+		writeWireErr(rw, http.StatusInternalServerError, "%v", err)
+	}
+}
+
+func writeWireJSON(rw http.ResponseWriter, code int, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(code)
+	enc := json.NewEncoder(rw)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeWireErr(rw http.ResponseWriter, code int, format string, args ...any) {
+	writeWireJSON(rw, code, errorBody{Error: fmt.Sprintf(format, args...)})
+}

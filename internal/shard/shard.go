@@ -30,6 +30,13 @@ import (
 // ErrOverloaded is returned by a shard that is at its admission cap.
 var ErrOverloaded = errors.New("shard: admission cap reached")
 
+// ErrUnavailable is returned by transports that cannot reach their
+// shard at all — a dead worker, an open circuit breaker, a retry budget
+// exhausted against a partitioned network. The serving layer maps it to
+// 503, like ErrOverloaded, because both mean "try again later", not
+// "the request was wrong".
+var ErrUnavailable = errors.New("shard: unavailable")
+
 // Range is a contiguous, half-open segment range [Lo, Hi).
 type Range struct {
 	Lo int `json:"lo"`

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke loadgen-smoke remote-smoke cover bench bench-kernels bench-loadgen examples experiments clean
+.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke loadgen-smoke remote-smoke ingest-smoke cover bench bench-kernels bench-loadgen examples experiments clean
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet race fuzz-smoke obs-smoke loadgen-smoke remote-smoke cover
+test: vet race fuzz-smoke obs-smoke loadgen-smoke remote-smoke ingest-smoke cover
 	$(GO) test ./...
 
 # End-to-end sweep of the observability surface through the real CLI:
@@ -30,19 +30,33 @@ loadgen-smoke:
 remote-smoke:
 	$(GO) test -run 'TestRemoteSmoke' -count=1 ./cmd/ossm-serve
 
+# Durability gate: a real ossm-serve ingesting a live stream is
+# SIGKILLed mid-stream, restarted on the same WAL directory, and must
+# recover every acknowledged record with exact counts. Part of the
+# default gate.
+ingest-smoke:
+	$(GO) test -run 'TestIngestSmoke' -count=1 ./cmd/ossm-serve
+
 # Coverage floor for the packages the serving path leans on: the facade
 # (bound queries, persistence, recipes), the HTTP server and the
-# observability layer. Fails if any drops below $(COVER_FLOOR)%.
+# observability layer. Fails if any drops below $(COVER_FLOOR)%. The
+# durability layer carries its own higher floor ($(WAL_COVER_FLOOR)%) —
+# the crash-point harness is expected to exercise nearly every path.
 COVER_FLOOR ?= 75
+WAL_COVER_FLOOR ?= 85
 cover:
-	@for pkg in . ./internal/server ./internal/obs ./internal/shard ./internal/shard/remote; do \
-		line=$$($(GO) test -cover $$pkg | grep -o 'coverage: [0-9.]*%' | head -1); \
+	@check() { \
+		line=$$($(GO) test -cover $$1 | grep -o 'coverage: [0-9.]*%' | head -1); \
 		pct=$$(echo $$line | sed 's/coverage: //; s/%//'); \
-		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$pkg"; exit 1; fi; \
-		echo "cover: $$pkg $$pct% (floor $(COVER_FLOOR)%)"; \
-		ok=$$(echo "$$pct $(COVER_FLOOR)" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
-		if [ "$$ok" != "1" ]; then echo "cover: $$pkg below the $(COVER_FLOOR)% floor"; exit 1; fi; \
-	done
+		if [ -z "$$pct" ]; then echo "cover: no coverage reported for $$1"; exit 1; fi; \
+		echo "cover: $$1 $$pct% (floor $$2%)"; \
+		ok=$$(echo "$$pct $$2" | awk '{print ($$1 >= $$2) ? 1 : 0}'); \
+		if [ "$$ok" != "1" ]; then echo "cover: $$1 below the $$2% floor"; exit 1; fi; \
+	}; \
+	for pkg in . ./internal/server ./internal/obs ./internal/shard ./internal/shard/remote; do \
+		check $$pkg $(COVER_FLOOR) || exit 1; \
+	done; \
+	check ./internal/wal $(WAL_COVER_FLOOR)
 
 race:
 	$(GO) test -race ./...
@@ -63,6 +77,7 @@ fuzz-smoke:
 	$(GO) test -run=NONE -fuzz FuzzBoundKernels     -fuzztime 10s ./internal/core
 	$(GO) test -run=NONE -fuzz FuzzIndexRoundTrip   -fuzztime 10s .
 	$(GO) test -run=NONE -fuzz FuzzAppenderSnapshot -fuzztime 10s .
+	$(GO) test -run=NONE -fuzz FuzzWALReplay        -fuzztime 10s ./internal/wal
 
 # Scaled-down deterministic versions of every paper table/figure plus
 # micro-benchmarks (see EXPERIMENTS.md for recorded full runs).

@@ -1,0 +1,187 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var recoveredRE = regexp.MustCompile(`ingest "live": recovered seq (\d+)`)
+
+// postIngest posts one ingest request and reports (acknowledged, seq).
+// Any transport or non-200 outcome counts as unacknowledged — exactly
+// the durability contract: only a 200 ack promises the record survives.
+func postIngest(client *http.Client, base, body string) (bool, uint64) {
+	resp, err := client.Post(base+"/v1/ingest", "application/json", strings.NewReader(body))
+	if err != nil {
+		return false, 0
+	}
+	defer resp.Body.Close()
+	var ack struct {
+		Seq uint64 `json:"seq"`
+	}
+	if resp.StatusCode != http.StatusOK || json.NewDecoder(resp.Body).Decode(&ack) != nil {
+		return false, 0
+	}
+	return true, ack.Seq
+}
+
+// TestIngestSmoke is the durability gate behind `make ingest-smoke`: a
+// real ossm-serve process accepting a live ingest stream is SIGKILLed
+// mid-stream with no warning, restarted on the same directory, and must
+// recover every acknowledged record — the restarted process reports a
+// recovered sequence number at least the highest acked one, and its
+// promoted index counts exactly the recovered transactions.
+func TestIngestSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ingest smoke skipped in -short mode")
+	}
+	binDir := t.TempDir()
+	serveBin := buildBinary(t, binDir, "ossm-serve")
+	storeDir := filepath.Join(binDir, "store")
+
+	args := []string{
+		"-addr", "127.0.0.1:0",
+		"-ingest", "live=" + storeDir,
+		"-ingest-items", "64",
+		"-ingest-snapshot-every", "8",
+		"-ingest-compact-every", "4",
+	}
+	base, out, proc := startProcess(t, serveBin, args...)
+	if !strings.Contains(out.String(), `ingest "live": fresh store`) {
+		t.Fatalf("first start did not report a fresh store; output:\n%s", out.String())
+	}
+
+	// Stream ingests from a goroutine; every transaction contains item 0,
+	// so the singleton bound for 0 equals the store's transaction count.
+	// SIGKILL lands mid-stream — whatever the writer managed to get acked
+	// by then is the durability obligation.
+	client := &http.Client{Timeout: 5 * time.Second}
+	var (
+		mu       sync.Mutex
+		ackedSeq uint64
+		acked    int
+	)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 1; ; i++ {
+			body := fmt.Sprintf(`{"tx":[0,%d]}`, 1+i%63)
+			ok, seq := postIngest(client, base, body)
+			if !ok {
+				return // the process is gone
+			}
+			mu.Lock()
+			acked++
+			if seq > ackedSeq {
+				ackedSeq = seq
+			}
+			mu.Unlock()
+		}
+	}()
+
+	// Let the stream cross at least one snapshot boundary, then kill.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		mu.Lock()
+		n := acked
+		mu.Unlock()
+		if n >= 20 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stream never reached 20 acked ingests; output:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := proc.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	mu.Lock()
+	wantSeq, wantAcked := ackedSeq, acked
+	mu.Unlock()
+	if uint64(wantAcked) != wantSeq {
+		t.Fatalf("acked %d ingests but highest acked seq is %d", wantAcked, wantSeq)
+	}
+
+	// Restart on the same directory: recovery must replay at least every
+	// acknowledged record.
+	base2, out2, _ := startProcess(t, serveBin, args...)
+	m := recoveredRE.FindStringSubmatch(out2.String())
+	if m == nil {
+		t.Fatalf("restart did not report a recovery; output:\n%s", out2.String())
+	}
+	recovered, err := strconv.ParseUint(m[1], 10, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recovered < wantSeq {
+		t.Fatalf("recovered seq %d < highest acked seq %d: acknowledged ingests lost\noutput:\n%s",
+			recovered, wantSeq, out2.String())
+	}
+
+	// The store is promoted into the registry at startup; its index must
+	// count exactly the recovered transactions (item 0 is in every one).
+	resp, err := client.Post(base2+"/v1/ubsup", "application/json",
+		strings.NewReader(`{"index":"live","itemset":[0]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ub struct {
+		Bound int64 `json:"bound"`
+		NumTx int64 `json:"num_tx"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&ub)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery ubsup: status %d, err %v", resp.StatusCode, err)
+	}
+	if ub.NumTx != int64(recovered) || ub.Bound != int64(recovered) {
+		t.Fatalf("recovered index counts num_tx=%d bound[0]=%d, want both %d",
+			ub.NumTx, ub.Bound, recovered)
+	}
+
+	// And the restarted store keeps accepting writes where it left off.
+	ok, seq := postIngest(client, base2, `{"tx":[0]}`)
+	if !ok || seq != recovered+1 {
+		t.Fatalf("post-recovery ingest: ok=%v seq=%d, want seq %d", ok, seq, recovered+1)
+	}
+
+	// The WAL directory holds exactly one live (snapshot, WAL) epoch pair
+	// plus the retained previous pair — truncation kept up under the kill.
+	entries, err := os.ReadDir(storeDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snaps, wals int
+	for _, e := range entries {
+		switch {
+		case strings.HasSuffix(e.Name(), ".snap"):
+			snaps++
+		case strings.HasSuffix(e.Name(), ".log"):
+			wals++
+		}
+	}
+	if snaps == 0 || snaps > 2 || wals == 0 || wals > 2 {
+		t.Fatalf("store dir holds %d snapshots and %d WALs, want 1-2 of each: %v",
+			snaps, wals, names(entries))
+	}
+}
+
+func names(entries []os.DirEntry) []string {
+	var out []string
+	for _, e := range entries {
+		out = append(out, e.Name())
+	}
+	return out
+}

@@ -8,11 +8,13 @@
 //
 //	ossm-serve -addr :7717 -index retail=retail.ossm -data retail=retail.bin
 //	ossm-serve -data retail=retail.bin -build-segments 40
+//	ossm-serve -ingest live=/var/lib/ossm/live -ingest-items 1024
 //
 // Endpoints: GET /healthz, GET /v1/indexes, POST /v1/ubsup,
-// POST /v1/mine, GET /v1/metrics (JSON) and GET /metrics (Prometheus
-// text), GET /v1/traces, and /debug/pprof/ behind -pprof. See README.md
-// for the request shapes and the observability surface.
+// POST /v1/mine, POST /v1/ingest (durable stores only), GET /v1/metrics
+// (JSON) and GET /metrics (Prometheus text), GET /v1/traces, and
+// /debug/pprof/ behind -pprof. See README.md for the request shapes and
+// the observability surface.
 package main
 
 import (
@@ -37,6 +39,7 @@ import (
 	"github.com/ossm-mining/ossm/internal/server"
 	"github.com/ossm-mining/ossm/internal/shard"
 	"github.com/ossm-mining/ossm/internal/shard/remote"
+	"github.com/ossm-mining/ossm/internal/wal"
 )
 
 // kvList collects repeated name=path flags.
@@ -88,6 +91,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		shardID  = fs.Int("shard-id", -1, "this worker's shard id in [0, shard-count) (worker role)")
 		shardCnt = fs.Int("shard-count", 0, "fleet width the worker slices every index into (worker role)")
 		topoPath = fs.String("topology", "", "topology file mapping shard ids to worker addresses; routes sharded serving over remote workers (SIGHUP re-reads it)")
+		ingestKV = fs.String("ingest", "", "name=dir of a durable ingest store; recovers WAL + snapshots from dir and accepts POST /v1/ingest")
+		ingItems = fs.Int("ingest-items", 1024, "item domain size [0, n) of the -ingest store")
+		ingSnap  = fs.Int("ingest-snapshot-every", 256, "ingested records between automatic snapshots (each truncates the WAL)")
+		ingComp  = fs.Int("ingest-compact-every", 64, "ingested records between background compactions that promote the store into the registry")
 	)
 	fs.Var(&indexes, "index", "name=path of a saved OSSM index (repeatable)")
 	fs.Var(&datasets, "data", "name=path of a dataset to attach for /v1/mine (repeatable)")
@@ -98,8 +105,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "ossm-serve: unexpected arguments: %v\n", fs.Args())
 		return 2
 	}
-	if len(indexes) == 0 && len(datasets) == 0 {
-		fmt.Fprintln(stderr, "ossm-serve: at least one -index or -data entry is required")
+	if len(indexes) == 0 && len(datasets) == 0 && *ingestKV == "" {
+		fmt.Fprintln(stderr, "ossm-serve: at least one -index, -data or -ingest entry is required")
 		return 2
 	}
 	level, err := obs.ParseLevel(*logLevel)
@@ -112,6 +119,10 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	switch *role {
 	case "":
 	case "worker":
+		if *ingestKV != "" {
+			fmt.Fprintln(stderr, "ossm-serve: -ingest needs the serving role; a worker serves read-only shard slices")
+			return 2
+		}
 		return runWorker(ctx, workerConfig{
 			addr: *addr, shardID: *shardID, shardCount: *shardCnt,
 			indexes: indexes, datasets: datasets, buildSeg: *buildSeg,
@@ -141,6 +152,19 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 			logger.Error("startup failed", slog.String("error", err.Error()))
 			return 1
 		}
+	}
+	if *ingestKV != "" {
+		ing, err := wireIngest(srv, *ingestKV, *ingItems, *ingSnap, *ingComp, stdout)
+		if err != nil {
+			logger.Error("startup failed", slog.String("error", err.Error()))
+			return 1
+		}
+		defer func() {
+			ing.Close()
+			if err := ing.Store().Close(); err != nil {
+				logger.Error("ingest store close failed", slog.String("error", err.Error()))
+			}
+		}()
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -215,6 +239,46 @@ func loadEntries(srv *server.Server, indexes, datasets kvList, buildSeg int, std
 		}
 	}
 	return nil
+}
+
+// wireIngest recovers the durable ingest store under dir and mounts it
+// on the server: POST /v1/ingest appends to its WAL, and the background
+// compactor promotes re-segmented snapshots into the registry under the
+// configured name. Promotion re-segments with RandomGreedy — the same
+// quality/speed trade -build-segments makes for offline builds.
+func wireIngest(srv *server.Server, kv string, items, snapEvery, compactEvery int, stdout io.Writer) (*server.Ingester, error) {
+	name, dir, ok := strings.Cut(kv, "=")
+	if !ok || name == "" || dir == "" {
+		return nil, fmt.Errorf("-ingest: want name=dir, got %q", kv)
+	}
+	dfs, err := wal.DirFS(dir)
+	if err != nil {
+		return nil, err
+	}
+	store, info, err := wal.Open(dfs, wal.Options{
+		NumItems:         items,
+		SnapshotEvery:    snapEvery,
+		PromoteAlgorithm: ossm.RandomGreedy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	ing, err := srv.EnableIngest(name, store, server.IngestConfig{CompactEvery: compactEvery})
+	if err != nil {
+		store.Close()
+		return nil, err
+	}
+	if info.Fresh {
+		fmt.Fprintf(stdout, "ingest %q: fresh store in %s (%d items)\n", name, dir, items)
+	} else {
+		torn := ""
+		if info.TornTail != "" {
+			torn = ", torn tail: " + info.TornTail
+		}
+		fmt.Fprintf(stdout, "ingest %q: recovered seq %d (snapshot %d + %d replayed records%s)\n",
+			name, info.Seq, info.SnapshotSeq, info.Replayed, torn)
+	}
+	return ing, nil
 }
 
 // wireTopology routes the server's sharded serving over the remote

@@ -141,6 +141,91 @@ func (a *Appender) compact() error {
 // NumTx returns the number of transactions appended so far.
 func (a *Appender) NumTx() int64 { return a.total }
 
+// AppenderState is the complete replayable state of an Appender: the
+// configuration it was created with plus everything Add has accumulated.
+// It is the unit of durability for write-ahead-logged ingestion
+// (internal/wal): persist a State, replay the WAL tail through Add, and
+// the appender is bit-identical to one that never stopped — Add and
+// compact are deterministic given (state, transaction sequence).
+type AppenderState struct {
+	NumItems    int
+	PageSize    int
+	MaxSegments int
+	CompactAt   int
+	Algorithm   Algorithm
+	Bubble      []dataset.Item
+	Seed        int64 // the *current* seed (advanced by past compactions)
+
+	Rows  [][]uint32 // completed-page / compacted segment rows
+	Cur   []uint32   // partial-page singleton counts
+	CurN  int        // transactions in the partial page
+	Total int64      // transactions appended overall
+}
+
+// State returns a deep copy of the appender's complete state; the
+// appender and the copy evolve independently afterwards.
+func (a *Appender) State() AppenderState {
+	st := AppenderState{
+		NumItems:    a.numItems,
+		PageSize:    a.pageSize,
+		MaxSegments: a.maxSegments,
+		CompactAt:   a.compactAt,
+		Algorithm:   a.alg,
+		Seed:        a.seed,
+		CurN:        a.curN,
+		Total:       a.total,
+	}
+	if a.bubble != nil {
+		st.Bubble = append([]dataset.Item(nil), a.bubble...)
+	}
+	st.Rows = make([][]uint32, len(a.rows))
+	for i, row := range a.rows {
+		st.Rows[i] = append([]uint32(nil), row...)
+	}
+	st.Cur = append([]uint32(nil), a.cur...)
+	return st
+}
+
+// RestoreAppender reconstructs an Appender from a State (deep-copying, so
+// the state stays reusable). It validates the configuration exactly like
+// NewAppender plus the state invariants a corrupted snapshot could break.
+func RestoreAppender(st AppenderState) (*Appender, error) {
+	a, err := NewAppender(st.NumItems, AppenderOptions{
+		PageSize:    st.PageSize,
+		MaxSegments: st.MaxSegments,
+		CompactAt:   st.CompactAt,
+		Algorithm:   st.Algorithm,
+		Bubble:      st.Bubble,
+		Seed:        st.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Cur) != st.NumItems {
+		return nil, fmt.Errorf("core: restore: partial page has %d cells, domain %d", len(st.Cur), st.NumItems)
+	}
+	if st.CurN < 0 || st.CurN >= a.pageSize {
+		return nil, fmt.Errorf("core: restore: partial page holds %d transactions, page size %d", st.CurN, a.pageSize)
+	}
+	if st.Total < 0 {
+		return nil, fmt.Errorf("core: restore: negative transaction total %d", st.Total)
+	}
+	if len(st.Rows) >= a.compactAt {
+		return nil, fmt.Errorf("core: restore: %d rows exceed the compaction threshold %d", len(st.Rows), a.compactAt)
+	}
+	a.rows = make([][]uint32, len(st.Rows))
+	for i, row := range st.Rows {
+		if len(row) != st.NumItems {
+			return nil, fmt.Errorf("core: restore: row %d has %d cells, domain %d", i, len(row), st.NumItems)
+		}
+		a.rows[i] = append([]uint32(nil), row...)
+	}
+	copy(a.cur, st.Cur)
+	a.curN = st.CurN
+	a.total = st.Total
+	return a, nil
+}
+
 // Segments returns the current working-set size (completed rows, not
 // counting the partial page).
 func (a *Appender) Segments() int { return len(a.rows) }

@@ -19,6 +19,20 @@ var mapMagic = [8]byte{'O', 'S', 'S', 'M', 'M', 'A', 'P', '1'}
 // ErrBadMapFormat is returned when parsing a serialized Map fails.
 var ErrBadMapFormat = errors.New("core: bad OSSM map format")
 
+// ErrTruncated is returned when a serialized Map ends before its header
+// promises — the stream is a valid prefix cut short (a torn write, a
+// partial copy), not structural corruption. Recovery paths use the
+// distinction: a truncated snapshot means "fall back to an earlier one",
+// a corrupt header means "the file was never a map". Truncation is
+// still a failed parse, so these errors match ErrBadMapFormat too.
+var ErrTruncated = fmt.Errorf("%w: truncated", ErrBadMapFormat)
+
+// shortRead classifies a ReadFull failure: end-of-stream errors mean the
+// input was cut off, anything else is an I/O failure to pass through.
+func shortRead(err error) bool {
+	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
 // WriteMap serializes m.
 func WriteMap(w io.Writer, m *Map) error {
 	bw := bufio.NewWriter(w)
@@ -46,6 +60,9 @@ func ReadMap(r io.Reader) (*Map, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if shortRead(err) {
+			return nil, fmt.Errorf("%w: reading magic: %v", ErrTruncated, err)
+		}
 		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadMapFormat, err)
 	}
 	if magic != mapMagic {
@@ -53,6 +70,9 @@ func ReadMap(r io.Reader) (*Map, error) {
 	}
 	var hdr [8]byte
 	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		if shortRead(err) {
+			return nil, fmt.Errorf("%w: reading header: %v", ErrTruncated, err)
+		}
 		return nil, fmt.Errorf("%w: reading header: %v", ErrBadMapFormat, err)
 	}
 	numItems := int(binary.LittleEndian.Uint32(hdr[0:4]))
@@ -70,6 +90,9 @@ func ReadMap(r io.Reader) (*Map, error) {
 	buf := make([]byte, 4*numItems)
 	for s := 0; s < numSegs; s++ {
 		if _, err := io.ReadFull(br, buf); err != nil {
+			if shortRead(err) {
+				return nil, fmt.Errorf("%w: segment %d: %v", ErrTruncated, s, err)
+			}
 			return nil, fmt.Errorf("%w: segment %d: %v", ErrBadMapFormat, s, err)
 		}
 		row := flat[s*numItems : (s+1)*numItems]

@@ -37,6 +37,10 @@ type obsState struct {
 	mineKernel   *obs.CounterVec   // ossm_mine_kernel_total{outcome}
 	mineWaiting  atomic.Int64      // requests parked on the admission semaphore
 
+	ingests    *obs.CounterVec // ossm_ingest_total{outcome}
+	snapshots  *obs.CounterVec // ossm_snapshot_total{outcome}
+	compaction *obs.Histogram  // ossm_compaction_seconds
+
 	shardRequests *obs.CounterVec // ossm_shard_requests_total{shard,outcome}
 	shardHedges   *obs.CounterVec // ossm_shard_hedges_total{event}
 
@@ -72,6 +76,19 @@ func (s *Server) initObs() {
 		"Cumulative candidate accounting of completed mining runs, by stage (generated, pruned, counted).", "stage")
 	o.mineKernel = r.CounterVec("ossm_mine_kernel_total",
 		"Bound-kernel shortcut decisions of completed mining runs, by outcome (early_exit, abandoned).", "outcome")
+	o.ingests = r.CounterVec("ossm_ingest_total",
+		"Durable ingest requests, by outcome (ok, invalid, error).", "outcome")
+	o.snapshots = r.CounterVec("ossm_snapshot_total",
+		"WAL snapshot attempts, by outcome (ok, error).", "outcome")
+	o.compaction = r.Histogram("ossm_compaction_seconds",
+		"Wall-clock seconds per ingest compaction (re-segmentation before promotion).", obs.DefBuckets)
+	r.GaugeFunc("ossm_wal_bytes", "Bytes in the active WAL file awaiting the next snapshot.",
+		func() float64 {
+			if ing := s.ingest.Load(); ing != nil {
+				return float64(ing.store.WALBytes())
+			}
+			return 0
+		})
 	o.shardRequests = r.CounterVec("ossm_shard_requests_total",
 		"Scatter-gather shard calls, by shard id and outcome (ok, error, overloaded).", "shard", "outcome")
 	o.shardHedges = r.CounterVec("ossm_shard_hedges_total",
@@ -155,7 +172,7 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // be driven by clients.
 func routeLabel(path string) string {
 	switch path {
-	case "/healthz", "/v1/indexes", "/v1/ubsup", "/v1/mine", "/v1/metrics", "/metrics", "/v1/traces":
+	case "/healthz", "/v1/indexes", "/v1/ubsup", "/v1/ingest", "/v1/mine", "/v1/metrics", "/metrics", "/v1/traces":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof/") {

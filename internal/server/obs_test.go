@@ -57,7 +57,8 @@ func maskExposition(text string) string {
 			name = series[:i]
 		}
 		if strings.HasPrefix(name, "go_") || name == "ossm_uptime_seconds" ||
-			strings.HasPrefix(name, "ossm_http_request_duration_seconds") {
+			strings.HasPrefix(name, "ossm_http_request_duration_seconds") ||
+			strings.HasPrefix(name, "ossm_compaction_seconds") {
 			line = series + " <V>"
 		}
 		out = append(out, line)
@@ -69,13 +70,21 @@ func maskExposition(text string) string {
 // every family, HELP/TYPE header, label set and deterministic value —
 // and lints it with the promtool-style checker.
 func TestPrometheusGolden(t *testing.T) {
-	_, ts, _, _ := newTestServer(t, Config{})
+	s, ts, _, _ := newTestServer(t, Config{})
 	// Deterministic traffic: two ubsup queries (second a cache hit), one
 	// mining run, one 404.
 	postJSON(t, ts.Client(), ts.URL+"/v1/ubsup", `{"index":"retail","itemset":[1,2]}`)
 	postJSON(t, ts.Client(), ts.URL+"/v1/ubsup", `{"index":"retail","itemset":[1,2]}`)
 	postJSON(t, ts.Client(), ts.URL+"/v1/mine", `{"index":"retail","support":0.1}`)
 	postJSON(t, ts.Client(), ts.URL+"/v1/ubsup", `{"index":"nope","itemset":[1]}`)
+	// Durable ingest traffic: two acknowledged appends (the second trips
+	// the SnapshotEvery=2 snapshot, zeroing ossm_wal_bytes) plus one
+	// rejected request. CompactEvery is set too high for the background
+	// compactor to run, keeping the scrape deterministic.
+	enableTestIngest(t, s, IngestConfig{CompactEvery: 1 << 20, CompactInterval: -1})
+	postJSON(t, ts.Client(), ts.URL+"/v1/ingest", `{"tx":[1,2,3]}`)
+	postJSON(t, ts.Client(), ts.URL+"/v1/ingest", `{"batch":[[0,2],[4]]}`)
+	postJSON(t, ts.Client(), ts.URL+"/v1/ingest", `{}`)
 
 	resp, err := ts.Client().Get(ts.URL + "/metrics")
 	if err != nil {

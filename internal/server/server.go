@@ -128,6 +128,11 @@ type Server struct {
 	remoteFn func(name string) ([]shard.Transport, error)
 	topoGen  atomic.Uint64
 
+	// Durable ingest (EnableIngest): the WAL-backed write path plus its
+	// background compactor. Nil until enabled; atomic so the metrics
+	// closures and the handler race-freely observe the flip.
+	ingest atomic.Pointer[Ingester]
+
 	// obs holds the serving observability layer: tracer, Prometheus
 	// metrics registry and access logger (see obs.go).
 	obs obsState
@@ -497,6 +502,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/indexes", s.handleIndexes)
 	mux.HandleFunc("POST /v1/ubsup", s.handleUbsup)
+	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
 	// Both metrics paths share the one content-negotiating handler:

@@ -1,0 +1,205 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	ossm "github.com/ossm-mining/ossm"
+)
+
+// The crash-point recovery harness. One oracle run drives a Store over a
+// journaling MemFS; then, for EVERY journaled durable operation n and
+// every tear mode, the harness materializes the disk as it would look if
+// the process died right after operation n, reopens the store, and
+// asserts:
+//
+//  1. Recovery never errors — any crash state is openable.
+//  2. Zero acknowledged ingests are lost: the recovered sequence number
+//     is at least the highest Append that had returned before the crash
+//     (and never exceeds what was ever attempted).
+//  3. The recovered state is bit-identical to the oracle: the in-memory
+//     appender state equals an uninterrupted run over the same prefix of
+//     records, and the serialized promoted index matches byte for byte.
+
+// ackPoint records that record seq was acknowledged once the journal
+// held ops operations.
+type ackPoint struct {
+	seq uint64
+	ops int
+}
+
+// ackedBy returns the highest sequence number acknowledged by the time
+// the journal held n operations.
+func ackedBy(acks []ackPoint, n int) uint64 {
+	var seq uint64
+	for _, a := range acks {
+		if a.ops <= n {
+			seq = a.seq
+		}
+	}
+	return seq
+}
+
+// indexBytes serializes the store's promoted index (nil for an empty
+// store — comparable directly with bytes from oracleIndexBytes).
+func indexBytes(t *testing.T, s *Store) []byte {
+	t.Helper()
+	ix, _, err := s.Index()
+	if errors.Is(err, ErrEmpty) {
+		return nil
+	}
+	if err != nil {
+		t.Fatalf("Index: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatalf("WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// oracleIndexBytes runs the same promotion over an oracle state.
+func oracleIndexBytes(t *testing.T, opts Options, st ossm.AppenderState) []byte {
+	t.Helper()
+	ix, err := indexFromState(opts, st)
+	if errors.Is(err, ErrEmpty) {
+		return nil
+	}
+	if err != nil {
+		t.Fatalf("oracle index: %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatalf("oracle WriteTo: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// runWorkload drives a fresh store over fs through every batch,
+// recording the journal position at which each record was acknowledged.
+func runWorkload(t *testing.T, fs *MemFS, opts Options, batches [][]ossm.Itemset) []ackPoint {
+	t.Helper()
+	s, _, err := Open(fs, opts)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	acks := make([]ackPoint, 0, len(batches))
+	for i, b := range batches {
+		seq, err := s.Append(b)
+		if err != nil {
+			t.Fatalf("Append %d: %v", i, err)
+		}
+		acks = append(acks, ackPoint{seq: seq, ops: fs.NumOps()})
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return acks
+}
+
+// verifyCrashPoint opens a crashed disk and checks the three harness
+// invariants against the oracle. It returns the recovered store's fs for
+// nested (crash-during-recovery) probing and the recovered sequence.
+func verifyCrashPoint(t *testing.T, crashed *MemFS, opts Options, oracle []ossm.AppenderState,
+	oracleIx [][]byte, ackedSeq uint64, label string) uint64 {
+	t.Helper()
+	s, info, err := Open(crashed, opts)
+	if err != nil {
+		t.Fatalf("%s: recovery failed: %v", label, err)
+	}
+	defer s.Close()
+	r := info.Seq
+	if r < ackedSeq {
+		t.Fatalf("%s: recovered seq %d < acknowledged %d — acknowledged ingest lost", label, r, ackedSeq)
+	}
+	if r >= uint64(len(oracle)) {
+		t.Fatalf("%s: recovered seq %d beyond the %d records ever sent", label, r, len(oracle)-1)
+	}
+	if got := s.app.State(); !reflect.DeepEqual(got, oracle[r]) {
+		t.Fatalf("%s: recovered state at seq %d diverged from oracle", label, r)
+	}
+	if got := indexBytes(t, s); !bytes.Equal(got, oracleIx[r]) {
+		t.Fatalf("%s: promoted index at seq %d not bit-identical to oracle", label, r)
+	}
+	return r
+}
+
+func TestCrashPointRecovery(t *testing.T) {
+	opts := testOptions()
+	opts.PromoteAlgorithm = ossm.RandomGreedy
+	opts.PromoteSegments = 3
+	batches := randBatches(rand.New(rand.NewSource(7)), opts.NumItems, 24)
+	oracle := oracleStates(t, opts, batches)
+	oracleIx := make([][]byte, len(oracle))
+	for r, st := range oracle {
+		oracleIx[r] = oracleIndexBytes(t, opts, st)
+	}
+
+	fs := NewMemFS()
+	acks := runWorkload(t, fs, opts, batches)
+	total := fs.NumOps()
+	if total < 3*len(batches) {
+		t.Fatalf("suspiciously small journal: %d ops for %d batches", total, len(batches))
+	}
+
+	for n := 0; n <= total; n++ {
+		for _, tear := range Tears {
+			label := labelFor(n, tear)
+			crashed := fs.CrashStateAt(n, tear)
+			verifyCrashPoint(t, crashed, opts, oracle, oracleIx, ackedBy(acks, n), label)
+		}
+	}
+}
+
+func labelFor(n int, tear Tear) string {
+	return fmt.Sprintf("crash after op %d, tear=%s", n, tear)
+}
+
+// TestCrashDuringRecovery composes two crashes: the process dies
+// mid-workload, the restarted process dies at every point of its own
+// recovery (which rewrites a snapshot and truncates), and a third
+// process must still recover without losing anything the first process
+// acknowledged.
+func TestCrashDuringRecovery(t *testing.T) {
+	opts := testOptions()
+	batches := randBatches(rand.New(rand.NewSource(8)), opts.NumItems, 12)
+	oracle := oracleStates(t, opts, batches)
+	oracleIx := make([][]byte, len(oracle))
+	for r, st := range oracle {
+		oracleIx[r] = oracleIndexBytes(t, opts, st)
+	}
+
+	fs := NewMemFS()
+	acks := runWorkload(t, fs, opts, batches)
+	total := fs.NumOps()
+
+	// A spread of first-crash points; every op would be total² recoveries.
+	for _, n := range []int{total / 4, total / 2, total - 1} {
+		acked := ackedBy(acks, n)
+		crashed := fs.CrashStateAt(n, TearHalf)
+
+		// Run recovery once on a throwaway copy to journal its ops.
+		probe := crashed.CrashStateAt(0, TearKeep)
+		s, info, err := Open(probe, opts)
+		if err != nil {
+			t.Fatalf("first recovery at op %d: %v", n, err)
+		}
+		firstSeq := info.Seq
+		s.Close()
+
+		for m := 0; m <= probe.NumOps(); m++ {
+			for _, tear := range Tears {
+				label := fmt.Sprintf("recovery crash %d/%d tear=%s", n, m, tear)
+				second := probe.CrashStateAt(m, tear)
+				r := verifyCrashPoint(t, second, opts, oracle, oracleIx, acked, label)
+				if r != firstSeq {
+					t.Fatalf("%s: second recovery reached seq %d, first reached %d", label, r, firstSeq)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,108 @@
+// Package wal is the durable ingest lifecycle behind ossm-serve's write
+// path: a length-prefixed, CRC32C-framed write-ahead log in front of the
+// streaming Appender, periodic snapshots that truncate the log, and crash
+// recovery that loads the newest valid snapshot and replays the WAL tail,
+// stopping cleanly at a torn final record.
+//
+// Every byte the package persists flows through the FS interface, so the
+// whole lifecycle runs identically over a real directory (DirFS) and over
+// the journaling in-memory filesystem (MemFS) the crash-point harness
+// uses to kill the pipeline at every sync boundary and partial write.
+package wal
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FS is the flat-namespace filesystem a Store persists through. The
+// contract the recovery protocol leans on:
+//
+//   - Write buffers; only Sync makes the written bytes durable. A crash
+//     may lose or tear (truncate at any byte) everything written since
+//     the last Sync.
+//   - Rename and Remove are atomic metadata operations, durable once
+//     SyncDir returns (POSIX same-directory rename; the store never
+//     renames across directories).
+type FS interface {
+	// Create opens a new file for writing, truncating any existing one.
+	Create(name string) (File, error)
+	// Open opens an existing file for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname's file.
+	Rename(oldname, newname string) error
+	// Remove deletes a file (succeeding when it is already gone).
+	Remove(name string) error
+	// List returns every file name in the store, in any order.
+	List() ([]string, error)
+	// SyncDir makes completed Create/Rename/Remove operations durable.
+	SyncDir() error
+}
+
+// File is one writable or readable file of an FS.
+type File interface {
+	io.Reader
+	io.Writer
+	// Sync makes every byte written so far durable.
+	Sync() error
+	Close() error
+}
+
+// dirFS is the production FS: one OS directory, fsync for durability.
+type dirFS struct {
+	dir string
+}
+
+// DirFS returns an FS rooted at dir, creating the directory if needed.
+func DirFS(dir string) (FS, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &dirFS{dir: dir}, nil
+}
+
+func (fs *dirFS) path(name string) string { return filepath.Join(fs.dir, name) }
+
+func (fs *dirFS) Create(name string) (File, error) {
+	return os.OpenFile(fs.path(name), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+}
+
+func (fs *dirFS) Open(name string) (File, error) { return os.Open(fs.path(name)) }
+
+func (fs *dirFS) Rename(oldname, newname string) error {
+	return os.Rename(fs.path(oldname), fs.path(newname))
+}
+
+func (fs *dirFS) Remove(name string) error {
+	err := os.Remove(fs.path(name))
+	if os.IsNotExist(err) {
+		return nil
+	}
+	return err
+}
+
+func (fs *dirFS) List() ([]string, error) {
+	entries, err := os.ReadDir(fs.dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (fs *dirFS) SyncDir() error {
+	d, err := os.Open(fs.dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

@@ -1,0 +1,56 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// FuzzWALReplay feeds arbitrary bytes through the WAL reader and checks
+// the replay safety contract:
+//
+//   - DecodeAll never panics and never over-allocates past the input.
+//   - The reported offset is an exact truncation point: it never exceeds
+//     the input, a nil error means the input ended on a record boundary,
+//     and any error is classified ErrTorn or ErrCorrupt.
+//   - Nothing is applied past a bad CRC: re-encoding the decoded records
+//     reproduces input[:offset] byte for byte, so every surfaced record
+//     came from a fully-validated frame — a corrupted or torn suffix can
+//     not smuggle transactions into the appender.
+func FuzzWALReplay(f *testing.F) {
+	var seed []byte
+	seed = AppendRecord(seed, 1, []dataset.Itemset{itemset(0, 2, 5)})
+	seed = AppendRecord(seed, 2, []dataset.Itemset{itemset(), itemset(7)})
+	f.Add(seed)
+	f.Add(seed[:len(seed)-3]) // torn tail
+	flipped := append([]byte(nil), seed...)
+	flipped[len(flipped)/2] ^= 0x20 // CRC damage
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, off, err := DecodeAll(data)
+		if off < 0 || off > len(data) {
+			t.Fatalf("offset %d outside input of %d bytes", off, len(data))
+		}
+		switch {
+		case err == nil:
+			if off != len(data) {
+				t.Fatalf("nil error but offset %d != %d", off, len(data))
+			}
+		case errors.Is(err, ErrTorn), errors.Is(err, ErrCorrupt):
+		default:
+			t.Fatalf("unclassified decode error: %v", err)
+		}
+		var re []byte
+		for _, rec := range recs {
+			re = AppendRecord(re, rec.Seq, rec.Txs)
+		}
+		if !bytes.Equal(re, data[:off]) {
+			t.Fatalf("re-encoding %d records diverged from input prefix of %d bytes", len(recs), off)
+		}
+	})
+}

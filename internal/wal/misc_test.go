@@ -1,0 +1,160 @@
+package wal
+
+import (
+	"errors"
+	ossm "github.com/ossm-mining/ossm"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestSetOnSnapshot(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	var saw []error
+	s.SetOnSnapshot(func(err error) { saw = append(saw, err) })
+	if _, err := s.Append([]ossm.Itemset{itemset(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if len(saw) != 1 || saw[0] != nil {
+		t.Fatalf("hook observed %v, want one nil", saw)
+	}
+}
+
+func TestParseSeqRejects(t *testing.T) {
+	for _, name := range []string{
+		"wal-0000000000000001.log",   // wrong prefix for snap
+		"snap-0000000000000001.log",  // wrong suffix
+		"snap-1.snap",                // not zero-padded to 16
+		"snap-zzzzzzzzzzzzzzzz.snap", // not hex
+	} {
+		if _, ok := parseSeq(name, snapPrefix, snapSuffix); ok {
+			t.Errorf("parseSeq accepted %q", name)
+		}
+	}
+	if seq, ok := parseSeq("snap-00000000000000ff.snap", snapPrefix, snapSuffix); !ok || seq != 0xff {
+		t.Fatalf("parseSeq = %d, %v", seq, ok)
+	}
+}
+
+func TestTearString(t *testing.T) {
+	for tear, want := range map[Tear]string{
+		TearDrop: "drop", TearHalf: "half", TearKeep: "keep", Tear(99): "Tear(99)",
+	} {
+		if got := tear.String(); got != want {
+			t.Errorf("Tear(%d).String() = %q, want %q", int(tear), got, want)
+		}
+	}
+}
+
+// TestMemFSFileSemantics pins the reader/writer handle contracts the
+// store relies on: read handles are immutable snapshots that reject
+// writes, and write handles on removed files fail instead of resurrecting
+// them.
+func TestMemFSFileSemantics(t *testing.T) {
+	fs := NewMemFS()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := fs.Open("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(r)
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("read %q, %v", data, err)
+	}
+	if _, err := r.Write([]byte("x")); err == nil {
+		t.Fatal("write through a read handle succeeded")
+	}
+	if err := r.Sync(); err != nil {
+		t.Fatalf("reader Sync: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("reader Close: %v", err)
+	}
+
+	// A write handle does not keep a removed file alive.
+	if err := fs.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); err == nil || !strings.Contains(err.Error(), "removed") {
+		t.Fatalf("write to removed file: %v", err)
+	}
+	if err := f.Sync(); err == nil || !strings.Contains(err.Error(), "removed") {
+		t.Fatalf("sync of removed file: %v", err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("writer Close: %v", err)
+	}
+
+	if _, err := fs.Open("a"); err == nil {
+		t.Fatal("open of a removed file succeeded")
+	}
+	if err := fs.Rename("a", "b"); err == nil {
+		t.Fatal("rename of a removed file succeeded")
+	}
+}
+
+// TestOpenRejectsDomainMismatch: a snapshot taken under one item domain
+// must not restore into a store configured for another — that is
+// operator error, and silently truncating or widening counts would
+// corrupt every bound served afterwards.
+func TestOpenRejectsDomainMismatch(t *testing.T) {
+	fs := NewMemFS()
+	opts := testOptions()
+	s, _, err := Open(fs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Append([]ossm.Itemset{itemset(1, 2)}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	opts.NumItems = 8
+	if _, _, err := Open(fs, opts); err == nil {
+		t.Fatal("Open restored a 16-item snapshot into an 8-item store")
+	}
+}
+
+func TestAppendClosedAndEmptyIndex(t *testing.T) {
+	fs := NewMemFS()
+	s, _, err := Open(fs, testOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.Index(); !errors.Is(err, ErrEmpty) {
+		t.Fatalf("Index on empty store: %v, want ErrEmpty", err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := s.Append([]ossm.Itemset{itemset(1)}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Append after Close: %v, want ErrClosed", err)
+	}
+	if err := s.Snapshot(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Snapshot after Close: %v, want ErrClosed", err)
+	}
+	if _, _, err := s.Index(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Index after Close: %v, want ErrClosed", err)
+	}
+}

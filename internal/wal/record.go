@@ -1,0 +1,161 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// WAL record framing. Each record is one atomically-replayed ingest
+// batch:
+//
+//	frame   := u32 payloadLen | u32 crc32c(payload) | payload
+//	payload := u64 seq | u8 kind | body
+//	body    := u32 txCount | txCount × ( u32 n | n × u32 item )   (kind 1)
+//
+// All integers little-endian; CRC32C is the Castagnoli polynomial. The
+// framing is strict: a payload must parse exactly, with no trailing
+// bytes, and every itemset must be strictly ascending — so re-encoding
+// the decoded records reproduces the input prefix byte for byte (the
+// FuzzWALReplay invariant), and replay can never apply a half-parsed
+// batch.
+
+// recordKindTxs is the only record kind so far: a transaction batch.
+const recordKindTxs = 1
+
+const (
+	frameHeaderLen = 8         // u32 len + u32 crc
+	minPayloadLen  = 8 + 1 + 4 // seq + kind + txCount
+	// maxPayloadLen caps one record's payload, bounding what a corrupted
+	// or hostile length prefix can make the reader allocate.
+	maxPayloadLen = 1 << 26
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrTorn reports a WAL that ends mid-record: the final frame is
+// incomplete — the expected state after a crash between Write and Sync.
+var ErrTorn = errors.New("wal: torn final record")
+
+// ErrCorrupt reports a WAL frame that is structurally invalid: a CRC
+// mismatch, an impossible length, a malformed payload. Replay stops at
+// the same offset as for a torn record — a bad CRC can itself be a torn
+// write inside a frame — but the classification is surfaced so operators
+// can tell expected crash damage from bit rot.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Record is one decoded WAL record: an ingest batch applied atomically
+// at sequence number Seq.
+type Record struct {
+	Seq uint64
+	Txs []dataset.Itemset
+}
+
+// AppendRecord appends the framed encoding of one record to dst. Every
+// itemset must already be canonical (strictly ascending); the store
+// canonicalizes at the API boundary.
+func AppendRecord(dst []byte, seq uint64, txs []dataset.Itemset) []byte {
+	payloadLen := 8 + 1 + 4
+	for _, tx := range txs {
+		payloadLen += 4 + 4*len(tx)
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, frameHeaderLen+payloadLen)...)
+	payload := dst[start+frameHeaderLen:]
+	binary.LittleEndian.PutUint64(payload[0:8], seq)
+	payload[8] = recordKindTxs
+	binary.LittleEndian.PutUint32(payload[9:13], uint32(len(txs)))
+	off := 13
+	for _, tx := range txs {
+		binary.LittleEndian.PutUint32(payload[off:], uint32(len(tx)))
+		off += 4
+		for _, it := range tx {
+			binary.LittleEndian.PutUint32(payload[off:], uint32(it))
+			off += 4
+		}
+	}
+	binary.LittleEndian.PutUint32(dst[start:], uint32(payloadLen))
+	binary.LittleEndian.PutUint32(dst[start+4:], crc32.Checksum(payload, castagnoli))
+	return dst
+}
+
+// DecodeAll decodes every complete, valid record from the head of data.
+// It returns the records, the offset of the first byte that is not part
+// of a fully-validated record, and the reason decoding stopped: nil when
+// the data ends exactly on a record boundary, ErrTorn when the final
+// frame is cut short, ErrCorrupt when a frame fails validation. Records
+// past the returned offset are never surfaced — a record after a bad
+// frame is unreachable by construction, so a CRC failure can not let
+// later garbage through.
+func DecodeAll(data []byte) (recs []Record, offset int, err error) {
+	off := 0
+	for off < len(data) {
+		rem := data[off:]
+		if len(rem) < frameHeaderLen {
+			return recs, off, fmt.Errorf("%w: %d-byte frame header fragment at offset %d", ErrTorn, len(rem), off)
+		}
+		payloadLen := int(binary.LittleEndian.Uint32(rem[0:4]))
+		if payloadLen < minPayloadLen || payloadLen > maxPayloadLen {
+			return recs, off, fmt.Errorf("%w: impossible payload length %d at offset %d", ErrCorrupt, payloadLen, off)
+		}
+		if len(rem)-frameHeaderLen < payloadLen {
+			return recs, off, fmt.Errorf("%w: %d of %d payload bytes at offset %d", ErrTorn, len(rem)-frameHeaderLen, payloadLen, off)
+		}
+		payload := rem[frameHeaderLen : frameHeaderLen+payloadLen]
+		wantCRC := binary.LittleEndian.Uint32(rem[4:8])
+		if got := crc32.Checksum(payload, castagnoli); got != wantCRC {
+			return recs, off, fmt.Errorf("%w: CRC %08x != %08x at offset %d", ErrCorrupt, got, wantCRC, off)
+		}
+		rec, perr := decodePayload(payload)
+		if perr != nil {
+			return recs, off, fmt.Errorf("%w: offset %d: %v", ErrCorrupt, off, perr)
+		}
+		recs = append(recs, rec)
+		off += frameHeaderLen + payloadLen
+	}
+	return recs, off, nil
+}
+
+// decodePayload parses one CRC-validated payload, strictly.
+func decodePayload(payload []byte) (Record, error) {
+	var rec Record
+	rec.Seq = binary.LittleEndian.Uint64(payload[0:8])
+	if kind := payload[8]; kind != recordKindTxs {
+		return rec, fmt.Errorf("unknown record kind %d", kind)
+	}
+	count := int(binary.LittleEndian.Uint32(payload[9:13]))
+	body := payload[13:]
+	// Each transaction costs at least 4 bytes; reject counts the body
+	// cannot hold before allocating.
+	if count < 0 || count > len(body)/4 {
+		return rec, fmt.Errorf("batch of %d transactions in a %d-byte body", count, len(body))
+	}
+	rec.Txs = make([]dataset.Itemset, count)
+	off := 0
+	for i := 0; i < count; i++ {
+		if len(body)-off < 4 {
+			return rec, fmt.Errorf("transaction %d: missing length", i)
+		}
+		n := int(binary.LittleEndian.Uint32(body[off:]))
+		off += 4
+		if n < 0 || n > (len(body)-off)/4 {
+			return rec, fmt.Errorf("transaction %d: %d items in %d remaining bytes", i, n, len(body)-off)
+		}
+		tx := make(dataset.Itemset, n)
+		for j := 0; j < n; j++ {
+			tx[j] = dataset.Item(binary.LittleEndian.Uint32(body[off:]))
+			off += 4
+		}
+		if !tx.Valid() {
+			return rec, fmt.Errorf("transaction %d: items not strictly ascending", i)
+		}
+		rec.Txs[i] = tx
+	}
+	if off != len(body) {
+		return rec, fmt.Errorf("%d trailing bytes after the batch", len(body)-off)
+	}
+	return rec, nil
+}

@@ -1,0 +1,141 @@
+package wal
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+	"testing"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+func itemset(items ...uint32) dataset.Itemset {
+	tx := make(dataset.Itemset, len(items))
+	for i, it := range items {
+		tx[i] = dataset.Item(it)
+	}
+	return tx
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	batches := [][]dataset.Itemset{
+		{itemset(0, 1, 2)},
+		{itemset(), itemset(5), itemset(1, 3, 7, 9)},
+		{itemset(2)},
+	}
+	var buf []byte
+	for i, txs := range batches {
+		buf = AppendRecord(buf, uint64(i+1), txs)
+	}
+	recs, off, err := DecodeAll(buf)
+	if err != nil {
+		t.Fatalf("DecodeAll: %v", err)
+	}
+	if off != len(buf) {
+		t.Fatalf("offset %d, want %d", off, len(buf))
+	}
+	if len(recs) != len(batches) {
+		t.Fatalf("decoded %d records, want %d", len(recs), len(batches))
+	}
+	for i, rec := range recs {
+		if rec.Seq != uint64(i+1) {
+			t.Errorf("record %d: seq %d", i, rec.Seq)
+		}
+		if len(rec.Txs) != len(batches[i]) {
+			t.Fatalf("record %d: %d txs, want %d", i, len(rec.Txs), len(batches[i]))
+		}
+		for j, tx := range rec.Txs {
+			if !bytes.Equal(encodeTx(tx), encodeTx(batches[i][j])) {
+				t.Errorf("record %d tx %d: %v != %v", i, j, tx, batches[i][j])
+			}
+		}
+	}
+}
+
+func encodeTx(tx dataset.Itemset) []byte {
+	var b []byte
+	for _, it := range tx {
+		b = binary.LittleEndian.AppendUint32(b, uint32(it))
+	}
+	return b
+}
+
+func TestDecodeAllTornTail(t *testing.T) {
+	full := AppendRecord(nil, 1, []dataset.Itemset{itemset(1, 2)})
+	full = AppendRecord(full, 2, []dataset.Itemset{itemset(3)})
+	firstLen := len(AppendRecord(nil, 1, []dataset.Itemset{itemset(1, 2)}))
+
+	// Every strict prefix that cuts into record 2 must decode record 1
+	// and classify the tail as torn.
+	for cut := firstLen + 1; cut < len(full); cut++ {
+		recs, off, err := DecodeAll(full[:cut])
+		if !errors.Is(err, ErrTorn) {
+			t.Fatalf("cut %d: err = %v, want ErrTorn", cut, err)
+		}
+		if off != firstLen || len(recs) != 1 {
+			t.Fatalf("cut %d: off %d recs %d, want %d and 1", cut, off, len(recs), firstLen)
+		}
+	}
+}
+
+func TestDecodeAllCorrupt(t *testing.T) {
+	base := AppendRecord(nil, 1, []dataset.Itemset{itemset(1, 2, 3)})
+
+	flip := append([]byte(nil), base...)
+	flip[frameHeaderLen+3] ^= 0xff // payload byte → CRC mismatch
+	if _, off, err := DecodeAll(flip); !errors.Is(err, ErrCorrupt) || off != 0 {
+		t.Fatalf("CRC flip: off %d err %v, want 0 and ErrCorrupt", off, err)
+	}
+
+	huge := append([]byte(nil), base...)
+	binary.LittleEndian.PutUint32(huge[0:4], 1<<30) // impossible length
+	if _, _, err := DecodeAll(huge); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("huge length: err %v, want ErrCorrupt", err)
+	}
+
+	// A record after a corrupt frame is unreachable.
+	two := append(append([]byte(nil), flip...), AppendRecord(nil, 2, []dataset.Itemset{itemset(9)})...)
+	recs, off, err := DecodeAll(two)
+	if len(recs) != 0 || off != 0 || !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("after corrupt frame: recs %d off %d err %v", len(recs), off, err)
+	}
+}
+
+func TestDecodePayloadStrict(t *testing.T) {
+	// Hand-build payloads that frame correctly (length + CRC valid) but
+	// violate the payload grammar; DecodeAll must classify them corrupt.
+	frame := func(payload []byte) []byte {
+		var b []byte
+		b = binary.LittleEndian.AppendUint32(b, uint32(len(payload)))
+		b = binary.LittleEndian.AppendUint32(b, crc32Checksum(payload))
+		return append(b, payload...)
+	}
+	seqKind := func(kind byte) []byte {
+		p := binary.LittleEndian.AppendUint64(nil, 7)
+		return append(p, kind)
+	}
+
+	cases := map[string][]byte{
+		"unknown kind": binary.LittleEndian.AppendUint32(seqKind(9), 0),
+		"descending itemset": func() []byte {
+			p := binary.LittleEndian.AppendUint32(seqKind(recordKindTxs), 1)
+			p = binary.LittleEndian.AppendUint32(p, 2)
+			p = binary.LittleEndian.AppendUint32(p, 5)
+			return binary.LittleEndian.AppendUint32(p, 3)
+		}(),
+		"trailing bytes": append(binary.LittleEndian.AppendUint32(seqKind(recordKindTxs), 0), 0xaa),
+		"count too large": func() []byte {
+			return binary.LittleEndian.AppendUint32(seqKind(recordKindTxs), 1<<30)
+		}(),
+	}
+	for name, payload := range cases {
+		if _, _, err := DecodeAll(frame(payload)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err %v, want ErrCorrupt", name, err)
+		}
+	}
+}
+
+func crc32Checksum(p []byte) uint32 {
+	return crc32.Checksum(p, castagnoli)
+}

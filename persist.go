@@ -24,6 +24,14 @@ var indexMagic = [8]byte{'O', 'S', 'S', 'M', 'I', 'D', 'X', '1'}
 // magic. LoadIndex and ReadIndex wrap it; match with errors.Is.
 var ErrNotIndex = errors.New("ossm: not an OSSM index file")
 
+// ErrTruncated reports that an index stream is a valid prefix cut short —
+// every byte read parsed, but the stream ended before the header's
+// promise was fulfilled. Recovery code distinguishes it from structural
+// corruption (ErrNotIndex, a bad header): a torn snapshot means "fall
+// back to the previous one", a corrupt file means the path never held an
+// index. LoadIndex and ReadIndex wrap it; match with errors.Is.
+var ErrTruncated = errors.New("ossm: truncated index")
+
 // countingWriter tracks bytes written for WriteTo's contract.
 type countingWriter struct {
 	w io.Writer
@@ -80,6 +88,9 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	br := bufio.NewReader(r)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: reading index magic: %v", ErrTruncated, err)
+		}
 		return nil, fmt.Errorf("ossm: reading index magic: %w", err)
 	}
 	if magic != indexMagic {
@@ -87,6 +98,9 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	}
 	var n [8]byte
 	if _, err := io.ReadFull(br, n[:]); err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: reading index header: %v", ErrTruncated, err)
+		}
 		return nil, fmt.Errorf("ossm: reading index header: %w", err)
 	}
 	// Validate the declared transaction count before it becomes an int:
@@ -99,6 +113,9 @@ func ReadIndex(r io.Reader) (*Index, error) {
 	}
 	m, err := core.ReadMap(br)
 	if err != nil {
+		if errors.Is(err, core.ErrTruncated) {
+			return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
 		return nil, err
 	}
 	return &Index{m: m, numTx: int(numTx)}, nil

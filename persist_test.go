@@ -1,6 +1,8 @@
 package ossm
 
 import (
+	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"testing"
@@ -127,5 +129,52 @@ func TestLoadIndexMalformedHeaders(t *testing.T) {
 	// harness, trip the checks.
 	if _, err := LoadIndex(good); err != nil {
 		t.Fatalf("valid file rejected: %v", err)
+	}
+}
+
+// TestReadIndexTruncatedIsTyped pins the error taxonomy WAL recovery
+// depends on: every proper prefix of a valid index stream must fail
+// with the typed ErrTruncated (the file is a cut-short valid stream),
+// while in-place corruption of the same bytes must NOT claim truncation
+// — conflating the two would make recovery treat bit rot as an ordinary
+// torn tail.
+func TestReadIndexTruncatedIsTyped(t *testing.T) {
+	d, err := GenerateQuest(DefaultQuest(200, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := Build(d, BuildOptions{Pages: 10, Segments: 4, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := ix.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	for _, cut := range []int{0, 1, 7, 8, 15, 16, 31, len(valid) / 2, len(valid) - 1} {
+		if _, err := ReadIndex(bytes.NewReader(valid[:cut])); !errors.Is(err, ErrTruncated) {
+			t.Errorf("prefix of %d/%d bytes: err %v, want ErrTruncated", cut, len(valid), err)
+		}
+	}
+	if _, err := ReadIndex(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("full stream rejected: %v", err)
+	}
+
+	// Structural corruption (a wrong magic, same length) is not truncation.
+	corrupt := append([]byte(nil), valid...)
+	corrupt[0] ^= 0xFF
+	if _, err := ReadIndex(bytes.NewReader(corrupt)); err == nil || errors.Is(err, ErrTruncated) {
+		t.Errorf("corrupt magic: err %v, want a non-ErrTruncated error", err)
+	}
+
+	// LoadIndex surfaces the same sentinel through the file path.
+	p := filepath.Join(t.TempDir(), "torn.ossm")
+	if err := os.WriteFile(p, valid[:len(valid)-1], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadIndex(p); !errors.Is(err, ErrTruncated) {
+		t.Errorf("LoadIndex on a torn file: err %v, want ErrTruncated", err)
 	}
 }

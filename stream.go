@@ -25,6 +25,33 @@ func NewAppender(numItems int, opts AppenderOptions) (*Appender, error) {
 	return core.NewAppender(numItems, opts)
 }
 
+// AppenderState is the complete replayable state of an Appender — the
+// unit of durability for write-ahead-logged ingestion (internal/wal):
+// persist a state, replay the WAL tail through Add, and the restored
+// appender is bit-identical to one that never stopped.
+type AppenderState = core.AppenderState
+
+// RestoreAppender reconstructs an Appender from a captured state,
+// validating the configuration and the state invariants a corrupted
+// snapshot could break.
+func RestoreAppender(st AppenderState) (*Appender, error) {
+	return core.RestoreAppender(st)
+}
+
+// IndexFromMap wraps an already-built segment support map into a servable
+// Index over numTx transactions — the constructor recovery and promotion
+// paths use when the Map comes from somewhere other than Build (a
+// snapshot file, a re-segmentation of appender rows).
+func IndexFromMap(m *Map, numTx int) (*Index, error) {
+	if m == nil {
+		return nil, fmt.Errorf("ossm: IndexFromMap requires a map")
+	}
+	if numTx < 0 {
+		return nil, fmt.Errorf("ossm: IndexFromMap: negative transaction count %d", numTx)
+	}
+	return &Index{m: m, numTx: numTx}, nil
+}
+
 // SnapshotIndex freezes the appender's current state into a servable
 // Index — the bridge between streaming ingestion and the query side:
 // snapshot periodically and swap the result into a serving registry

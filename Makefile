@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke loadgen-smoke remote-smoke ingest-smoke cover bench bench-kernels bench-loadgen examples experiments clean
+.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke loadgen-smoke remote-smoke ingest-smoke fleet-obs-smoke cover bench bench-kernels bench-loadgen examples experiments clean
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet race fuzz-smoke obs-smoke loadgen-smoke remote-smoke ingest-smoke cover
+test: vet race fuzz-smoke obs-smoke loadgen-smoke remote-smoke ingest-smoke fleet-obs-smoke cover
 	$(GO) test ./...
 
 # End-to-end sweep of the observability surface through the real CLI:
@@ -36,6 +36,15 @@ remote-smoke:
 # default gate.
 ingest-smoke:
 	$(GO) test -run 'TestIngestSmoke' -count=1 ./cmd/ossm-serve
+
+# Cross-process observability gate: two real worker processes plus a
+# coordinator, a batch through the fleet, then the assembled trace at
+# /v1/traces must stitch worker serve spans under the coordinator's RPC
+# spans with non-empty shard attribution, /v1/fleetz must report a
+# healthy fleet, and ossm-loadgen -fleetz must poll it. Part of the
+# default gate.
+fleet-obs-smoke:
+	$(GO) test -run 'TestFleetObsSmoke' -count=1 ./cmd/ossm-serve
 
 # Coverage floor for the packages the serving path leans on: the facade
 # (bound queries, persistence, recipes), the HTTP server and the

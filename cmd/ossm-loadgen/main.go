@@ -147,6 +147,8 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		chaosSeed = fs.Int64("chaos-seed", 1, "fault-injection seed under -chaos (same seed, same schedule)")
 		target    = fs.String("target", "", "drive a live coordinator at this base URL over HTTP instead of an in-process fleet (ignores -shards and -shard-delay)")
 		indexName = fs.String("index-name", "", "registered index to query in -target mode")
+		fleetz    = fs.Bool("fleetz", false, "poll GET /v1/fleetz on -target for -duration and print one health line per poll instead of generating load")
+		fleetzInt = fs.Duration("fleetz-interval", time.Second, "poll period under -fleetz")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -158,6 +160,13 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *mode != "closed" && *mode != "open" {
 		fmt.Fprintf(stderr, "ossm-loadgen: -mode must be closed or open, got %q\n", *mode)
 		return 2
+	}
+	if *fleetz {
+		if *target == "" {
+			fmt.Fprintln(stderr, "ossm-loadgen: -fleetz requires -target")
+			return 2
+		}
+		return pollFleetz(ctx, strings.TrimSuffix(*target, "/"), *duration, *fleetzInt, stdout, stderr)
 	}
 	if *target != "" {
 		if *indexName == "" {
@@ -555,6 +564,99 @@ func runTarget(ctx context.Context, cfg targetConfig, stdout, stderr io.Writer) 
 		return 1
 	}
 	fmt.Fprintf(stdout, "ossm-loadgen: wrote %s\n", cfg.out)
+	return 0
+}
+
+// pollFleetz is the -fleetz watch mode: it polls the coordinator's
+// GET /v1/fleetz for the window and prints one line per poll — overall
+// status, per-fleet shard/breaker roll-up, and the ingest backlog when
+// the server runs a durable store. Exit status is 0 when the final poll
+// answered (whatever its health), 1 when the endpoint never answered.
+func pollFleetz(ctx context.Context, base string, window, interval time.Duration, stdout, stderr io.Writer) int {
+	type fleetzShard struct {
+		Shard   int    `json:"shard"`
+		State   string `json:"state"`
+		Breaker string `json:"breaker"`
+	}
+	type fleetzFleet struct {
+		Index  string        `json:"index"`
+		Shards []fleetzShard `json:"shards"`
+	}
+	type fleetzIngest struct {
+		Dataset string `json:"dataset"`
+		Seq     uint64 `json:"seq"`
+		Backlog uint64 `json:"backlog"`
+	}
+	type fleetzBody struct {
+		Status string        `json:"status"`
+		Fleets []fleetzFleet `json:"fleets"`
+		Ingest *fleetzIngest `json:"ingest"`
+	}
+
+	httpc := &http.Client{Timeout: 10 * time.Second}
+	deadline := time.Now().Add(window)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	answered := false
+	for {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/fleetz", nil)
+		if err != nil {
+			fmt.Fprintf(stderr, "ossm-loadgen: %v\n", err)
+			return 1
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			fmt.Fprintf(stdout, "fleetz: unreachable: %v\n", err)
+		} else {
+			var body fleetzBody
+			derr := json.NewDecoder(resp.Body).Decode(&body)
+			resp.Body.Close()
+			switch {
+			case resp.StatusCode != http.StatusOK:
+				fmt.Fprintf(stdout, "fleetz: %s\n", resp.Status)
+			case derr != nil:
+				fmt.Fprintf(stdout, "fleetz: bad body: %v\n", derr)
+			default:
+				answered = true
+				var parts []string
+				for _, f := range body.Fleets {
+					healthy, open := 0, 0
+					for _, sh := range f.Shards {
+						if sh.State == "healthy" {
+							healthy++
+						}
+						if sh.Breaker == "open" {
+							open++
+						}
+					}
+					p := fmt.Sprintf("%s=%d/%d", f.Index, healthy, len(f.Shards))
+					if open > 0 {
+						p += fmt.Sprintf(" (%d breaker open)", open)
+					}
+					parts = append(parts, p)
+				}
+				line := fmt.Sprintf("fleetz: %s", body.Status)
+				if len(parts) > 0 {
+					line += " " + strings.Join(parts, " ")
+				}
+				if body.Ingest != nil {
+					line += fmt.Sprintf(" ingest %s seq=%d backlog=%d",
+						body.Ingest.Dataset, body.Ingest.Seq, body.Ingest.Backlog)
+				}
+				fmt.Fprintln(stdout, line)
+			}
+		}
+		if !time.Now().Before(deadline) || ctx.Err() != nil {
+			break
+		}
+		select {
+		case <-ticker.C:
+		case <-ctx.Done():
+		}
+	}
+	if !answered {
+		return 1
+	}
 	return 0
 }
 

@@ -1,0 +1,168 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestFleetObsSmoke is the cross-process observability gate behind
+// `make fleet-obs-smoke`: two real worker processes plus a coordinator
+// process, a batch ubsup through the fleet, then the assembled trace at
+// /v1/traces must stitch worker serve spans under the coordinator's RPC
+// spans with non-empty per-shard attribution, /v1/fleetz must report a
+// healthy fleet with shard rows, and ossm-loadgen -fleetz must poll it.
+func TestFleetObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("fleet obs smoke skipped in -short mode")
+	}
+	dataPath, indexPath := writeFixtures(t)
+	binDir := t.TempDir()
+	serveBin := buildBinary(t, binDir, "ossm-serve")
+	loadgenBin := buildBinary(t, binDir, "ossm-loadgen")
+
+	entryArgs := []string{"-index", "retail=" + indexPath, "-data", "retail=" + dataPath}
+	workerURLs := make([]string, 2)
+	for i := range workerURLs {
+		args := append([]string{
+			"-shard-role=worker",
+			"-shard-id", fmt.Sprint(i),
+			"-shard-count", "2",
+			"-addr", "127.0.0.1:0",
+		}, entryArgs...)
+		url, _, _ := startProcess(t, serveBin, args...)
+		workerURLs[i] = url
+	}
+
+	topo := map[string]any{"shards": []map[string]any{
+		{"id": 0, "addr": strings.TrimPrefix(workerURLs[0], "http://")},
+		{"id": 1, "addr": strings.TrimPrefix(workerURLs[1], "http://")},
+	}}
+	raw, _ := json.Marshal(topo)
+	topoPath := filepath.Join(binDir, "topo.json")
+	if err := os.WriteFile(topoPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	coordURL, _, _ := startProcess(t, serveBin,
+		append([]string{"-addr", "127.0.0.1:0", "-topology", topoPath}, entryArgs...)...)
+
+	// One batch through the fleet so every shard serves at least one RPC.
+	body := `{"index":"retail","itemsets":[[0],[1,2],[3,4,5],[0,2,4]],"no_cache":true}`
+	resp, err := http.Post(coordURL+"/v1/ubsup", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ubsup = %d", resp.StatusCode)
+	}
+
+	getJSON := func(url string) map[string]any {
+		t.Helper()
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s = %d", url, resp.StatusCode)
+		}
+		var out map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			t.Fatalf("GET %s: %v", url, err)
+		}
+		return out
+	}
+
+	// The assembled cross-process trace: worker serve spans must have been
+	// fetched over /shard/v1/traces and stitched under the RPC spans, and
+	// the attribution table must name both shards with real serve time.
+	traces := getJSON(coordURL + "/v1/traces")
+	if n, _ := traces["remote_spans"].(float64); n < 2 {
+		t.Fatalf("only %v remote spans fetched, want >= 2 (one per worker)", n)
+	}
+	var root map[string]any
+	for _, tr := range traces["traces"].([]any) {
+		if node := tr.(map[string]any); node["name"] == "POST /v1/ubsup" {
+			root = node
+		}
+	}
+	if root == nil {
+		t.Fatalf("no POST /v1/ubsup root in assembled traces: %v", traces["traces"])
+	}
+	traceID := root["trace_id"].(string)
+	stitched := 0
+	var walk func(node map[string]any)
+	walk = func(node map[string]any) {
+		children, _ := node["children"].([]any)
+		for _, c := range children {
+			child := c.(map[string]any)
+			if strings.HasPrefix(node["name"].(string), "rpc-") &&
+				strings.HasPrefix(child["name"].(string), "serve /shard/v1/") {
+				if child["parent_id"] != node["span_id"] {
+					t.Errorf("serve span parent %v != rpc span %v", child["parent_id"], node["span_id"])
+				}
+				stitched++
+			}
+			walk(child)
+		}
+	}
+	walk(root)
+	if stitched < 2 {
+		t.Fatalf("only %d worker serve spans stitched under rpc spans, want >= 2", stitched)
+	}
+	attrRows := 0
+	for _, a := range traces["attribution"].([]any) {
+		rec := a.(map[string]any)
+		if rec["trace_id"] != traceID {
+			continue
+		}
+		shards := rec["shards"].([]any)
+		attrRows = len(shards)
+		for _, row := range shards {
+			sr := row.(map[string]any)
+			if sr["serve_ns"].(float64) <= 0 {
+				t.Errorf("shard %v attribution has serve_ns %v, want > 0", sr["shard"], sr["serve_ns"])
+			}
+		}
+	}
+	if attrRows != 2 {
+		t.Fatalf("attribution covers %d shards, want 2", attrRows)
+	}
+
+	// Fleet health: ok status, one fleet, two shard rows, closed breakers.
+	fleetz := getJSON(coordURL + "/v1/fleetz")
+	if fleetz["status"] != "ok" {
+		t.Fatalf("fleetz status = %v, want ok: %v", fleetz["status"], fleetz)
+	}
+	fleets := fleetz["fleets"].([]any)
+	if len(fleets) != 1 {
+		t.Fatalf("fleetz reports %d fleets, want 1", len(fleets))
+	}
+	shardRows := fleets[0].(map[string]any)["shards"].([]any)
+	if len(shardRows) != 2 {
+		t.Fatalf("fleetz reports %d shards, want 2", len(shardRows))
+	}
+	for _, row := range shardRows {
+		sr := row.(map[string]any)
+		if sr["state"] != "healthy" || sr["breaker"] != "closed" {
+			t.Fatalf("shard %v: state=%v breaker=%v, want healthy/closed", sr["id"], sr["state"], sr["breaker"])
+		}
+	}
+
+	// loadgen -fleetz polls the same endpoint and prints status lines.
+	lg := exec.Command(loadgenBin, "-fleetz", "-target", coordURL,
+		"-duration", "300ms", "-fleetz-interval", "100ms")
+	out, err := lg.CombinedOutput()
+	if err != nil {
+		t.Fatalf("loadgen -fleetz: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "fleetz: ok") {
+		t.Fatalf("loadgen -fleetz output missing healthy poll line:\n%s", out)
+	}
+}

@@ -12,9 +12,11 @@
 //
 // Endpoints: GET /healthz, GET /v1/indexes, POST /v1/ubsup,
 // POST /v1/mine, POST /v1/ingest (durable stores only), GET /v1/metrics
-// (JSON) and GET /metrics (Prometheus text), GET /v1/traces, and
-// /debug/pprof/ behind -pprof. See README.md for the request shapes and
-// the observability surface.
+// (JSON) and GET /metrics (Prometheus text; ?exemplars=1 adds trace-id
+// exemplars), GET /v1/traces (cross-process assembly on remote fleets),
+// GET /v1/fleetz (fleet health summary), and /debug/pprof/ behind
+// -pprof. See README.md for the request shapes and the observability
+// surface.
 package main
 
 import (
@@ -126,6 +128,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return runWorker(ctx, workerConfig{
 			addr: *addr, shardID: *shardID, shardCount: *shardCnt,
 			indexes: indexes, datasets: datasets, buildSeg: *buildSeg,
+			traceBuf: *traceBuf,
 		}, logger, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "ossm-serve: unknown -shard-role %q (want \"\" or \"worker\")\n", *role)
@@ -295,7 +298,11 @@ func wireTopology(ctx context.Context, srv *server.Server, path string, logger *
 	httpc := remote.NewHTTPClient()
 	hooks := srv.RemoteHooks()
 	srv.UseRemoteFleet(func(name string) ([]shard.Transport, error) {
-		return holder.Load().Transports(name, remote.ClientConfig{HTTPClient: httpc, Hooks: hooks})
+		return holder.Load().Transports(name, remote.ClientConfig{
+			HTTPClient: httpc,
+			Hooks:      hooks,
+			Tracer:     srv.Tracer(),
+		})
 	})
 	fmt.Fprintf(stdout, "topology: %d remote shards from %s\n", topo.NumShards(), path)
 
@@ -332,6 +339,7 @@ type workerConfig struct {
 	indexes    kvList
 	datasets   kvList
 	buildSeg   int
+	traceBuf   int
 }
 
 // runWorker serves one shard of every configured entry under /shard/v1/
@@ -346,6 +354,7 @@ func runWorker(ctx context.Context, cfg workerConfig, logger *slog.Logger, stdou
 		return 2
 	}
 	w := remote.NewWorker()
+	w.SetObs(logger, obs.NewTracer(cfg.traceBuf))
 	registered := 0
 	err := loadFiles(cfg.indexes, cfg.datasets, cfg.buildSeg, stdout, func(name string, ix *ossm.Index, d *ossm.Dataset) error {
 		if ix == nil {

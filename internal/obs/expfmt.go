@@ -11,9 +11,10 @@ import (
 
 // Sample is one parsed exposition sample line.
 type Sample struct {
-	Name   string
-	Labels map[string]string
-	Value  float64
+	Name     string
+	Labels   map[string]string
+	Value    float64
+	Exemplar *Exemplar // OpenMetrics `# {...} value` suffix, if present
 }
 
 // Label returns the named label value, or "".
@@ -110,6 +111,17 @@ func parseSampleLine(line string) (Sample, error) {
 		s.Labels = labels
 		rest = rest[close+1:]
 	}
+	// An OpenMetrics exemplar rides after the value as
+	// ` # {labels} value [timestamp]`; split it off before parsing the
+	// sample's own value/timestamp fields.
+	if hash := strings.Index(rest, "#"); hash >= 0 {
+		ex, err := parseExemplar(strings.TrimSpace(rest[hash+1:]))
+		if err != nil {
+			return s, fmt.Errorf("sample %s: %w", s.Name, err)
+		}
+		s.Exemplar = ex
+		rest = rest[:hash]
+	}
 	fields := strings.Fields(rest)
 	if len(fields) < 1 || len(fields) > 2 { // value, optional timestamp
 		return s, fmt.Errorf("want `value [timestamp]` after %q, got %q", s.Name, rest)
@@ -120,6 +132,54 @@ func parseSampleLine(line string) (Sample, error) {
 	}
 	s.Value = v
 	return s, nil
+}
+
+// parseExemplar parses the body after an exemplar's '#' marker:
+// `{labels} value [timestamp]`.
+func parseExemplar(body string) (*Exemplar, error) {
+	if !strings.HasPrefix(body, "{") {
+		return nil, fmt.Errorf("exemplar %q does not start with a label set", body)
+	}
+	close := -1
+	inQuote, escaped := false, false
+	for i := 1; i < len(body) && close < 0; i++ {
+		switch c := body[i]; {
+		case escaped:
+			escaped = false
+		case inQuote && c == '\\':
+			escaped = true
+		case c == '"':
+			inQuote = !inQuote
+		case !inQuote && c == '}':
+			close = i
+		}
+	}
+	if close < 0 {
+		return nil, fmt.Errorf("unterminated exemplar label set in %q", body)
+	}
+	labels, err := parseLabels(body[1:close])
+	if err != nil {
+		return nil, fmt.Errorf("exemplar labels: %w", err)
+	}
+	runes := 0
+	for name, val := range labels {
+		if !labelNameRE.MatchString(name) {
+			return nil, fmt.Errorf("invalid exemplar label name %q", name)
+		}
+		runes += len([]rune(name)) + len([]rune(val))
+	}
+	if runes > 128 {
+		return nil, fmt.Errorf("exemplar label set exceeds 128 runes (%d)", runes)
+	}
+	fields := strings.Fields(body[close+1:])
+	if len(fields) < 1 || len(fields) > 2 { // value, optional timestamp
+		return nil, fmt.Errorf("want `value [timestamp]` after exemplar labels, got %q", body[close+1:])
+	}
+	v, err := strconv.ParseFloat(fields[0], 64)
+	if err != nil {
+		return nil, fmt.Errorf("bad exemplar value %q: %v", fields[0], err)
+	}
+	return &Exemplar{TraceID: labels["trace_id"], Value: v}, nil
 }
 
 func parseLabels(body string) (map[string]string, error) {
@@ -278,6 +338,17 @@ func Lint(r io.Reader) []error {
 				continue
 			}
 			enter(l.num, fam)
+			if ex := s.Exemplar; ex != nil {
+				isBucket := types[fam] == kindHistogram && strings.HasSuffix(s.Name, "_bucket")
+				if !isBucket && types[fam] != kindCounter {
+					addf(l.num, "exemplar on %s: exemplars belong on histogram buckets or counters", s.Name)
+				}
+				if isBucket {
+					if le, err := strconv.ParseFloat(s.Labels["le"], 64); err == nil && ex.Value > le {
+						addf(l.num, "exemplar value %v on %s exceeds bucket le=%v", ex.Value, s.Name, le)
+					}
+				}
+			}
 			if types[fam] == kindHistogram {
 				hist[fam] = append(hist[fam], s)
 			}

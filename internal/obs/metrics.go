@@ -76,10 +76,19 @@ func (g *Gauge) Value() float64 {
 // an implicit +Inf bucket, plus a running sum and count. All methods are
 // concurrency-safe and nil-tolerant.
 type Histogram struct {
-	bounds []float64      // strictly increasing upper bounds, +Inf implicit
-	counts []atomic.Int64 // len(bounds)+1; non-cumulative per-bucket counts
-	count  atomic.Int64
-	sum    Gauge
+	bounds    []float64      // strictly increasing upper bounds, +Inf implicit
+	counts    []atomic.Int64 // len(bounds)+1; non-cumulative per-bucket counts
+	exemplars []atomic.Pointer[Exemplar]
+	count     atomic.Int64
+	sum       Gauge
+}
+
+// Exemplar links one histogram bucket to the most recent trace that
+// crossed it, rendered in the OpenMetrics `# {trace_id="..."} value`
+// suffix when exemplars are requested.
+type Exemplar struct {
+	TraceID string
+	Value   float64
 }
 
 func newHistogram(bounds []float64) *Histogram {
@@ -94,11 +103,20 @@ func newHistogram(bounds []float64) *Histogram {
 	if n := len(bs); n > 0 && math.IsInf(bs[n-1], 1) {
 		bs = bs[:n-1] // +Inf is implicit
 	}
-	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+	return &Histogram{
+		bounds:    bs,
+		counts:    make([]atomic.Int64, len(bs)+1),
+		exemplars: make([]atomic.Pointer[Exemplar], len(bs)+1),
+	}
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v float64) {
+func (h *Histogram) Observe(v float64) { h.ObserveExemplar(v, "") }
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// retains it as the bucket's exemplar — each bucket remembers the most
+// recent trace that landed in it.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
 	if h == nil {
 		return
 	}
@@ -106,6 +124,22 @@ func (h *Histogram) Observe(v float64) {
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sum.Add(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&Exemplar{TraceID: traceID, Value: v})
+	}
+}
+
+// BucketExemplars returns the per-bucket exemplars (one slot per bound
+// plus +Inf; nil slots have seen no exemplared observation).
+func (h *Histogram) BucketExemplars() []*Exemplar {
+	if h == nil {
+		return nil
+	}
+	out := make([]*Exemplar, len(h.exemplars))
+	for i := range h.exemplars {
+		out[i] = h.exemplars[i].Load()
+	}
+	return out
 }
 
 // Count returns the number of observations.
@@ -345,6 +379,14 @@ func (r *Registry) PreCollect(fn func()) {
 // WritePrometheus renders every family in the text exposition format
 // (version 0.0.4), sorted by family name, HELP and TYPE first.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	return r.WriteExposition(w, false)
+}
+
+// WriteExposition is WritePrometheus with an exemplar switch: when
+// exemplars is true, histogram bucket lines carry the OpenMetrics
+// `# {trace_id="..."} value` suffix for buckets that have one. The
+// exemplar-free output is byte-identical to WritePrometheus.
+func (r *Registry) WriteExposition(w io.Writer, exemplars bool) error {
 	r.mu.Lock()
 	pre := append([]func(){}, r.pre...)
 	fams := make([]*family, 0, len(r.families))
@@ -358,13 +400,13 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	var b bytes.Buffer
 	for _, f := range fams {
-		f.write(&b)
+		f.write(&b, exemplars)
 	}
 	_, err := w.Write(b.Bytes())
 	return err
 }
 
-func (f *family) write(b *bytes.Buffer) {
+func (f *family) write(b *bytes.Buffer, exemplars bool) {
 	fmt.Fprintf(b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
 	fmt.Fprintf(b, "# TYPE %s %s\n", f.name, f.kind)
 	if f.fn != nil {
@@ -380,14 +422,34 @@ func (f *family) write(b *bytes.Buffer) {
 		case kindHistogram:
 			cum := ch.h.Cumulative()
 			bounds := ch.h.Bounds()
-			for i, bound := range bounds {
-				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, renderLabels(f.labels, ch.values, "le", formatValue(bound)), cum[i])
+			var exs []*Exemplar
+			if exemplars {
+				exs = ch.h.BucketExemplars()
 			}
-			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, renderLabels(f.labels, ch.values, "le", "+Inf"), cum[len(cum)-1])
+			for i, bound := range bounds {
+				fmt.Fprintf(b, "%s_bucket%s %d", f.name, renderLabels(f.labels, ch.values, "le", formatValue(bound)), cum[i])
+				writeExemplar(b, exs, i)
+				b.WriteByte('\n')
+			}
+			fmt.Fprintf(b, "%s_bucket%s %d", f.name, renderLabels(f.labels, ch.values, "le", "+Inf"), cum[len(cum)-1])
+			writeExemplar(b, exs, len(cum)-1)
+			b.WriteByte('\n')
 			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, renderLabels(f.labels, ch.values, "", ""), formatValue(ch.h.Sum()))
 			fmt.Fprintf(b, "%s_count%s %d\n", f.name, renderLabels(f.labels, ch.values, "", ""), ch.h.Count())
 		}
 	}
+}
+
+// writeExemplar appends a bucket line's exemplar suffix if one exists.
+func writeExemplar(b *bytes.Buffer, exs []*Exemplar, i int) {
+	if i >= len(exs) {
+		return
+	}
+	ex := exs[i]
+	if ex == nil || ex.TraceID == "" {
+		return
+	}
+	fmt.Fprintf(b, " # {trace_id=\"%s\"} %s", escapeLabel(ex.TraceID), formatValue(ex.Value))
 }
 
 // renderLabels renders {k="v",...}, optionally appending one extra pair

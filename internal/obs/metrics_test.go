@@ -303,3 +303,92 @@ func ExampleRegistry_WritePrometheus() {
 	// # TYPE example_events_total counter
 	// example_events_total 3
 }
+
+func TestHistogramExemplars(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1})
+	h.ObserveExemplar(0.05, "aaaa000011112222")
+	h.ObserveExemplar(0.5, "bbbb000011112222")
+	h.ObserveExemplar(5, "cccc000011112222")
+	h.Observe(0.06) // no exemplar: must not clobber the bucket's last trace
+
+	// Default output carries no exemplars and is byte-identical to the
+	// legacy writer.
+	var plain, legacy, rich bytes.Buffer
+	if err := r.WriteExposition(&plain, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WritePrometheus(&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != legacy.String() {
+		t.Fatal("WriteExposition(false) diverged from WritePrometheus")
+	}
+	if strings.Contains(plain.String(), "# {") {
+		t.Fatal("exemplar syntax leaked into the default exposition")
+	}
+
+	if err := r.WriteExposition(&rich, true); err != nil {
+		t.Fatal(err)
+	}
+	text := rich.String()
+	for _, want := range []string{
+		`le="0.1"} 2 # {trace_id="aaaa000011112222"} 0.05`,
+		`le="1"} 3 # {trace_id="bbbb000011112222"} 0.5`,
+		`le="+Inf"} 4 # {trace_id="cccc000011112222"} 5`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+
+	// The rich exposition lints clean and parses back with exemplars.
+	if errs := Lint(strings.NewReader(text)); len(errs) != 0 {
+		t.Fatalf("exemplar exposition fails lint: %v", errs)
+	}
+	samples, err := ParseText(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := 0
+	for _, s := range samples {
+		if s.Exemplar != nil {
+			found++
+			if s.Exemplar.TraceID == "" {
+				t.Errorf("parsed exemplar with empty trace id on %s", s.Name)
+			}
+		}
+	}
+	if found != 3 {
+		t.Errorf("parsed %d exemplars, want 3", found)
+	}
+}
+
+func TestLintExemplarViolations(t *testing.T) {
+	cases := map[string]string{
+		"exemplar on a gauge": `# TYPE g gauge
+g 1 # {trace_id="abc"} 1
+`,
+		"exemplar value above the bucket bound": `# TYPE h histogram
+h_bucket{le="0.1"} 1 # {trace_id="abc"} 5
+h_bucket{le="+Inf"} 1
+h_sum 0.05
+h_count 1
+`,
+		"oversized exemplar label set": `# TYPE c_total counter
+c_total 1 # {trace_id="` + strings.Repeat("a", 200) + `"} 1
+`,
+	}
+	for name, in := range cases {
+		if errs := Lint(strings.NewReader(in)); len(errs) == 0 {
+			t.Errorf("%s: lint found no errors", name)
+		}
+	}
+	// Control: an exemplar on a counter is legal.
+	ok := `# TYPE c_total counter
+c_total 1 # {trace_id="abc"} 1
+`
+	if errs := Lint(strings.NewReader(ok)); len(errs) != 0 {
+		t.Errorf("counter exemplar flagged: %v", errs)
+	}
+}

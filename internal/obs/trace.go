@@ -3,6 +3,7 @@ package obs
 import (
 	"context"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 )
@@ -68,7 +69,14 @@ func (s *Span) SetAttr(key string, value any) {
 
 // End finishes the span and records it into the tracer's ring. Only the
 // first End takes effect.
-func (s *Span) End() {
+func (s *Span) End() { s.EndAt(time.Now()) }
+
+// EndAt is End with an explicit end time — paired with StartAt it
+// freezes fully synthesized spans whose boundaries were measured
+// elsewhere (the WAL reports write/fsync/apply phase durations after
+// the fact; the ingest handler reconstructs exact child spans from
+// them).
+func (s *Span) EndAt(end time.Time) {
 	if s == nil {
 		return
 	}
@@ -78,11 +86,64 @@ func (s *Span) End() {
 		return
 	}
 	s.ended = true
-	s.rec.Duration = time.Since(s.rec.Start)
+	s.rec.Duration = end.Sub(s.rec.Start)
 	rec := s.rec
 	rec.Attrs = s.attrs
 	s.mu.Unlock()
 	s.tr.record(rec)
+}
+
+// TraceParentHeader is the HTTP header carrying the cross-process trace
+// context, in the W3C trace-context shape
+// `00-<trace_id>-<span_id>-01`.
+const TraceParentHeader = "Traceparent"
+
+// TraceParent renders the span's context as a traceparent header value,
+// or "" for a nil span (tracing off ⇒ nothing to propagate).
+func (s *Span) TraceParent() string {
+	if s == nil {
+		return ""
+	}
+	return "00-" + s.rec.TraceID + "-" + s.rec.SpanID + "-01"
+}
+
+// ParseTraceParent splits a traceparent header value into its trace and
+// span IDs. It accepts any hex ID lengths (this stack mints 16-char IDs,
+// W3C mints 32/16) but rejects malformed values: wrong field count,
+// non-hex IDs, or an unknown version prefix.
+func ParseTraceParent(v string) (traceID, spanID string, ok bool) {
+	parts := strings.Split(strings.TrimSpace(v), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return "", "", false
+	}
+	if !isHex(parts[1]) || !isHex(parts[2]) {
+		return "", "", false
+	}
+	return parts[1], parts[2], true
+}
+
+func isHex(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// ContextWithRemoteParent returns ctx carrying a synthetic, already-ended
+// span with the given IDs, so spans started under it parent correctly
+// beneath a caller in another process. The synthetic span records
+// nothing locally — it exists only to seed TraceID/ParentID.
+func ContextWithRemoteParent(ctx context.Context, traceID, spanID string) context.Context {
+	return ContextWithSpan(ctx, &Span{
+		rec:   SpanRecord{TraceID: traceID, SpanID: spanID},
+		ended: true,
+	})
 }
 
 type spanKey struct{}
@@ -217,7 +278,14 @@ type TraceNode struct {
 // degrade gracefully rather than disappearing. Roots are ordered by
 // start time.
 func (t *Tracer) Traces(minRoot time.Duration) []*TraceNode {
-	spans := t.Snapshot()
+	return BuildTraces(t.Snapshot(), minRoot)
+}
+
+// BuildTraces assembles an arbitrary span set into trees — the same
+// shape Traces serves, but over spans gathered from anywhere (the
+// coordinator stitches its own ring together with spans fetched from
+// remote workers before calling this).
+func BuildTraces(spans []SpanRecord, minRoot time.Duration) []*TraceNode {
 	nodes := make(map[string]*TraceNode, len(spans))
 	for i := range spans {
 		nodes[spans[i].SpanID] = &TraceNode{SpanRecord: spans[i]}

@@ -154,3 +154,87 @@ func TestRequestIDs(t *testing.T) {
 		t.Error("empty context carries a request id")
 	}
 }
+
+func TestTraceParentRoundTrip(t *testing.T) {
+	tr := NewTracer(8)
+	_, span := tr.Start(context.Background(), "op")
+	hdr := span.TraceParent()
+	traceID, spanID, ok := ParseTraceParent(hdr)
+	if !ok {
+		t.Fatalf("ParseTraceParent rejected %q", hdr)
+	}
+	if traceID != span.TraceID() || spanID != span.SpanID() {
+		t.Errorf("round trip = (%s, %s), want (%s, %s)", traceID, spanID, span.TraceID(), span.SpanID())
+	}
+	if (*Span)(nil).TraceParent() != "" {
+		t.Error("nil span should render an empty traceparent")
+	}
+	for _, bad := range []string{
+		"", "00-abc", "01-abcd-ef01-01", "00-xyz!-ef01-01", "00-abcd-XY-01", "00--ef01-01", "00-abcd-ef01-01-extra",
+	} {
+		if _, _, ok := ParseTraceParent(bad); ok {
+			t.Errorf("ParseTraceParent accepted malformed %q", bad)
+		}
+	}
+	// A W3C-width header (32/16 hex chars) parses too.
+	if _, _, ok := ParseTraceParent("00-0123456789abcdef0123456789abcdef-0123456789abcdef-01"); !ok {
+		t.Error("W3C-width traceparent rejected")
+	}
+}
+
+func TestRemoteParentStitching(t *testing.T) {
+	// Coordinator process: a root span whose context crosses the wire.
+	coord := NewTracer(8)
+	cctx, rpc := coord.Start(context.Background(), "rpc-bounds")
+	_ = cctx
+	hdr := rpc.TraceParent()
+	rpc.End()
+
+	// Worker process: rebuild the parent from the header and serve under it.
+	worker := NewTracer(8)
+	traceID, spanID, ok := ParseTraceParent(hdr)
+	if !ok {
+		t.Fatal("header did not parse")
+	}
+	wctx := ContextWithRemoteParent(context.Background(), traceID, spanID)
+	sctx, serve := worker.Start(wctx, "serve /shard/v1/bounds")
+	_, kernel := worker.Start(sctx, "kernel-bounds")
+	kernel.End()
+	serve.End()
+	if serve.TraceID() != rpc.TraceID() {
+		t.Fatalf("worker span joined trace %s, want %s", serve.TraceID(), rpc.TraceID())
+	}
+
+	// The synthetic parent records nothing on the worker's ring.
+	if got := worker.Len(); got != 2 {
+		t.Fatalf("worker ring holds %d spans, want 2", got)
+	}
+
+	// Coordinator-side assembly: merge both rings into one tree.
+	merged := append(coord.Snapshot(), worker.Snapshot()...)
+	roots := BuildTraces(merged, 0)
+	if len(roots) != 1 {
+		t.Fatalf("merged spans built %d trees, want 1", len(roots))
+	}
+	root := roots[0]
+	if root.Name != "rpc-bounds" || len(root.Children) != 1 {
+		t.Fatalf("unexpected tree root %q with %d children", root.Name, len(root.Children))
+	}
+	if root.Children[0].Name != "serve /shard/v1/bounds" || len(root.Children[0].Children) != 1 {
+		t.Fatalf("serve span not parented under the rpc span: %+v", root.Children[0])
+	}
+}
+
+func TestStartAtEndAtExactDuration(t *testing.T) {
+	tr := NewTracer(4)
+	start := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	_, span := tr.StartAt(context.Background(), "phase", start)
+	span.EndAt(start.Add(250 * time.Millisecond))
+	recs := tr.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("ring holds %d spans", len(recs))
+	}
+	if recs[0].Duration != 250*time.Millisecond || !recs[0].Start.Equal(start) {
+		t.Errorf("synthesized span = start %v dur %v", recs[0].Start, recs[0].Duration)
+	}
+}

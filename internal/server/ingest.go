@@ -10,6 +10,7 @@ package server
 // their request completes: the hot-swap never drops a read.
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"net/http"
@@ -88,6 +89,13 @@ func (s *Server) EnableIngest(name string, store *wal.Store, cfg IngestConfig) (
 			outcome = "error"
 		}
 		s.obs.snapshots.With(outcome).Inc()
+		// An instantaneous event span: snapshots run on whichever append
+		// crossed the threshold, so they have no natural request parent —
+		// each becomes its own root in /v1/traces.
+		_, ev := s.obs.tracer.Start(context.Background(), "wal-snapshot")
+		ev.SetAttr("outcome", outcome)
+		ev.SetAttr("dataset", name)
+		ev.End()
 	})
 	// Serve recovered state right away; an empty store has nothing to
 	// promote yet.
@@ -108,6 +116,26 @@ func (ing *Ingester) Close() {
 
 // Store exposes the underlying wal.Store.
 func (ing *Ingester) Store() *wal.Store { return ing.store }
+
+// Promoted returns the WAL sequence number the serving index currently
+// reflects.
+func (ing *Ingester) Promoted() uint64 {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	return ing.promoted
+}
+
+// Backlog returns the count of records durably acknowledged but not yet
+// promoted into the serving index — the freshness debt the compactor is
+// working off.
+func (ing *Ingester) Backlog() uint64 {
+	ing.mu.Lock()
+	defer ing.mu.Unlock()
+	if seq := ing.store.Seq(); seq > ing.promoted {
+		return seq - ing.promoted
+	}
+	return 0
+}
 
 // compactor is the background promotion loop: it wakes on the record
 // counter (kicked by the ingest handler) or the poll ticker, and
@@ -143,10 +171,17 @@ func (ing *Ingester) compactor() {
 // up; the version bump retires their cached bounds.
 func (ing *Ingester) promote() error {
 	start := time.Now()
+	_, span := ing.srv.obs.tracer.Start(context.Background(), "compaction")
+	span.SetAttr("dataset", ing.name)
 	ix, seq, err := ing.store.Index()
 	if err != nil {
+		span.SetAttr("outcome", "error")
+		span.End()
 		return err
 	}
+	span.SetAttr("outcome", "ok")
+	span.SetAttr("seq", seq)
+	span.End()
 	ing.srv.obs.compaction.Observe(time.Since(start).Seconds())
 	reg := ing.srv.reg
 	if _, _, ok := reg.Lookup(ing.name); ok {
@@ -228,7 +263,36 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	for i, items := range batch {
 		txs[i] = ossm.Itemset(items)
 	}
-	seq, err := ing.store.Append(txs)
+	actx, aspan := s.obs.tracer.Start(r.Context(), "ingest-append")
+	aspan.SetAttr("txs", len(txs))
+	seq, st, err := ing.store.AppendWithStats(txs)
+	if err == nil {
+		// The store reports how long each durability phase took; the child
+		// spans are synthesized backwards from the append's end so the
+		// trace shows exactly where the acknowledged write spent its time:
+		// encode+write, fsync (the durability point), then the in-memory
+		// apply.
+		end := time.Now()
+		applyStart := end.Add(-st.ApplyDur)
+		syncStart := applyStart.Add(-st.SyncDur)
+		writeStart := syncStart.Add(-st.WriteDur)
+		for _, ph := range []struct {
+			name       string
+			start, end time.Time
+		}{
+			{"wal-write", writeStart, syncStart},
+			{"wal-fsync", syncStart, applyStart},
+			{"wal-apply", applyStart, end},
+		} {
+			_, span := s.obs.tracer.StartAt(actx, ph.name, ph.start)
+			span.EndAt(ph.end)
+		}
+		aspan.SetAttr("seq", seq)
+		aspan.SetAttr("bytes", st.Bytes)
+	} else {
+		aspan.SetAttr("outcome", "error")
+	}
+	aspan.End()
 	if err != nil {
 		switch {
 		case errors.Is(err, wal.ErrClosed), errors.Is(err, wal.ErrFailed):

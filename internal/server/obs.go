@@ -14,8 +14,10 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -86,6 +88,37 @@ func (s *Server) initObs() {
 		func() float64 {
 			if ing := s.ingest.Load(); ing != nil {
 				return float64(ing.store.WALBytes())
+			}
+			return 0
+		})
+	r.GaugeFunc("ossm_ingest_seq", "Sequence number of the last durably acknowledged ingest record.",
+		func() float64 {
+			if ing := s.ingest.Load(); ing != nil {
+				return float64(ing.store.Seq())
+			}
+			return 0
+		})
+	r.GaugeFunc("ossm_wal_replay_lag_records", "Records in the active WAL beyond the last snapshot — the replay debt the next crash recovery would pay.",
+		func() float64 {
+			if ing := s.ingest.Load(); ing != nil {
+				n, _ := ing.store.SinceSnapshot()
+				return float64(n)
+			}
+			return 0
+		})
+	r.GaugeFunc("ossm_wal_last_snapshot_age_seconds", "Seconds since the last successful WAL snapshot committed (0 before the first).",
+		func() float64 {
+			if ing := s.ingest.Load(); ing != nil {
+				if _, at := ing.store.SinceSnapshot(); !at.IsZero() {
+					return time.Since(at).Seconds()
+				}
+			}
+			return 0
+		})
+	r.GaugeFunc("ossm_compaction_backlog_records", "Ingested records acknowledged but not yet promoted into the serving index.",
+		func() float64 {
+			if ing := s.ingest.Load(); ing != nil {
+				return float64(ing.Backlog())
 			}
 			return 0
 		})
@@ -172,7 +205,7 @@ func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 // be driven by clients.
 func routeLabel(path string) string {
 	switch path {
-	case "/healthz", "/v1/indexes", "/v1/ubsup", "/v1/ingest", "/v1/mine", "/v1/metrics", "/metrics", "/v1/traces":
+	case "/healthz", "/v1/indexes", "/v1/ubsup", "/v1/ingest", "/v1/mine", "/v1/metrics", "/metrics", "/v1/traces", "/v1/fleetz":
 		return path
 	}
 	if strings.HasPrefix(path, "/debug/pprof/") {
@@ -219,7 +252,10 @@ func (s *Server) middleware(next http.Handler) http.Handler {
 		span.SetAttr("status", status)
 		span.End()
 		s.obs.httpRequests.With(route, strconv.Itoa(status)).Inc()
-		s.obs.httpLatency.With(route).Observe(elapsed.Seconds())
+		// The exemplar ties this bucket increment to the request's trace,
+		// so a latency spike on the scrape links straight to an assembled
+		// trace in /v1/traces.
+		s.obs.httpLatency.With(route).ObserveExemplar(elapsed.Seconds(), span.TraceID())
 		s.obs.logger.LogAttrs(ctx, slog.LevelInfo, "http_request",
 			slog.String("request_id", reqID),
 			slog.String("trace_id", span.TraceID()),
@@ -245,18 +281,47 @@ func mountPprof(mux *http.ServeMux) {
 }
 
 // TracesResponse is the GET /v1/traces report: the span trees currently
-// held in the ring, oldest first, plus the ring's shape.
+// held in the ring (stitched together with remote worker spans on a
+// remote-fleet coordinator), oldest first, plus the ring's shape and the
+// per-trace shard attribution.
 type TracesResponse struct {
 	Count    int              `json:"count"`
 	Capacity int              `json:"capacity"`
 	Spans    int              `json:"spans"`
 	Dropped  int64            `json:"dropped"`
 	Traces   []*obs.TraceNode `json:"traces"`
+	// RemoteSpans counts worker spans fetched and merged into the trees;
+	// RemoteErrors counts workers whose span fetch failed (their spans
+	// are simply absent — assembly is best-effort).
+	RemoteSpans  int `json:"remote_spans,omitempty"`
+	RemoteErrors int `json:"remote_errors,omitempty"`
+	// Attribution splits each traced scatter's wall clock per shard into
+	// worker serve time vs network+queue time, from the RPC spans' attrs.
+	Attribution []TraceAttribution `json:"attribution,omitempty"`
+}
+
+// TraceAttribution is one trace's per-shard latency split.
+type TraceAttribution struct {
+	TraceID string       `json:"trace_id"`
+	Shards  []ShardSplit `json:"shards"`
+}
+
+// ShardSplit aggregates one shard's RPCs within a trace: serve is the
+// wall clock the worker reported spending, net is the remainder of the
+// RPC's wall clock — network transfer plus queueing on either side.
+type ShardSplit struct {
+	Shard   int   `json:"shard"`
+	RPCs    int   `json:"rpcs"`
+	ServeNs int64 `json:"serve_ns"`
+	NetNs   int64 `json:"net_ns"`
 }
 
 // handleTraces serves the trace ring as JSON span trees. ?min_ms=N keeps
 // only traces whose root lasted at least N milliseconds — the slow-query
-// view.
+// view. On a remote-fleet coordinator it also fetches every worker's
+// span ring and stitches the remote spans into the same trees (their
+// trace and parent IDs were propagated on the RPCs); ?remote=0 skips
+// the fetch and serves the local ring alone.
 func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	var minRoot time.Duration
 	if q := r.URL.Query().Get("min_ms"); q != "" {
@@ -267,15 +332,144 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 		}
 		minRoot = time.Duration(ms * float64(time.Millisecond))
 	}
-	traces := s.obs.tracer.Traces(minRoot)
+	spans := s.obs.tracer.Snapshot()
+	var remoteSpans, remoteErrs int
+	if r.URL.Query().Get("remote") != "0" {
+		fetched, errs := s.fetchRemoteSpans(r.Context())
+		remoteSpans, remoteErrs = len(fetched), errs
+		spans = append(spans, fetched...)
+	}
+	traces := obs.BuildTraces(spans, minRoot)
 	capn, held, _, dropped := s.obs.tracer.Stats()
 	s.writeJSON(w, http.StatusOK, TracesResponse{
-		Count:    len(traces),
-		Capacity: capn,
-		Spans:    held,
-		Dropped:  dropped,
-		Traces:   traces,
+		Count:        len(traces),
+		Capacity:     capn,
+		Spans:        held,
+		Dropped:      dropped,
+		Traces:       traces,
+		RemoteSpans:  remoteSpans,
+		RemoteErrors: remoteErrs,
+		Attribution:  buildAttribution(spans),
 	})
+}
+
+// spanFetcher is the slice of remote.Client the trace assembler needs;
+// an interface so the server package stays decoupled from the transport
+// construction.
+type spanFetcher interface {
+	ID() int
+	FetchSpans(ctx context.Context) ([]obs.SpanRecord, error)
+}
+
+// fetchRemoteSpans gathers span rings from every remote transport
+// currently installed in a fleet, deduplicated by span ID (one worker
+// process serving shards of several indexes is fetched once per client
+// but merged once). Fetches run concurrently under a short deadline;
+// a worker that cannot answer contributes nothing but an error count.
+func (s *Server) fetchRemoteSpans(ctx context.Context) ([]obs.SpanRecord, int) {
+	var fetchers []spanFetcher
+	s.fleetsMu.Lock()
+	for _, fe := range s.fleets {
+		fe.mu.Lock()
+		for _, t := range fe.transports {
+			if f, ok := t.(spanFetcher); ok {
+				fetchers = append(fetchers, f)
+			}
+		}
+		fe.mu.Unlock()
+	}
+	s.fleetsMu.Unlock()
+	if len(fetchers) == 0 {
+		return nil, 0
+	}
+	fctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	results := make([][]obs.SpanRecord, len(fetchers))
+	errs := make([]error, len(fetchers))
+	var wg sync.WaitGroup
+	for i, f := range fetchers {
+		wg.Add(1)
+		go func(i int, f spanFetcher) {
+			defer wg.Done()
+			results[i], errs[i] = f.FetchSpans(fctx)
+		}(i, f)
+	}
+	wg.Wait()
+	seen := make(map[string]bool)
+	var out []obs.SpanRecord
+	nErrs := 0
+	for i := range results {
+		if errs[i] != nil {
+			nErrs++
+			continue
+		}
+		for _, rec := range results[i] {
+			if rec.SpanID == "" || seen[rec.SpanID] {
+				continue
+			}
+			seen[rec.SpanID] = true
+			out = append(out, rec)
+		}
+	}
+	return out, nErrs
+}
+
+// buildAttribution folds the RPC spans in a merged span set into
+// per-trace, per-shard serve/net splits.
+func buildAttribution(spans []obs.SpanRecord) []TraceAttribution {
+	type key struct {
+		trace string
+		shard int
+	}
+	splits := make(map[key]*ShardSplit)
+	for i := range spans {
+		rec := &spans[i]
+		if !strings.HasPrefix(rec.Name, "rpc-") {
+			continue
+		}
+		shard, ok := attrInt(rec.Attrs, "shard")
+		if !ok {
+			continue
+		}
+		k := key{rec.TraceID, int(shard)}
+		sp := splits[k]
+		if sp == nil {
+			sp = &ShardSplit{Shard: int(shard)}
+			splits[k] = sp
+		}
+		sp.RPCs++
+		if v, ok := attrInt(rec.Attrs, "serve_ns"); ok {
+			sp.ServeNs += v
+		}
+		if v, ok := attrInt(rec.Attrs, "net_ns"); ok {
+			sp.NetNs += v
+		}
+	}
+	byTrace := make(map[string][]ShardSplit)
+	for k, sp := range splits {
+		byTrace[k.trace] = append(byTrace[k.trace], *sp)
+	}
+	out := make([]TraceAttribution, 0, len(byTrace))
+	for trace, shards := range byTrace {
+		sort.Slice(shards, func(i, j int) bool { return shards[i].Shard < shards[j].Shard })
+		out = append(out, TraceAttribution{TraceID: trace, Shards: shards})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TraceID < out[j].TraceID })
+	return out
+}
+
+// attrInt reads a numeric span attribute, tolerating the int/int64
+// in-process representations and the float64 a JSON round-trip yields.
+func attrInt(attrs map[string]any, name string) (int64, bool) {
+	switch v := attrs[name].(type) {
+	case int:
+		return int64(v), true
+	case int64:
+		return v, true
+	case float64:
+		return int64(v), true
+	}
+	return 0, false
 }
 
 // handleMetrics is the single content-negotiated metrics handler behind
@@ -283,13 +477,16 @@ func (s *Server) handleTraces(w http.ResponseWriter, r *http.Request) {
 // scrapers, the JSON snapshot for the pre-existing API consumers. An
 // explicit ?format=json|prometheus wins, then the Accept header, then
 // the path's own convention (/metrics scrapes, /v1/metrics is JSON).
+// ?exemplars=1 appends OpenMetrics exemplar suffixes to the text
+// exposition, linking latency buckets to trace IDs in the ring; the
+// default output stays byte-compatible with plain Prometheus parsers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if metricsFormat(r) == "json" {
 		s.writeJSON(w, http.StatusOK, s.MetricsSnapshot())
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.obs.metrics.WritePrometheus(w)
+	_ = s.obs.metrics.WriteExposition(w, r.URL.Query().Get("exemplars") == "1")
 }
 
 func metricsFormat(r *http.Request) string {

@@ -57,6 +57,7 @@ func maskExposition(text string) string {
 			name = series[:i]
 		}
 		if strings.HasPrefix(name, "go_") || name == "ossm_uptime_seconds" ||
+			name == "ossm_wal_last_snapshot_age_seconds" ||
 			strings.HasPrefix(name, "ossm_http_request_duration_seconds") ||
 			strings.HasPrefix(name, "ossm_compaction_seconds") {
 			line = series + " <V>"

@@ -73,7 +73,7 @@ func newRemoteCoordinator(t *testing.T, d *ossm.Dataset, ix *ossm.Index, addrs [
 		rc.mu.Unlock()
 		out := make([]shard.Transport, len(cur))
 		for i, addr := range cur {
-			c, err := remote.NewClient(i, addr, name, remote.ClientConfig{Hooks: hooks})
+			c, err := remote.NewClient(i, addr, name, remote.ClientConfig{Hooks: hooks, Tracer: s.Tracer()})
 			if err != nil {
 				return nil, err
 			}

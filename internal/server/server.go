@@ -178,6 +178,11 @@ func New(cfg Config) *Server {
 // Swap) for loaders and streaming refreshers.
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Tracer exposes the server's span ring, so remote shard clients built
+// outside the package (wireTopology in ossm-serve) can record their RPC
+// spans into the same ring /v1/traces assembles from.
+func (s *Server) Tracer() *obs.Tracer { return s.obs.tracer }
+
 // AddIndex registers a named index.
 func (s *Server) AddIndex(name string, ix *ossm.Index) error { return s.reg.AddIndex(name, ix) }
 
@@ -217,6 +222,10 @@ type fleetEntry struct {
 	fleet   *shard.Fleet
 	ix      *ossm.Index
 	hasData bool
+	// transports mirrors the fleet's current transport list, so the trace
+	// assembler and /v1/fleetz can reach remote clients (span fetch,
+	// breaker state) without the Fleet exposing its internals.
+	transports []shard.Transport
 	// topoGen is the Server.topoGen value the current remote transports
 	// were built under; a mismatch on lookup triggers a rebuild. Remote
 	// fleets key on this rather than index identity, so a registry Swap
@@ -285,9 +294,14 @@ func (s *Server) installTransports(fe *fleetEntry, transports []shard.Transport)
 			return err
 		}
 		fe.fleet = f
+		fe.transports = transports
 		return nil
 	}
-	return fe.fleet.Swap(transports)
+	if err := fe.fleet.Swap(transports); err != nil {
+		return err
+	}
+	fe.transports = transports
+	return nil
 }
 
 // noteShardOutcome is the fleet callback feeding the Prometheus shard
@@ -505,6 +519,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/ingest", s.handleIngest)
 	mux.HandleFunc("POST /v1/mine", s.handleMine)
 	mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	mux.HandleFunc("GET /v1/fleetz", s.handleFleetz)
 	// Both metrics paths share the one content-negotiating handler:
 	// /metrics is the scrape convention, /v1/metrics the JSON API
 	// spelling, and either serves either representation on request.
@@ -786,6 +801,7 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	runCtx, run := s.obs.tracer.Start(ctx, "mine-run")
 	run.SetAttr("miner", req.Miner)
 	run.SetAttr("min_count", minCount)
+	s.markMineStart(runCtx, req.Miner, minCount)
 	// Each EventPassEnd carries the pass's wall time, so the per-pass
 	// spans are synthesized retroactively: started Wall ago, ended now.
 	// The sink runs on the mining goroutine; the tracer ring is
@@ -890,6 +906,17 @@ func (s *Server) handleMine(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, resp)
 }
 
+// markMineStart records an instantaneous "mine-start" event span under
+// the run context. Spans land in the ring only at End, so a long run is
+// otherwise invisible until it finishes; the event makes the in-flight
+// run (and its miner/threshold) show up in /v1/traces immediately.
+func (s *Server) markMineStart(runCtx context.Context, miner string, minCount int64) {
+	_, ev := s.obs.tracer.Start(runCtx, "mine-start")
+	ev.SetAttr("miner", miner)
+	ev.SetAttr("min_count", minCount)
+	ev.End()
+}
+
 // mineSharded runs one /v1/mine request scatter-gather over the fleet
 // (the caller already holds a mining admission slot). The answer is
 // bit-identical to a single-node run — Partition's local-frequent union
@@ -900,6 +927,7 @@ func (s *Server) mineSharded(ctx context.Context, w http.ResponseWriter, fleet *
 	run.SetAttr("miner", req.Miner)
 	run.SetAttr("min_count", minCount)
 	run.SetAttr("shards", fleet.NumShards())
+	s.markMineStart(runCtx, req.Miner, minCount)
 	start := time.Now()
 	res, err := fleet.Mine(runCtx, shard.MineConfig{Miner: req.Miner, MinCount: minCount, MaxLen: req.MaxLen})
 	if err != nil {

@@ -193,7 +193,10 @@ func (f *Fleet) callBounds(ctx context.Context, t Transport, cutoff time.Duratio
 	info := t.Info()
 	var span *obs.Span
 	if f.cfg.Tracer != nil {
-		_, span = f.cfg.Tracer.Start(ctx, fmt.Sprintf("shard-%d", info.ID))
+		// The span's context flows into the transport call so that
+		// RPC-attempt spans (and, over the wire, worker-side serve
+		// spans) parent under shard-N rather than the scatter span.
+		ctx, span = f.cfg.Tracer.Start(ctx, fmt.Sprintf("shard-%d", info.ID))
 		span.SetAttr("segments_lo", info.Segments.Lo)
 		span.SetAttr("segments_hi", info.Segments.Hi)
 		span.SetAttr("sets", len(sets))

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	ossm "github.com/ossm-mining/ossm"
+	"github.com/ossm-mining/ossm/internal/obs"
 	"github.com/ossm-mining/ossm/internal/shard"
 )
 
@@ -96,7 +97,10 @@ func TestChaosSoak(t *testing.T) {
 		wantMine[c.Items.String()] = c.Count
 	}
 
-	// Generation 1 clients, with their own breaker log.
+	// Generation 1 clients, with their own breaker log. The coordinator
+	// tracer is shared by the fleet and both client generations, so the
+	// post-soak trace verification sees the full scatter → rpc chain.
+	coordTracer := obs.NewTracer(8192)
 	log1 := newBreakerLog()
 	mkCfg := func(l *breakerLog, seed int64) ClientConfig {
 		return ClientConfig{
@@ -107,10 +111,11 @@ func TestChaosSoak(t *testing.T) {
 			Breaker:     BreakerConfig{FailureThreshold: 3, Cooldown: 40 * time.Millisecond},
 			Hooks:       l.hooks(),
 			Seed:        seed,
+			Tracer:      coordTracer,
 		}
 	}
 	rf := startRemoteFleet(t, "retail", ix, d, numShards, mkCfg(log1, 1))
-	fl, err := shard.NewFleet(shard.Config{HedgeAfter: -1}, rf.transports())
+	fl, err := shard.NewFleet(shard.Config{HedgeAfter: -1, Tracer: coordTracer}, rf.transports())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,4 +271,79 @@ func TestChaosSoak(t *testing.T) {
 	}
 	t.Logf("soak: earlyOK=%d lateOK=%d mineOK=%d gen1(shard3)=%v gen2(shard3)=%v",
 		earlyOK.Load(), lateOK.Load(), mineOK.Load(), log1.seq[numShards-1], log2.seq[numShards-1])
+
+	// Trace verification: with every fault cleared, a handful of traced
+	// scatters must each assemble into a tree carrying, for every
+	// (non-faulted) shard, at least one worker serve span correctly
+	// parented under that shard's RPC span — the cross-process propagation
+	// survived the chaos, the swap and the recovery.
+	for _, f := range rf.faults {
+		f.SetHung(false)
+		f.SetErrorRate(0)
+		f.SetLatency(0, 0)
+	}
+	const verifyRounds = 5
+	var baseline []int64
+	for _, wt := range rf.tracers {
+		_, _, total, _ := wt.Stats()
+		baseline = append(baseline, total)
+	}
+	for round := 0; round < verifyRounds; round++ {
+		ctx, scatter := coordTracer.Start(context.Background(), "chaos-verify-scatter")
+		ctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+		got := make([]int64, len(pool[0]))
+		err := fl.Bounds(ctx, pool[0], got)
+		cancel()
+		scatter.End()
+		if err != nil {
+			t.Fatalf("verify round %d: %v", round, err)
+		}
+	}
+	// The worker records its serve span after the response is on the
+	// wire, so the last round's spans may land a beat after Bounds
+	// returns.
+	for i, wt := range rf.tracers {
+		i, wt := i, wt
+		waitFor(t, "worker serve spans to land", 5*time.Second, func() bool {
+			_, _, total, _ := wt.Stats()
+			return total >= baseline[i]+verifyRounds
+		})
+	}
+	spans := coordTracer.Snapshot()
+	for _, wt := range rf.tracers {
+		spans = append(spans, wt.Snapshot()...)
+	}
+	verified := 0
+	for _, root := range obs.BuildTraces(spans, 0) {
+		if root.Name != "chaos-verify-scatter" {
+			continue
+		}
+		verified++
+		shardsLinked := map[int]bool{}
+		var walk func(n *obs.TraceNode)
+		walk = func(n *obs.TraceNode) {
+			if n.Name == "rpc-bounds" {
+				id, _ := n.Attrs["shard"].(int)
+				for _, c := range n.Children {
+					if c.Name == "serve /shard/v1/bounds" {
+						if c.ParentID != n.SpanID || c.TraceID != root.TraceID {
+							t.Errorf("serve span misparented: parent %s != rpc %s", c.ParentID, n.SpanID)
+						}
+						shardsLinked[id] = true
+					}
+				}
+			}
+			for _, c := range n.Children {
+				walk(c)
+			}
+		}
+		walk(root)
+		if len(shardsLinked) != numShards {
+			t.Errorf("scatter %s links worker spans for %d/%d shards: %v",
+				root.TraceID, len(shardsLinked), numShards, shardsLinked)
+		}
+	}
+	if verified != verifyRounds {
+		t.Errorf("assembled %d chaos-verify-scatter trees, want %d", verified, verifyRounds)
+	}
 }

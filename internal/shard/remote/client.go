@@ -11,12 +11,14 @@ import (
 	"net"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	ossm "github.com/ossm-mining/ossm"
+	"github.com/ossm-mining/ossm/internal/obs"
 	"github.com/ossm-mining/ossm/internal/shard"
 )
 
@@ -68,6 +70,10 @@ type ClientConfig struct {
 	Seed int64
 	// Hooks observe RPCs, retries and breaker transitions.
 	Hooks Hooks
+	// Tracer, when non-nil, records one span per RPC attempt (and per
+	// breaker rejection) under the caller's context, with serve/net time
+	// attribution read from the worker's response headers.
+	Tracer *obs.Tracer
 }
 
 func (c ClientConfig) withDefaults() ClientConfig {
@@ -295,7 +301,7 @@ func (c *Client) fetchInfo() {
 // guarantee), but it does report an RPC outcome for the metrics.
 func (c *Client) fetchInfoCtx(ctx context.Context) error {
 	var resp InfoResponse
-	err := c.attempt(ctx, http.MethodGet, "/shard/v1/info?index="+url.QueryEscape(c.index), nil, &resp)
+	_, err := c.attempt(ctx, http.MethodGet, "/shard/v1/info?index="+url.QueryEscape(c.index), nil, &resp)
 	c.infoAt.Store(time.Now().UnixNano())
 	c.noteRPC("info", err)
 	if err != nil {
@@ -311,6 +317,19 @@ func (c *Client) attemptTimeout(d time.Duration) time.Duration {
 		return 2 * time.Second
 	}
 	return d
+}
+
+// FetchSpans returns the worker's finished spans (GET /shard/v1/traces)
+// so the coordinator can stitch them into its own trace trees. Like the
+// info side channel, it is a single direct attempt — no retries, no
+// breaker involvement — because trace assembly is best-effort by design.
+func (c *Client) FetchSpans(ctx context.Context) ([]obs.SpanRecord, error) {
+	var resp SpansResponse
+	_, err := c.attempt(ctx, http.MethodGet, "/shard/v1/traces", nil, &resp)
+	if err != nil {
+		return nil, fmt.Errorf("remote: shard %d traces: %w", c.id, err)
+	}
+	return resp.Spans, nil
 }
 
 // PartialBounds implements shard.Transport over POST /shard/v1/bounds.
@@ -361,6 +380,7 @@ func (c *Client) call(ctx context.Context, method, path string, reqBody, respBod
 	done, err := c.brk.Allow()
 	if err != nil {
 		c.noteRPC(method, err)
+		c.rejectSpan(ctx, method)
 		return fmt.Errorf("remote: shard %d %s: %w", c.id, method, err)
 	}
 	for att := 0; ; att++ {
@@ -369,7 +389,7 @@ func (c *Client) call(ctx context.Context, method, path string, reqBody, respBod
 		if timeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, timeout)
 		}
-		err := c.attempt(actx, http.MethodPost, path, reqBody, respBody)
+		err := c.tracedAttempt(actx, method, att, path, reqBody, respBody)
 		cancel()
 		if err == nil {
 			done(true)
@@ -399,6 +419,44 @@ func (c *Client) call(ctx context.Context, method, path string, reqBody, respBod
 			return fmt.Errorf("remote: shard %d %s: %w", c.id, method, ctx.Err())
 		}
 	}
+}
+
+// tracedAttempt wraps one wire attempt in a span: rpc-<method>, carrying
+// the shard id, attempt number, outcome, and — when the worker reported
+// its serve time — the serve-vs-network wall-clock split the coordinator's
+// trace view aggregates per shard.
+func (c *Client) tracedAttempt(actx context.Context, method string, att int, path string, reqBody, respBody any) error {
+	if c.cfg.Tracer == nil {
+		_, err := c.attempt(actx, http.MethodPost, path, reqBody, respBody)
+		return err
+	}
+	sctx, span := c.cfg.Tracer.Start(actx, "rpc-"+method)
+	span.SetAttr("shard", c.id)
+	span.SetAttr("attempt", att)
+	start := time.Now()
+	serveNs, err := c.attempt(sctx, http.MethodPost, path, reqBody, respBody)
+	span.SetAttr("outcome", outcomeOf(err))
+	if serveNs > 0 {
+		wall := time.Since(start).Nanoseconds()
+		if net := wall - serveNs; net >= 0 {
+			span.SetAttr("serve_ns", serveNs)
+			span.SetAttr("net_ns", net)
+		}
+	}
+	span.End()
+	return err
+}
+
+// rejectSpan records a breaker rejection as a zero-wire-time span, so
+// fail-fast decisions stay visible in the assembled trace.
+func (c *Client) rejectSpan(ctx context.Context, method string) {
+	if c.cfg.Tracer == nil {
+		return
+	}
+	_, span := c.cfg.Tracer.Start(ctx, "rpc-"+method)
+	span.SetAttr("shard", c.id)
+	span.SetAttr("outcome", "breaker_open")
+	span.End()
 }
 
 // finalErr wraps an exhausted call's last error. Transport-level
@@ -455,50 +513,59 @@ func retryable(err error) bool {
 	return true
 }
 
-// attempt performs one HTTP exchange under actx.
-func (c *Client) attempt(actx context.Context, httpMethod, path string, reqBody, respBody any) error {
+// attempt performs one HTTP exchange under actx, propagating the
+// caller's request id and trace context onto the wire and returning the
+// worker-reported serve time (0 when the worker did not report one).
+func (c *Client) attempt(actx context.Context, httpMethod, path string, reqBody, respBody any) (int64, error) {
 	var body io.Reader
 	if reqBody != nil {
 		raw, err := json.Marshal(reqBody)
 		if err != nil {
-			return &statusError{code: http.StatusBadRequest, msg: err.Error()}
+			return 0, &statusError{code: http.StatusBadRequest, msg: err.Error()}
 		}
 		body = bytes.NewReader(raw)
 	}
 	req, err := http.NewRequestWithContext(actx, httpMethod, c.base+path, body)
 	if err != nil {
-		return &statusError{code: http.StatusBadRequest, msg: err.Error()}
+		return 0, &statusError{code: http.StatusBadRequest, msg: err.Error()}
 	}
 	if reqBody != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if id := obs.RequestIDFrom(actx); id != "" {
+		req.Header.Set(requestIDHeader, id)
+	}
+	if span := obs.SpanFromContext(actx); span != nil {
+		req.Header.Set(obs.TraceParentHeader, span.TraceParent())
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
 		if actx.Err() != nil {
-			return actx.Err()
+			return 0, actx.Err()
 		}
-		return err
+		return 0, err
 	}
 	defer func() {
 		// Drain so the keep-alive connection returns to the pool.
 		_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 		resp.Body.Close()
 	}()
+	serveNs, _ := strconv.ParseInt(resp.Header.Get(serveNsHeader), 10, 64)
 	if resp.StatusCode != http.StatusOK {
 		var eb errorBody
 		msg := resp.Status
 		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &statusError{code: resp.StatusCode, msg: msg}
+		return serveNs, &statusError{code: resp.StatusCode, msg: msg}
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxWireBody)).Decode(respBody); err != nil {
 		if actx.Err() != nil {
-			return actx.Err()
+			return serveNs, actx.Err()
 		}
-		return fmt.Errorf("decoding worker response: %w", err)
+		return serveNs, fmt.Errorf("decoding worker response: %w", err)
 	}
-	return nil
+	return serveNs, nil
 }
 
 // noteRPC reports one finished call to the hooks.

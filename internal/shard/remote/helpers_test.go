@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	ossm "github.com/ossm-mining/ossm"
+	"github.com/ossm-mining/ossm/internal/obs"
 	"github.com/ossm-mining/ossm/internal/shard"
 )
 
@@ -30,6 +31,7 @@ type remoteFleet struct {
 	servers []*httptest.Server
 	faults  []*Fault // worker-side fault decorators, one per shard
 	clients []*Client
+	tracers []*obs.Tracer // worker-side span rings, one per shard
 }
 
 func (rf *remoteFleet) transports() []shard.Transport {
@@ -55,6 +57,8 @@ func startRemoteFleet(t testing.TB, name string, ix *ossm.Index, d *ossm.Dataset
 	for i, tr := range shard.Transports(locals) {
 		f := NewFault(tr, FaultConfig{Seed: int64(i) + 1})
 		w := NewWorker()
+		wt := obs.NewTracer(4096)
+		w.SetObs(nil, wt)
 		if err := w.Add(name, f, ix.NumSegments()); err != nil {
 			t.Fatal(err)
 		}
@@ -67,6 +71,7 @@ func startRemoteFleet(t testing.TB, name string, ix *ossm.Index, d *ossm.Dataset
 		rf.servers = append(rf.servers, srv)
 		rf.faults = append(rf.faults, f)
 		rf.clients = append(rf.clients, c)
+		rf.tracers = append(rf.tracers, wt)
 	}
 	return rf
 }

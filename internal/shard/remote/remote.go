@@ -33,7 +33,18 @@ import (
 	"fmt"
 
 	ossm "github.com/ossm-mining/ossm"
+	"github.com/ossm-mining/ossm/internal/obs"
 	"github.com/ossm-mining/ossm/internal/shard"
+)
+
+// Cross-process correlation headers. Every client RPC carries the
+// coordinator's request id and the current span's traceparent
+// (obs.TraceParentHeader); every worker response reports how long the
+// worker actually spent serving, so the client can attribute the rest of
+// the RPC's wall clock to the network and queueing.
+const (
+	requestIDHeader = "X-Request-Id"
+	serveNsHeader   = "X-Serve-Ns"
 )
 
 // ErrBreakerOpen is returned (wrapped in shard.ErrUnavailable) when a
@@ -103,6 +114,15 @@ type InfoResponse struct {
 	// TotalSegments is the segment count of the whole index the worker
 	// sliced, so a coordinator can check the fleet tiles [0, total).
 	TotalSegments int `json:"total_segments"`
+}
+
+// SpansResponse is the GET /shard/v1/traces body: the worker's finished
+// spans, oldest first. The coordinator's /v1/traces fetches these and
+// stitches them under its own scatter spans — worker spans carry the
+// coordinator's trace and parent IDs when the RPC arrived with a
+// traceparent header, so the join is pure tree assembly.
+type SpansResponse struct {
+	Spans []obs.SpanRecord `json:"spans"`
 }
 
 // errorBody is the JSON error envelope every non-200 worker response

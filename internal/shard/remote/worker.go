@@ -5,9 +5,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
+	"time"
 
+	"github.com/ossm-mining/ossm/internal/obs"
 	"github.com/ossm-mining/ossm/internal/shard"
 )
 
@@ -36,6 +40,13 @@ const maxWireBody = 16 << 20
 type Worker struct {
 	mu      sync.RWMutex
 	entries map[string]workerEntry
+
+	// Observability, wired once at startup via SetObs before the handler
+	// serves traffic. Both tolerate their nil zero values: a nil tracer
+	// records nothing and /shard/v1/traces answers empty; a nil logger
+	// suppresses access-log lines.
+	logger *slog.Logger
+	tracer *obs.Tracer
 }
 
 type workerEntry struct {
@@ -46,6 +57,13 @@ type workerEntry struct {
 // NewWorker returns a worker with no entries.
 func NewWorker() *Worker {
 	return &Worker{entries: make(map[string]workerEntry)}
+}
+
+// SetObs wires the worker's access logger and span ring. Call it at
+// startup, before Handler() serves traffic.
+func (w *Worker) SetObs(logger *slog.Logger, tracer *obs.Tracer) {
+	w.logger = logger
+	w.tracer = tracer
 }
 
 // Add registers the transport serving the named index's shard.
@@ -71,17 +89,103 @@ func (w *Worker) lookup(name string) (workerEntry, bool) {
 	return e, ok
 }
 
-// Handler returns the worker's routing table.
+// Handler returns the worker's routing table, wrapped in the
+// observability envelope.
 func (w *Worker) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(rw http.ResponseWriter, r *http.Request) {
 		writeWireJSON(rw, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	mux.HandleFunc("GET /shard/v1/info", w.handleInfo)
+	mux.HandleFunc("GET /shard/v1/traces", w.handleTraces)
 	mux.HandleFunc("POST /shard/v1/bounds", w.handleBounds)
 	mux.HandleFunc("POST /shard/v1/frequent", w.handleFrequent)
 	mux.HandleFunc("POST /shard/v1/supports", w.handleSupports)
-	return mux
+	return w.instrument(mux)
+}
+
+// instrument is the worker-side request envelope: it adopts the
+// coordinator's request id (minting one only for direct callers), joins
+// the coordinator's trace via the traceparent header so the serve span
+// parents under the caller's RPC span, reports the measured serve time
+// in the response headers, and emits one access-log line whose
+// request_id matches the coordinator's — the join key between the two
+// processes' logs.
+func (w *Worker) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		reqID := r.Header.Get(requestIDHeader)
+		if reqID == "" {
+			reqID = obs.NewRequestID()
+		}
+		rw.Header().Set(requestIDHeader, reqID)
+
+		ctx := obs.WithRequestID(r.Context(), reqID)
+		if traceID, spanID, ok := obs.ParseTraceParent(r.Header.Get(obs.TraceParentHeader)); ok {
+			ctx = obs.ContextWithRemoteParent(ctx, traceID, spanID)
+		}
+		ctx, span := w.tracer.Start(ctx, "serve "+r.URL.Path)
+		span.SetAttr("request_id", reqID)
+
+		sw := &serveWriter{ResponseWriter: rw, start: start}
+		next.ServeHTTP(sw, r.WithContext(ctx))
+
+		status := sw.status
+		if status == 0 {
+			status = http.StatusOK
+		}
+		elapsed := time.Since(start)
+		span.SetAttr("status", status)
+		span.End()
+		if w.logger != nil {
+			w.logger.LogAttrs(ctx, slog.LevelInfo, "shard_rpc",
+				slog.String("request_id", reqID),
+				slog.String("trace_id", span.TraceID()),
+				slog.String("method", r.Method),
+				slog.String("path", r.URL.Path),
+				slog.Int("status", status),
+				slog.Duration("duration", elapsed),
+			)
+		}
+	})
+}
+
+// serveWriter stamps the serve-time header the moment the response
+// starts — everything after that belongs to the network — and records
+// the status for the access log.
+type serveWriter struct {
+	http.ResponseWriter
+	start  time.Time
+	status int
+}
+
+func (w *serveWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+		w.Header().Set(serveNsHeader, strconv.FormatInt(time.Since(w.start).Nanoseconds(), 10))
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *serveWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.WriteHeader(http.StatusOK)
+		return w.ResponseWriter.Write(p)
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Unwrap exposes the underlying writer to http.ResponseController.
+func (w *serveWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// handleTraces serves the worker's span ring, oldest first — the raw
+// material the coordinator's /v1/traces stitches into one tree.
+func (w *Worker) handleTraces(rw http.ResponseWriter, r *http.Request) {
+	spans := w.tracer.Snapshot()
+	if spans == nil {
+		spans = []obs.SpanRecord{}
+	}
+	writeWireJSON(rw, http.StatusOK, SpansResponse{Spans: spans})
 }
 
 func (w *Worker) handleInfo(rw http.ResponseWriter, r *http.Request) {
@@ -111,7 +215,12 @@ func (w *Worker) handleBounds(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := make([]int64, len(req.Sets))
-	if err := e.t.PartialBounds(r.Context(), req.Sets, out); err != nil {
+	kctx, kspan := w.tracer.Start(r.Context(), "kernel-bounds")
+	kspan.SetAttr("index", req.Index)
+	kspan.SetAttr("sets", len(req.Sets))
+	err := e.t.PartialBounds(kctx, req.Sets, out)
+	kspan.End()
+	if err != nil {
 		writeShardErr(rw, r.Context(), err)
 		return
 	}
@@ -128,7 +237,11 @@ func (w *Worker) handleFrequent(rw http.ResponseWriter, r *http.Request) {
 		writeWireErr(rw, http.StatusNotFound, "unknown shard entry %q", req.Index)
 		return
 	}
-	sets, err := e.t.LocalFrequent(r.Context(), req.Miner, req.LocalMin, req.MaxLen)
+	kctx, kspan := w.tracer.Start(r.Context(), "kernel-frequent")
+	kspan.SetAttr("index", req.Index)
+	kspan.SetAttr("miner", req.Miner)
+	sets, err := e.t.LocalFrequent(kctx, req.Miner, req.LocalMin, req.MaxLen)
+	kspan.End()
 	if err != nil {
 		writeShardErr(rw, r.Context(), err)
 		return
@@ -147,7 +260,12 @@ func (w *Worker) handleSupports(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	out := make([]int64, len(req.Sets))
-	if err := e.t.PartialSupports(r.Context(), req.Sets, out); err != nil {
+	kctx, kspan := w.tracer.Start(r.Context(), "kernel-supports")
+	kspan.SetAttr("index", req.Index)
+	kspan.SetAttr("sets", len(req.Sets))
+	err := e.t.PartialSupports(kctx, req.Sets, out)
+	kspan.End()
+	if err != nil {
 		writeShardErr(rw, r.Context(), err)
 		return
 	}

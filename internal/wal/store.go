@@ -7,6 +7,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	ossm "github.com/ossm-mining/ossm"
 	"github.com/ossm-mining/ossm/internal/core"
@@ -89,6 +90,21 @@ type Options struct {
 	// OnSnapshot, when set, observes every snapshot attempt after Open
 	// (nil error = success) — the serving layer's metrics hook.
 	OnSnapshot func(err error)
+	// OnAppend, when set, observes every successful durable append with
+	// its phase timings — the serving layer's hook for reconstructing
+	// write→fsync→apply spans on the ingest path.
+	OnAppend func(AppendStats)
+}
+
+// AppendStats times one durable append's phases: framing and writing the
+// record, the fsync that acknowledges it, and the in-memory apply.
+type AppendStats struct {
+	Seq      uint64
+	Txs      int
+	Bytes    int
+	WriteDur time.Duration
+	SyncDur  time.Duration
+	ApplyDur time.Duration
 }
 
 // RecoveryInfo reports what Open found and did.
@@ -122,11 +138,12 @@ type Store struct {
 
 	mu        sync.Mutex
 	app       *ossm.Appender
-	seq       uint64 // sequence number of the last applied record
-	wal       File   // active WAL file (nil once closed/failed)
-	walBytes  int64  // bytes appended to the active WAL file
-	sinceSnap int    // records appended since the last snapshot attempt
-	failed    error  // sticky write-path failure; nil while healthy
+	seq       uint64    // sequence number of the last applied record
+	wal       File      // active WAL file (nil once closed/failed)
+	walBytes  int64     // bytes appended to the active WAL file
+	sinceSnap int       // records appended since the last snapshot attempt
+	snapAt    time.Time // when the last successful snapshot committed
+	failed    error     // sticky write-path failure; nil while healthy
 	closed    bool
 }
 
@@ -263,14 +280,23 @@ replay:
 // canonicalized (sorted, de-duplicated); items outside the domain reject
 // the whole batch before anything is written.
 func (s *Store) Append(txs []ossm.Itemset) (uint64, error) {
+	seq, _, err := s.AppendWithStats(txs)
+	return seq, err
+}
+
+// AppendWithStats is Append, additionally returning the append's phase
+// timings so callers can reconstruct write→fsync→apply spans without a
+// hook round-trip.
+func (s *Store) AppendWithStats(txs []ossm.Itemset) (uint64, AppendStats, error) {
+	var st AppendStats
 	if len(txs) == 0 {
-		return 0, fmt.Errorf("wal: empty batch")
+		return 0, st, fmt.Errorf("wal: empty batch")
 	}
 	canon := make([]dataset.Itemset, len(txs))
 	for i, tx := range txs {
 		c := dataset.NewItemset(tx...)
 		if len(c) > 0 && int(c[len(c)-1]) >= s.opts.NumItems {
-			return 0, fmt.Errorf("wal: transaction %d: item %d outside domain of %d items",
+			return 0, st, fmt.Errorf("wal: transaction %d: item %d outside domain of %d items",
 				i, c[len(c)-1], s.opts.NumItems)
 		}
 		canon[i] = c
@@ -279,30 +305,44 @@ func (s *Store) Append(txs []ossm.Itemset) (uint64, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return 0, ErrClosed
+		return 0, st, ErrClosed
 	}
 	if s.failed != nil {
-		return 0, fmt.Errorf("%w: %w", ErrFailed, s.failed)
+		return 0, st, fmt.Errorf("%w: %w", ErrFailed, s.failed)
 	}
 
 	frame := AppendRecord(nil, s.seq+1, canon)
+	writeStart := time.Now()
 	if _, err := s.wal.Write(frame); err != nil {
-		return 0, s.fail(err)
+		return 0, st, s.fail(err)
 	}
+	syncStart := time.Now()
 	if err := s.wal.Sync(); err != nil {
-		return 0, s.fail(err)
+		return 0, st, s.fail(err)
 	}
+	applyStart := time.Now()
 	// The record is durable; the in-memory apply cannot fail (the batch
 	// was validated above) short of an internal compaction error, which
 	// is fatal by the same rule as a write error.
 	for _, tx := range canon {
 		if err := s.app.Add(tx); err != nil {
-			return 0, s.fail(err)
+			return 0, st, s.fail(err)
 		}
 	}
 	s.seq++
 	s.walBytes += int64(len(frame))
 	s.sinceSnap++
+	st = AppendStats{
+		Seq:      s.seq,
+		Txs:      len(canon),
+		Bytes:    len(frame),
+		WriteDur: syncStart.Sub(writeStart),
+		SyncDur:  applyStart.Sub(syncStart),
+		ApplyDur: time.Since(applyStart),
+	}
+	if s.opts.OnAppend != nil {
+		s.opts.OnAppend(st)
+	}
 	if s.sinceSnap >= s.opts.SnapshotEvery {
 		err := s.snapshotLocked()
 		if s.opts.OnSnapshot != nil {
@@ -311,7 +351,7 @@ func (s *Store) Append(txs []ossm.Itemset) (uint64, error) {
 		// A failed snapshot is not data loss: the WAL keeps growing and
 		// the next interval retries. Only the write path is fail-stop.
 	}
-	return s.seq, nil
+	return s.seq, st, nil
 }
 
 // fail marks the store broken after a write-path error. Once a WAL write
@@ -333,6 +373,23 @@ func (s *Store) SetOnSnapshot(fn func(err error)) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.opts.OnSnapshot = fn
+}
+
+// SetOnAppend installs (or replaces) the append-timing observer — for
+// callers that wire tracing up after Open, like the serving layer.
+func (s *Store) SetOnAppend(fn func(AppendStats)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.opts.OnAppend = fn
+}
+
+// SinceSnapshot reports the replay debt the next crash would pay: how
+// many records the active WAL holds beyond the last snapshot, and when
+// that snapshot was taken (zero time before any snapshot).
+func (s *Store) SinceSnapshot() (records int, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sinceSnap, s.snapAt
 }
 
 // Snapshot forces a snapshot (and WAL truncation) now.
@@ -401,6 +458,7 @@ func (s *Store) snapshotLocked() error {
 	}
 	s.wal = w
 	s.walBytes = 0
+	s.snapAt = time.Now()
 	// ...and only now truncate. One full previous epoch (snapshot + its
 	// WAL) is retained besides the active one: if the newest snapshot
 	// ever fails validation (bit rot, a lying disk), recovery falls back

@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke loadgen-smoke remote-smoke ingest-smoke fleet-obs-smoke cover bench bench-kernels bench-loadgen examples experiments clean
+.PHONY: all build vet test race fuzz fuzz-smoke obs-smoke loadgen-smoke remote-smoke ingest-smoke fleet-obs-smoke kernel-smoke cover bench bench-kernels bench-loadgen examples experiments clean
 
 all: build test
 
@@ -10,7 +10,7 @@ build:
 vet:
 	$(GO) vet ./...
 
-test: vet race fuzz-smoke obs-smoke loadgen-smoke remote-smoke ingest-smoke fleet-obs-smoke cover
+test: vet race fuzz-smoke obs-smoke loadgen-smoke remote-smoke ingest-smoke fleet-obs-smoke kernel-smoke cover
 	$(GO) test ./...
 
 # End-to-end sweep of the observability surface through the real CLI:
@@ -80,13 +80,21 @@ fuzz:
 # so a regression any of them can find fails `make test`, not just a
 # dedicated fuzzing run.
 fuzz-smoke:
-	$(GO) test -run=NONE -fuzz FuzzReadText         -fuzztime 10s ./internal/dataset
-	$(GO) test -run=NONE -fuzz FuzzReadBinary       -fuzztime 10s ./internal/dataset
-	$(GO) test -run=NONE -fuzz FuzzReadMap          -fuzztime 10s ./internal/core
-	$(GO) test -run=NONE -fuzz FuzzBoundKernels     -fuzztime 10s ./internal/core
-	$(GO) test -run=NONE -fuzz FuzzIndexRoundTrip   -fuzztime 10s .
-	$(GO) test -run=NONE -fuzz FuzzAppenderSnapshot -fuzztime 10s .
-	$(GO) test -run=NONE -fuzz FuzzWALReplay        -fuzztime 10s ./internal/wal
+	$(GO) test -run=NONE -fuzz FuzzReadText                -fuzztime 10s ./internal/dataset
+	$(GO) test -run=NONE -fuzz FuzzReadBinary              -fuzztime 10s ./internal/dataset
+	$(GO) test -run=NONE -fuzz FuzzReadMap                 -fuzztime 10s ./internal/core
+	$(GO) test -run=NONE -fuzz 'FuzzBoundKernels$$'        -fuzztime 10s ./internal/core
+	$(GO) test -run=NONE -fuzz FuzzBoundKernelsQuantized   -fuzztime 10s ./internal/core
+	$(GO) test -run=NONE -fuzz FuzzIndexRoundTrip          -fuzztime 10s .
+	$(GO) test -run=NONE -fuzz FuzzAppenderSnapshot        -fuzztime 10s .
+	$(GO) test -run=NONE -fuzz FuzzWALReplay               -fuzztime 10s ./internal/wal
+
+# Kernel-speedup regression gate: a reduced two-depth sweep of the
+# bound-kernel microbenchmark must clear its per-regime speedup floors
+# (at half margin, so a loaded machine doesn't flake it). The full-floor
+# gate is `ossm-bench -check kernels`. Part of the default gate.
+kernel-smoke:
+	$(GO) run ./cmd/ossm-bench -sweep 16,2048 -check -check-margin 0.5 kernels > /dev/null
 
 # Scaled-down deterministic versions of every paper table/figure plus
 # micro-benchmarks (see EXPERIMENTS.md for recorded full runs).

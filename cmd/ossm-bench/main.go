@@ -52,6 +52,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		width         = fs.Int("width", 8, "episode window width")
 		minFreq       = fs.Float64("minfreq", 0.02, "episode minimum frequency")
 		asJSON        = fs.Bool("json", false, "emit results as JSON instead of tables")
+		check         = fs.Bool("check", false, "kernels: fail unless every sweep point clears its per-regime speedup floor")
+		checkMargin   = fs.Float64("check-margin", 1, "kernels: scale the -check floors (a reduced margin absorbs machine noise)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -161,7 +163,16 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if err != nil {
 				return err
 			}
-			return emit(name, r)
+			if err := emit(name, r); err != nil {
+				return err
+			}
+			if *check {
+				if err := r.Check(*checkMargin); err != nil {
+					return err
+				}
+				fmt.Fprintln(stderr, "kernels: every sweep point cleared its speedup floor")
+			}
+			return nil
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}

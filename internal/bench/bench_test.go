@@ -254,15 +254,18 @@ func TestRunKernels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Points) != 4 { // 2 segment counts × {pair, triple}
-		t.Fatalf("points = %d, want 4", len(r.Points))
+	if len(r.Points) != 8 { // 2 segment counts × {pair, triple, quad, quint}
+		t.Fatalf("points = %d, want 8", len(r.Points))
 	}
 	for _, p := range r.Points {
-		if p.ScalarNsOp <= 0 || p.AtLeastNsOp <= 0 || p.BatchNsOp <= 0 {
+		if p.ScalarNsOp <= 0 || p.AtLeastNsOp <= 0 || p.BatchNsOp <= 0 || p.BatchU32NsOp <= 0 {
 			t.Errorf("%s n=%d: missing timings %+v", p.Kind, p.Segments, p)
 		}
-		if p.BatchSpeedup <= 0 {
+		if p.BatchSpeedup <= 0 || p.QuantSpeedup <= 0 {
 			t.Errorf("%s n=%d: non-positive speedup", p.Kind, p.Segments)
+		}
+		if p.Lane == "" {
+			t.Errorf("%s n=%d: missing dominant lane", p.Kind, p.Segments)
 		}
 		if p.EarlyExitRate < 0 || p.EarlyExitRate > 1 || p.AbandonRate < 0 || p.AbandonRate > 1 {
 			t.Errorf("%s n=%d: shortcut rates out of range", p.Kind, p.Segments)
@@ -277,6 +280,15 @@ func TestRunKernels(t *testing.T) {
 	r.Print(&buf)
 	if !strings.Contains(buf.String(), "speedup") {
 		t.Error("Print output missing header")
+	}
+	// The floor gate: a token margin always passes a real run, a deep
+	// pair point at 1x is always under its 2.2x floor.
+	if err := r.Check(0.01); err != nil {
+		t.Errorf("Check with a token margin failed: %v", err)
+	}
+	bad := &KernelsResult{Points: []KernelPoint{{Kind: "pair", Segments: 4096, BatchSpeedup: 1.0}}}
+	if err := bad.Check(1); err == nil {
+		t.Error("Check accepted a deep pair point below its floor")
 	}
 }
 

@@ -13,29 +13,35 @@ import (
 
 // KernelPoint measures one (candidate shape, segment count) cell of the
 // bound-kernel microbenchmark. Every ns/op figure times one whole
-// generation of KernelCands candidates, so the three kernels are
-// directly comparable: the scalar baseline is a full UpperBound walk
-// per candidate, AtLeast the per-candidate decision kernel, Batch the
-// row-amortized batch kernel.
+// generation of KernelCands candidates, so the kernels are directly
+// comparable: the scalar baseline is a full uint32 UpperBound walk per
+// candidate, AtLeast the per-candidate decision kernel, Batch the
+// size-dispatched batch kernel on its default (quantized when possible)
+// lanes, BatchU32 the same batch call with the uint16 mirror disabled —
+// the quantized-vs-uint32 lane delta is their ratio.
 type KernelPoint struct {
-	Kind          string  `json:"kind"` // "pair" or "triple"
+	Kind          string  `json:"kind"` // "pair", "triple", "quad" or "quint"
 	Segments      int     `json:"segments"`
 	Candidates    int     `json:"candidates"`
 	MinSup        int64   `json:"minsup"`
+	Lane          string  `json:"batch_lane"` // dominant dispatch lane of the batch call
 	ScalarNsOp    float64 `json:"scalar_ns_per_op"`
 	AtLeastNsOp   float64 `json:"atleast_ns_per_op"`
 	BatchNsOp     float64 `json:"batch_ns_per_op"`
+	BatchU32NsOp  float64 `json:"batch_u32_ns_per_op"`
 	BatchSpeedup  float64 `json:"batch_speedup_vs_scalar"`
+	QuantSpeedup  float64 `json:"quant_speedup_vs_u32"`
 	EarlyExitRate float64 `json:"early_exit_rate"`
 	AbandonRate   float64 `json:"abandon_rate"`
 }
 
 // KernelsResult is the bound-kernel microbenchmark (DESIGN.md §7): the
 // decision and batch kernels against the scalar bound across segment
-// counts, on the candidate-2 wall (pairs) and the first post-wall
-// generation (triples). Every run re-verifies the equivalence guarantee
-// before timing: each kernel's decisions must be bit-identical to the
-// scalar bound's.
+// counts, on the candidate-2 wall (pairs) and the post-wall generations
+// (triples, quads, quints — the widths the k-item lanes serve). Every
+// run re-verifies the equivalence guarantee before timing: each
+// kernel's decisions, on both the quantized and the uint32 lanes, must
+// be bit-identical to the scalar bound's.
 type KernelsResult struct {
 	Points []KernelPoint `json:"points"`
 }
@@ -43,12 +49,18 @@ type KernelsResult struct {
 // KernelCands is the generation size each measurement decides per op.
 const KernelCands = 1024
 
-// kernelSegDefaults spans one block (16), the small-lane dispatch
-// boundary (64, the last size served per-candidate) and its first
-// blocked size (128), a typical serving index (256) and a deep
-// segmentation (4096) — the 64/128 pair pins the batch front-end's
-// size-dispatch crossover on both sides.
-var kernelSegDefaults = []int{16, 64, 128, 256, 4096}
+// kernelSegDefaults spans one block (16), the pair/triple small-lane
+// crossover neighborhood (64), the first blocked/deep sizes (128, 256),
+// the wide-block schedule boundary (1024) and a deep segmentation
+// (4096, past the flat crossover for quads and quints).
+var kernelSegDefaults = []int{16, 64, 128, 256, 1024, 4096}
+
+// kernelKinds are the candidate shapes: one per uniform width the
+// level-wise pass path produces.
+var kernelKinds = []struct {
+	Name  string
+	Width int
+}{{"pair", 2}, {"triple", 3}, {"quad", 4}, {"quint", 5}}
 
 // kernelMap builds a skewed synthetic support matrix: item i is drawn
 // from [0, 200≫(i mod 8)), a power-ish popularity law that disperses
@@ -83,22 +95,33 @@ func kernelCands(r *rand.Rand, width, items, n int) []dataset.Itemset {
 	return cands
 }
 
-// timeKernel reports ns per call of f, adaptively repeating until the
-// measurement is long enough to be stable.
+// timeKernel reports ns per call of f: the minimum over five adaptive
+// ~20ms measurement windows. Small-map generations run in tens of
+// microseconds, where a single averaged window swings ±50% with
+// scheduler noise; the min-of-windows is the standard stable estimator
+// for a deterministic kernel.
 func timeKernel(f func()) float64 {
 	f() // warm caches and scratch pools
-	iters := 0
-	start := time.Now()
-	for time.Since(start) < 25*time.Millisecond || iters < 3 {
-		f()
-		iters++
+	best := 0.0
+	for w := 0; w < 5; w++ {
+		iters := 0
+		start := time.Now()
+		for time.Since(start) < 20*time.Millisecond || iters < 3 {
+			f()
+			iters++
+		}
+		ns := float64(time.Since(start).Nanoseconds()) / float64(iters)
+		if best == 0 || ns < best {
+			best = ns
+		}
 	}
-	return float64(time.Since(start).Nanoseconds()) / float64(iters)
+	return best
 }
 
-// RunKernels measures the bound kernels across segCounts (nil ⇒ 16,
-// 256, 4096), verifying kernel/scalar decision equivalence on every
-// cell before timing it.
+// RunKernels measures the bound kernels across segCounts (nil ⇒ the
+// default 16→4096 sweep) at widths 2–5, verifying kernel/scalar
+// decision equivalence on every cell — on both the quantized and the
+// uint32 lanes — before timing it.
 func RunKernels(cfg Config, segCounts []int) (*KernelsResult, error) {
 	if len(segCounts) == 0 {
 		segCounts = kernelSegDefaults
@@ -110,11 +133,8 @@ func RunKernels(cfg Config, segCounts []int) (*KernelsResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		for _, kind := range []struct {
-			name  string
-			width int
-		}{{"pair", 2}, {"triple", 3}} {
-			cands := kernelCands(r, kind.width, cfg.NumItems, KernelCands)
+		for _, kind := range kernelKinds {
+			cands := kernelCands(r, kind.Width, cfg.NumItems, KernelCands)
 			bounds := m.UpperBoundBatch(cands, nil)
 			sorted := append([]int64{}, bounds...)
 			sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
@@ -125,13 +145,20 @@ func RunKernels(cfg Config, segCounts []int) (*KernelsResult, error) {
 
 			// Equivalence check first: the timings below are only
 			// meaningful if every kernel answers exactly like the scalar
-			// bound.
+			// bound, with and without the uint16 mirror.
 			dec := make([]bool, len(cands))
+			decU32 := make([]bool, len(cands))
 			st := m.BoundBatch(cands, minsup, dec)
+			m.SetQuantized(false)
+			m.BoundBatch(cands, minsup, decU32)
+			m.SetQuantized(true)
 			for i, x := range cands {
 				want := m.UpperBound(x) >= minsup
 				if dec[i] != want {
 					return nil, fmt.Errorf("bench: BoundBatch disagrees with UpperBound on %v at %d segments", x, segs)
+				}
+				if decU32[i] != want {
+					return nil, fmt.Errorf("bench: uint32-lane BoundBatch disagrees with UpperBound on %v at %d segments", x, segs)
 				}
 				if m.BoundAtLeast(x, minsup) != want {
 					return nil, fmt.Errorf("bench: BoundAtLeast disagrees with UpperBound on %v at %d segments", x, segs)
@@ -153,15 +180,23 @@ func RunKernels(cfg Config, segCounts []int) (*KernelsResult, error) {
 			batchNs := timeKernel(func() {
 				m.BoundBatch(cands, minsup, dec)
 			})
+			m.SetQuantized(false)
+			batchU32Ns := timeKernel(func() {
+				m.BoundBatch(cands, minsup, decU32)
+			})
+			m.SetQuantized(true)
 			out.Points = append(out.Points, KernelPoint{
-				Kind:          kind.name,
+				Kind:          kind.Name,
 				Segments:      segs,
 				Candidates:    len(cands),
 				MinSup:        minsup,
+				Lane:          dominantLane(st),
 				ScalarNsOp:    scalarNs,
 				AtLeastNsOp:   atLeastNs,
 				BatchNsOp:     batchNs,
+				BatchU32NsOp:  batchU32Ns,
 				BatchSpeedup:  scalarNs / batchNs,
+				QuantSpeedup:  batchU32Ns / batchNs,
 				EarlyExitRate: float64(st.EarlyExit) / float64(len(cands)),
 				AbandonRate:   float64(st.Abandoned) / float64(len(cands)),
 			})
@@ -170,14 +205,94 @@ func RunKernels(cfg Config, segCounts []int) (*KernelsResult, error) {
 	return out, nil
 }
 
+// dominantLane names the dispatch lane that decided the most candidates
+// of a batch call.
+func dominantLane(st core.BatchStats) string {
+	best, bestN := core.LaneScalar, int64(-1)
+	for l := 0; l < core.NumKernelLanes; l++ {
+		if n := st.Lanes[l].Decided; n > bestN {
+			best, bestN = core.KernelLane(l), n
+		}
+	}
+	return best.String()
+}
+
+// KernelFloor is the regression floor for batch_speedup_vs_scalar at
+// one sweep point: the regime-specific speedup the batch lanes must
+// keep over the scalar bound, set ~30% under the values recorded in
+// BENCH_5.json on the reference machine. Narrow candidates (pairs,
+// triples) ride the specialized unrolled lanes and clear high bars at
+// every depth — their deep floor of 2.2 is the kernel-round-3
+// acceptance bar itself. Wide candidates (quads, quints) pay k column
+// loads per segment just like the scalar walk, so their shallow-map
+// headroom is structurally thin and the floor only asks that the
+// dispatch never does worse than ~scalar.
+func KernelFloor(kind string, segs int) float64 {
+	narrow := kind == "pair" || kind == "triple"
+	switch {
+	case segs >= 1024: // deep: quantized per-candidate or flat-blocked lanes
+		if narrow {
+			return 2.2
+		}
+		if kind == "quad" {
+			return 1.4
+		}
+		return 1.2
+	case segs >= 128: // mid: deep column lanes past the small crossover
+		if narrow {
+			return 2.0
+		}
+		return 1.2
+	default: // small maps: per-candidate column kernels
+		if narrow {
+			return 1.5
+		}
+		return 0.7
+	}
+}
+
+// Check verifies every sweep point clears margin × KernelFloor — the
+// `ossm-bench kernels -check` regression gate. margin 1 is the full
+// gate; the smoke gate in `make test` passes a reduced margin so a
+// loaded machine doesn't flake it.
+func (r *KernelsResult) Check(margin float64) error {
+	if margin <= 0 {
+		margin = 1
+	}
+	var failed []string
+	for _, p := range r.Points {
+		floor := margin * KernelFloor(p.Kind, p.Segments)
+		if p.BatchSpeedup < floor {
+			failed = append(failed,
+				fmt.Sprintf("%s@%d: batch speedup %.2fx below the %.2fx floor", p.Kind, p.Segments, p.BatchSpeedup, floor))
+		}
+	}
+	if len(failed) > 0 {
+		return fmt.Errorf("bench: %d of %d kernel sweep points under their speedup floor:\n  %s",
+			len(failed), len(r.Points), joinLines(failed))
+	}
+	return nil
+}
+
+func joinLines(lines []string) string {
+	out := ""
+	for i, l := range lines {
+		if i > 0 {
+			out += "\n  "
+		}
+		out += l
+	}
+	return out
+}
+
 // Print renders the microbenchmark as a table.
 func (r *KernelsResult) Print(w io.Writer) {
 	fmt.Fprintln(w, "Bound kernels: ns per generation (scalar UpperBound vs decision kernels)")
-	fmt.Fprintf(w, "%-7s %9s %10s %12s %12s %12s %8s %7s %7s\n",
-		"kind", "segments", "cands", "scalar", "atleast", "batch", "speedup", "exit%", "abdn%")
+	fmt.Fprintf(w, "%-7s %8s %7s %-7s %11s %11s %11s %11s %8s %6s %6s %6s\n",
+		"kind", "segments", "cands", "lane", "scalar", "atleast", "batch", "batch-u32", "speedup", "qx", "exit%", "abdn%")
 	for _, p := range r.Points {
-		fmt.Fprintf(w, "%-7s %9d %10d %12.0f %12.0f %12.0f %7.2fx %6.1f%% %6.1f%%\n",
-			p.Kind, p.Segments, p.Candidates, p.ScalarNsOp, p.AtLeastNsOp, p.BatchNsOp,
-			p.BatchSpeedup, 100*p.EarlyExitRate, 100*p.AbandonRate)
+		fmt.Fprintf(w, "%-7s %8d %7d %-7s %11.0f %11.0f %11.0f %11.0f %7.2fx %5.2fx %5.1f%% %5.1f%%\n",
+			p.Kind, p.Segments, p.Candidates, p.Lane, p.ScalarNsOp, p.AtLeastNsOp, p.BatchNsOp, p.BatchU32NsOp,
+			p.BatchSpeedup, p.QuantSpeedup, 100*p.EarlyExitRate, 100*p.AbandonRate)
 	}
 }

@@ -52,23 +52,19 @@ func checkKernelsAgainstReference(t *testing.T, r *rand.Rand, m *Map, trials int
 	}
 
 	// Batch paths: one generation of random candidates per threshold.
-	// Even trials force a uniform itemset length so the flat pair/triple
-	// lanes are exercised, odd trials mix lengths for the generic lane.
+	// Even trials force a uniform itemset length (up to 5, so the k-item
+	// flat and deep lanes are exercised past the pair/triple unrolls),
+	// odd trials mix lengths for the generic lane.
 	for trial := 0; trial < trials; trial++ {
 		n := 1 + r.Intn(40)
 		cands := make([]dataset.Itemset, n)
 		uniform := 0
 		if trial%2 == 0 {
-			uniform = 1 + r.Intn(minInt(3, k))
+			uniform = 1 + r.Intn(minInt(5, k))
 		}
 		for i := range cands {
 			if uniform > 0 {
-				for {
-					cands[i] = randomNonEmptyItemset(r, k)
-					if len(cands[i]) == uniform {
-						break
-					}
-				}
+				cands[i] = randomItemsetOfLen(r, k, uniform)
 			} else {
 				cands[i] = randomNonEmptyItemset(r, k)
 			}
@@ -79,6 +75,7 @@ func checkKernelsAgainstReference(t *testing.T, r *rand.Rand, m *Map, trials int
 		if st.EarlyExit+st.Abandoned > int64(n) {
 			t.Fatalf("BoundBatch shortcut counts %+v exceed %d candidates", st, n)
 		}
+		checkLaneAccounting(t, st, int64(n), "BoundBatch")
 		bounds := m.UpperBoundBatch(cands, nil)
 		for i, x := range cands {
 			ref := m.referenceUpperBound(x)
@@ -104,6 +101,7 @@ func checkKernelsAgainstReference(t *testing.T, r *rand.Rand, m *Map, trials int
 		if st.EarlyExit+st.Abandoned > int64(numPairs) {
 			t.Fatalf("BoundPairsAmong shortcut counts %+v exceed %d pairs", st, numPairs)
 		}
+		checkLaneAccounting(t, st, int64(numPairs), "BoundPairsAmong")
 		for i := 0; i < k; i++ {
 			for j := i + 1; j < k; j++ {
 				ref := m.referenceUpperBound(dataset.Itemset{items[i], items[j]})
@@ -131,7 +129,8 @@ func checkKernelsAgainstReference(t *testing.T, r *rand.Rand, m *Map, trials int
 		}
 		minsup := 1 + r.Int63n(maxT+1)
 		extDec := make([]bool, len(exts))
-		m.BoundExtensions(prefix, exts, minsup, extDec)
+		extSt := m.BoundExtensions(prefix, exts, minsup, extDec)
+		checkLaneAccounting(t, extSt, int64(len(exts)), "BoundExtensions")
 		for e, it := range exts {
 			cand := dataset.NewItemset(append(append([]dataset.Item{}, prefix...), it)...)
 			ref := m.referenceUpperBound(cand)
@@ -139,6 +138,36 @@ func checkKernelsAgainstReference(t *testing.T, r *rand.Rand, m *Map, trials int
 				t.Fatalf("BoundExtensions(%v + %d) = %v at %d, reference bound %d", prefix, it, extDec[e], minsup, ref)
 			}
 		}
+	}
+}
+
+// randomItemsetOfLen draws a uniformly random itemset of exactly want
+// distinct items from a k-item domain.
+func randomItemsetOfLen(r *rand.Rand, k, want int) dataset.Itemset {
+	perm := r.Perm(k)[:want]
+	items := make([]dataset.Item, want)
+	for i, p := range perm {
+		items[i] = dataset.Item(p)
+	}
+	return dataset.NewItemset(items...)
+}
+
+// checkLaneAccounting verifies the per-lane breakdown of a batch call:
+// every candidate was decided by exactly one lane, and the per-lane
+// shortcut counts sum to the top-level counters.
+func checkLaneAccounting(t *testing.T, st BatchStats, decided int64, ctx string) {
+	t.Helper()
+	var d, ee, ab int64
+	for _, ls := range st.Lanes {
+		d += ls.Decided
+		ee += ls.EarlyExit
+		ab += ls.Abandoned
+	}
+	if d != decided {
+		t.Fatalf("%s: lanes decided %d of %d candidates", ctx, d, decided)
+	}
+	if ee != st.EarlyExit || ab != st.Abandoned {
+		t.Fatalf("%s: lane shortcut sums (%d, %d) disagree with totals (%d, %d)", ctx, ee, ab, st.EarlyExit, st.Abandoned)
 	}
 }
 
@@ -202,11 +231,13 @@ func TestKernelMultiBlockShortcuts(t *testing.T) {
 	}
 	hot := dataset.NewItemset(0, 1)
 	cold := dataset.NewItemset(2, 3)
-	if ok, out := m.boundAtLeast(hot, 200); !ok || out != boundEarlyExit {
-		t.Errorf("hot pair: ok=%v outcome=%d, want early exit", ok, out)
+	// 64 segments is past the pair crossover and every cell fits the
+	// mirror, so single decisions ride the quantized deep lane.
+	if ok, out, lane := m.boundAtLeast(hot, 200); !ok || out != boundEarlyExit || lane != LaneFlat16 {
+		t.Errorf("hot pair: ok=%v outcome=%d lane=%v, want flat16-lane early exit", ok, out, lane)
 	}
-	if ok, out := m.boundAtLeast(cold, 1); ok || out != boundAbandoned {
-		t.Errorf("cold pair: ok=%v outcome=%d, want abandon", ok, out)
+	if ok, out, lane := m.boundAtLeast(cold, 1); ok || out != boundAbandoned || lane != LaneFlat16 {
+		t.Errorf("cold pair: ok=%v outcome=%d lane=%v, want flat16-lane abandon", ok, out, lane)
 	}
 	dec := make([]bool, 2)
 	st := m.BoundBatch([]dataset.Itemset{hot, cold}, 200, dec)

@@ -40,6 +40,10 @@ type Map struct {
 	itemMajor []uint32 // [item*numSegs + segment], the transposed view
 	totals    []int64  // per-item global support (sum over segments)
 	suffix    []int64  // [item*(numSegs+1) + s] = Σ_{t≥s} support; trailing 0
+
+	// quantState holds the lazily built uint16 mirror of both cell
+	// views (see quant.go) — pure cache, never serialized.
+	quantState
 }
 
 // NewMap builds a Map from per-segment singleton supports. The rows are
@@ -288,6 +292,9 @@ type Pruner struct {
 	// Checked − EarlyExit − Abandoned bound calls paid for a full scan.
 	EarlyExit int64
 	Abandoned int64
+	// Lanes breaks the decisions down by the kernel dispatch lane that
+	// produced them (see KernelLane); Σ Lanes[i].Decided == Checked.
+	Lanes [NumKernelLanes]LaneStats
 }
 
 // Allow reports whether candidate x survives the OSSM bound, i.e. whether
@@ -298,8 +305,8 @@ func (p *Pruner) Allow(x dataset.Itemset) bool {
 		return true
 	}
 	atomic.AddInt64(&p.Checked, 1)
-	ok, outcome := p.Map.boundAtLeast(x, p.MinCount)
-	p.noteOutcome(outcome)
+	ok, outcome, lane := p.Map.boundAtLeast(x, p.MinCount)
+	p.noteOutcome(outcome, lane)
 	if !ok {
 		atomic.AddInt64(&p.Pruned, 1)
 		return false
@@ -313,8 +320,8 @@ func (p *Pruner) AllowPair(a, b dataset.Item) bool {
 		return true
 	}
 	atomic.AddInt64(&p.Checked, 1)
-	ok, outcome := p.Map.boundPairAtLeast(a, b, p.MinCount)
-	p.noteOutcome(outcome)
+	ok, outcome, lane := p.Map.boundPairAtLeast(a, b, p.MinCount)
+	p.noteOutcome(outcome, lane)
 	if !ok {
 		atomic.AddInt64(&p.Pruned, 1)
 		return false
@@ -322,12 +329,15 @@ func (p *Pruner) AllowPair(a, b dataset.Item) bool {
 	return true
 }
 
-func (p *Pruner) noteOutcome(o boundOutcome) {
+func (p *Pruner) noteOutcome(o boundOutcome, lane KernelLane) {
+	atomic.AddInt64(&p.Lanes[lane].Decided, 1)
 	switch o {
 	case boundEarlyExit:
 		atomic.AddInt64(&p.EarlyExit, 1)
+		atomic.AddInt64(&p.Lanes[lane].EarlyExit, 1)
 	case boundAbandoned:
 		atomic.AddInt64(&p.Abandoned, 1)
+		atomic.AddInt64(&p.Lanes[lane].Abandoned, 1)
 	}
 }
 
@@ -335,5 +345,6 @@ func (p *Pruner) noteOutcome(o boundOutcome) {
 func (p *Pruner) Reset() {
 	if p != nil {
 		p.Checked, p.Pruned, p.EarlyExit, p.Abandoned = 0, 0, 0, 0
+		p.Lanes = [NumKernelLanes]LaneStats{}
 	}
 }

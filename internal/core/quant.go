@@ -1,0 +1,109 @@
+package core
+
+import "sync/atomic"
+
+// Quantized uint16 mirror (DESIGN.md §7). Deep segmentations put the
+// bound kernels firmly in the memory-bound regime: at 4096 segments the
+// uint32 support matrix runs to megabytes and every batch call streams
+// it, so halving the bytes per cell halves the traffic per block. When
+// every per-segment singleton support fits in 16 bits — true for any
+// segmentation whose segments hold fewer than 65536 transactions each,
+// i.e. virtually every real map — the Map lazily materializes a compact
+// uint16 mirror of both columnar views and the kernels run over it,
+// widening each cell back into the existing int64 accumulation so every
+// bound and decision is bit-identical to the uint32 path.
+//
+// The mirror is pure cache: it is derived on first use, never
+// serialized (WriteMap/ReadMap carry only the uint32 cells), and
+// dropped by invalidateQuant. Map cells are immutable after
+// construction — every path that changes counts (ingest appends through
+// an Appender snapshot, compaction promotions, registry swaps,
+// SegmentRange views) publishes a *new* Map, whose mirror starts cold
+// and rebuilds lazily from the new cells — so invalidation is only
+// needed by the explicit SetQuantized knob (and by any future in-place
+// mutator, which must call invalidateQuant before publishing).
+
+// quantMirror is the uint16 shadow of the flat columnar store.
+type quantMirror struct {
+	segMajor  []uint16 // [segment*numItems + item]
+	itemMajor []uint16 // [item*numSegs + segment]
+}
+
+// quantOverflow marks a map whose cells exceed uint16: the mirror is
+// unbuildable and every kernel stays on the uint32 path. Distinguishing
+// it from "not built yet" makes the overflow scan run once, not per
+// call.
+var quantOverflow = &quantMirror{}
+
+// quantized returns the uint16 mirror, building it on first use, or nil
+// when any cell overflows 16 bits (the per-index uint32 fallback) or
+// quantization is disabled. Concurrent first calls may race to build;
+// the mirror is a pure function of the immutable cells, so whichever
+// build wins publishes identical content.
+func (m *Map) quantized() *quantMirror {
+	if m.quantOff.Load() {
+		return nil
+	}
+	if q := m.quant.Load(); q != nil {
+		if q == quantOverflow {
+			return nil
+		}
+		return q
+	}
+	q := m.buildQuant()
+	m.quant.CompareAndSwap(nil, q)
+	if q = m.quant.Load(); q == quantOverflow {
+		return nil
+	}
+	return q
+}
+
+// buildQuant scans the cells once: on overflow it reports the sentinel,
+// otherwise it narrows both columnar views.
+func (m *Map) buildQuant() *quantMirror {
+	for _, c := range m.segMajor {
+		if c > 0xFFFF {
+			return quantOverflow
+		}
+	}
+	q := &quantMirror{
+		segMajor:  make([]uint16, len(m.segMajor)),
+		itemMajor: make([]uint16, len(m.itemMajor)),
+	}
+	for i, c := range m.segMajor {
+		q.segMajor[i] = uint16(c)
+	}
+	for i, c := range m.itemMajor {
+		q.itemMajor[i] = uint16(c)
+	}
+	return q
+}
+
+// invalidateQuant drops the mirror; the next kernel call that wants it
+// rebuilds from the current cells. Any future in-place cell mutator
+// must call this before the mutated map is visible to queries.
+func (m *Map) invalidateQuant() { m.quant.Store(nil) }
+
+// Quantized reports whether the map serves the uint16 kernel lanes,
+// materializing the mirror if it has not been built yet. False means
+// some per-segment support exceeds 65535 (or SetQuantized(false) is in
+// effect) and every kernel runs the uint32 path.
+func (m *Map) Quantized() bool { return m.quantized() != nil }
+
+// SetQuantized enables (the default) or disables the uint16 mirror.
+// Disabling frees the mirror and pins every kernel to the uint32 lanes
+// — the knob behind ossm-bench's quantized-vs-uint32 lane deltas, also
+// useful when the extra 4 bytes per cell matter more than kernel
+// speed. Re-enabling rebuilds lazily.
+func (m *Map) SetQuantized(enabled bool) {
+	m.quantOff.Store(!enabled)
+	if !enabled {
+		m.invalidateQuant()
+	}
+}
+
+// quantState is the atomic mirror slot embedded in Map.
+type quantState struct {
+	quant    atomic.Pointer[quantMirror]
+	quantOff atomic.Bool
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/ossm-mining/ossm/internal/dataset"
+)
+
+// Tests for the quantized uint16 mirror (quant.go): the overflow rule at
+// the exact uint16 boundary, the SetQuantized knob, freshness across the
+// online append path, and the differential guarantee on maps that
+// straddle the boundary under every segmenter.
+
+// deepBoundaryMap builds an 80-segment, 8-item map of small random cells
+// with one cell pinned at boundary — deep enough that pair, triple and
+// k-item decisions all dispatch past the small crossover.
+func deepBoundaryMap(t *testing.T, r *rand.Rand, boundary uint32) *Map {
+	t.Helper()
+	const segs, k = 80, 8
+	rows := make([][]uint32, segs)
+	for s := range rows {
+		rows[s] = make([]uint32, k)
+		for i := range rows[s] {
+			rows[s][i] = uint32(r.Intn(120))
+		}
+	}
+	rows[segs/2][k/2] = boundary
+	m, err := NewMap(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// TestKernelQuantizedOverflowBoundary pins the mirror's overflow rule at
+// the exact uint16 boundary: a 65535 cell still quantizes, 65536 keeps
+// the whole map on the uint32 lanes — and either way every kernel
+// decision stays bit-identical to the reference bound.
+func TestKernelQuantizedOverflowBoundary(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		cell  uint32
+		quant bool
+	}{
+		{"fits-65535", 65535, true},
+		{"overflows-65536", 65536, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(41))
+			m := deepBoundaryMap(t, r, tc.cell)
+			if got := m.Quantized(); got != tc.quant {
+				t.Fatalf("Quantized() = %v with boundary cell %d, want %v", got, tc.cell, tc.quant)
+			}
+			checkKernelsAgainstReference(t, r, m, 10)
+		})
+	}
+}
+
+// TestKernelOverflowAcrossSegmenters reruns the five-segmenter
+// differential on maps whose merged segments straddle the uint16
+// boundary: one fixture with page cells ≥ 32768 (any two-page merge
+// overflows the mirror) next to a small-cell control that always
+// quantizes. No segmenter can produce a row layout where the overflow
+// fallback or the mirror disagrees with the reference bound.
+func TestKernelOverflowAcrossSegmenters(t *testing.T) {
+	algs := []Algorithm{AlgRandom, AlgRC, AlgGreedy, AlgRandomRC, AlgRandomGreedy}
+	for _, alg := range algs {
+		t.Run(alg.String(), func(t *testing.T) {
+			r := rand.New(rand.NewSource(int64(alg) + 101))
+			const pages, k = 24, 6
+			for rep, lo := range []uint32{0, 40000} {
+				span := 100
+				if lo > 0 {
+					span = 20000
+				}
+				rows := make([][]uint32, pages)
+				for p := range rows {
+					rows[p] = make([]uint32, k)
+					for i := range rows[p] {
+						rows[p][i] = lo + uint32(r.Intn(span))
+					}
+				}
+				res, err := Segment(rows, Options{
+					Algorithm:      alg,
+					TargetSegments: 4 + r.Intn(4),
+					MidSegments:    pages,
+					Seed:           r.Int63(),
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				m := res.Map
+				overflow := false
+				for s := 0; s < m.NumSegments(); s++ {
+					for _, c := range m.SegmentRow(s) {
+						if c > 0xFFFF {
+							overflow = true
+						}
+					}
+				}
+				if wantOverflow := rep == 1; overflow != wantOverflow {
+					t.Fatalf("rep %d: cell overflow = %v, fixture expects %v", rep, overflow, wantOverflow)
+				}
+				if m.Quantized() != !overflow {
+					t.Fatalf("rep %d: Quantized() = %v on a map with overflow=%v", rep, m.Quantized(), overflow)
+				}
+				checkKernelsAgainstReference(t, r, m, 6)
+			}
+		})
+	}
+}
+
+// TestSetQuantizedToggle pins the knob: disabling the mirror reroutes
+// deep decisions to the uint32 lanes without changing them, re-enabling
+// rebuilds the mirror lazily.
+func TestSetQuantizedToggle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	m := deepBoundaryMap(t, r, 65535)
+	x := dataset.NewItemset(1, 3, 5)
+	ref := m.referenceUpperBound(x)
+	if ok, _, lane := m.boundAtLeast(x, ref); !ok || lane != LaneFlat16 {
+		t.Fatalf("quantized decision: ok=%v lane=%v, want true on flat16", ok, lane)
+	}
+	m.SetQuantized(false)
+	if m.Quantized() {
+		t.Fatal("Quantized() = true after SetQuantized(false)")
+	}
+	if ok, _, lane := m.boundAtLeast(x, ref); !ok || lane != LaneSmall {
+		t.Fatalf("unquantized decision: ok=%v lane=%v, want true on small", ok, lane)
+	}
+	if ok, _, _ := m.boundAtLeast(x, ref+1); ok {
+		t.Fatal("uint32 path admitted above the reference bound")
+	}
+	m.SetQuantized(true)
+	if !m.Quantized() {
+		t.Fatal("mirror did not rebuild after re-enabling")
+	}
+	if ok, _, lane := m.boundAtLeast(x, ref); !ok || lane != LaneFlat16 {
+		t.Fatalf("re-enabled decision: ok=%v lane=%v, want true on flat16", ok, lane)
+	}
+}
+
+// TestAppenderQuantizedOverflowCrossing drives the online path across
+// the uint16 boundary: with a one-segment budget every compaction merges
+// all history into a single row, so once more than 65535 transactions
+// carry an item the snapshot can no longer mirror. Quantized must flip,
+// answers must stay exact on both sides, and the earlier snapshot — an
+// independent immutable map — must keep its own mirror.
+func TestAppenderQuantizedOverflowCrossing(t *testing.T) {
+	a, err := NewAppender(3, AppenderOptions{PageSize: 1000, MaxSegments: 1, Algorithm: AlgGreedy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := dataset.NewItemset(0, 1)
+	addN := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if err := a.Add(tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	snap := func() *Map {
+		t.Helper()
+		m, err := a.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	check := func(m *Map, total int64, ctx string) {
+		t.Helper()
+		if got := m.UpperBound(tx); got != total {
+			t.Fatalf("%s: UpperBound(%v) = %d, want %d", ctx, tx, got, total)
+		}
+		if !m.BoundAtLeast(tx, total) || m.BoundAtLeast(tx, total+1) {
+			t.Fatalf("%s: BoundAtLeast disagrees with the exact pair support %d", ctx, total)
+		}
+	}
+
+	addN(60000)
+	before := snap()
+	if !before.Quantized() {
+		t.Fatal("60000-transaction snapshot should fit the uint16 mirror")
+	}
+	check(before, 60000, "before crossing")
+
+	addN(10000)
+	after := snap()
+	if after.Quantized() {
+		t.Fatal("70000-transaction snapshot crossed 65535 but still claims a mirror")
+	}
+	check(after, 70000, "after crossing")
+
+	// Snapshots are independent immutable maps: the pre-crossing one
+	// keeps serving its mirror with its own counts.
+	if !before.Quantized() {
+		t.Fatal("earlier snapshot lost its mirror after later appends")
+	}
+	check(before, 60000, "earlier snapshot after later appends")
+}

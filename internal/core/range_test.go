@@ -158,7 +158,8 @@ func TestSegmentRangeErrors(t *testing.T) {
 // to the reference, and the small lane still reports shortcut outcomes.
 func TestBatchCrossoverDispatch(t *testing.T) {
 	r := rand.New(rand.NewSource(65))
-	for _, segs := range []int{batchCrossoverSegs - 1, batchCrossoverSegs, batchCrossoverSegs + 1, 16} {
+	crossover := smallCrossoverSegs(2)
+	for _, segs := range []int{crossover - 1, crossover, crossover + 1, 16} {
 		m := randMapFor(t, r, segs, 16)
 		checkKernelsAgainstReference(t, r, m, 10)
 

@@ -109,6 +109,79 @@ func TestIngestEndToEnd(t *testing.T) {
 	}
 }
 
+// TestIngestQuantizedMirrorFreshAcrossSwaps promotes ingested data into
+// maps deep enough (up to 96 single-transaction segments, past the
+// 64-segment batch crossover) that batch ubsup queries stream the
+// quantized uint16 mirror, then keeps appending: every compaction swap
+// publishes a new immutable map whose mirror rebuilds lazily from the
+// new cells, so the served bounds must track the ingested counts
+// exactly. A mirror cached across the swap would freeze them.
+func TestIngestQuantizedMirrorFreshAcrossSwaps(t *testing.T) {
+	s, ts, _, _ := newTestServer(t, Config{})
+	store, _, err := wal.Open(wal.NewMemFS(), wal.Options{
+		NumItems:      8,
+		Appender:      ossm.AppenderOptions{PageSize: 1, MaxSegments: 96, CompactAt: 128},
+		SnapshotEvery: 64,
+	})
+	if err != nil {
+		t.Fatalf("wal.Open: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+	ing, err := s.EnableIngest("ingest", store, IngestConfig{CompactEvery: 1, CompactInterval: time.Millisecond})
+	if err != nil {
+		t.Fatalf("EnableIngest: %v", err)
+	}
+	t.Cleanup(ing.Close)
+
+	ingestPairs := func(n int) {
+		t.Helper()
+		batch := `{"batch":[[1,2]`
+		for i := 1; i < n; i++ {
+			batch += `,[1,2]`
+		}
+		batch += `]}`
+		if code, body := postJSON(t, ts.Client(), ts.URL+"/v1/ingest", batch); code != http.StatusOK {
+			t.Fatalf("ingest of %d pairs: %d %v", n, code, body)
+		}
+	}
+	// Batch requests (≥2 itemsets) take the UpperBoundBatch row stream —
+	// the quantized lane once the promoted map is deeper than 64
+	// segments. Both itemsets always co-occur, so their pair bound equals
+	// the exact transaction count.
+	waitPairBound := func(want int64) {
+		t.Helper()
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			code, body := postJSONQuiet(ts.Client(), ts.URL+"/v1/ubsup",
+				`{"index":"ingest","itemsets":[[1,2],[1]],"no_cache":true}`)
+			if code == http.StatusOK {
+				res := body["bounds"].([]any)
+				pair := int64(res[0].(map[string]any)["bound"].(float64))
+				single := int64(res[1].(map[string]any)["bound"].(float64))
+				if pair == want && single == want {
+					return
+				}
+				if pair > want || single > want {
+					t.Fatalf("bounds (%d, %d) overshot the ingested count %d", pair, single, want)
+				}
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("bound never reached %d: %d %v", want, code, body)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	ingestPairs(80)
+	waitPairBound(80)
+	// Two more swaps past the first: each must serve fresh cells through
+	// a freshly built mirror.
+	ingestPairs(60)
+	waitPairBound(140)
+	ingestPairs(60)
+	waitPairBound(200)
+}
+
 func jsonBound(t *testing.T, body map[string]any) *int64 {
 	t.Helper()
 	v, ok := body["bound"].(float64)

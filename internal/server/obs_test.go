@@ -73,10 +73,12 @@ func maskExposition(text string) string {
 func TestPrometheusGolden(t *testing.T) {
 	s, ts, _, _ := newTestServer(t, Config{})
 	// Deterministic traffic: two ubsup queries (second a cache hit), one
-	// mining run, one 404.
+	// mining run, one 404. The mine threshold is low enough that the run
+	// reaches multi-item passes, so the bound kernel's per-lane outcome
+	// series appear in the exposition.
 	postJSON(t, ts.Client(), ts.URL+"/v1/ubsup", `{"index":"retail","itemset":[1,2]}`)
 	postJSON(t, ts.Client(), ts.URL+"/v1/ubsup", `{"index":"retail","itemset":[1,2]}`)
-	postJSON(t, ts.Client(), ts.URL+"/v1/mine", `{"index":"retail","support":0.1}`)
+	postJSON(t, ts.Client(), ts.URL+"/v1/mine", `{"index":"retail","support":0.01}`)
 	postJSON(t, ts.Client(), ts.URL+"/v1/ubsup", `{"index":"nope","itemset":[1]}`)
 	// Durable ingest traffic: two acknowledged appends (the second trips
 	// the SnapshotEvery=2 snapshot, zeroing ossm_wal_bytes) plus one
